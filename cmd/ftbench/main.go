@@ -1,0 +1,108 @@
+// Command ftbench regenerates the paper's complete evaluation: Figure
+// 9(a)–(d), Table 1, the Section 4 complexity comparison, and (unless
+// -paper-only) the ablations and extensions indexed in DESIGN.md.
+//
+// Usage:
+//
+//	ftbench [-perms 100] [-seed 1] [-paper-only] [-csv dir]
+//
+// With -csv, each figure/table is additionally written as a CSV file into
+// the given directory for external plotting.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"repro/internal/experiments"
+	"repro/internal/report"
+)
+
+func main() {
+	perms := flag.Int("perms", experiments.DefaultPermutations, "random permutations per test point (paper: 100)")
+	seed := flag.Int64("seed", 1, "root seed for all workloads")
+	paperOnly := flag.Bool("paper-only", false, "run only the paper's own evaluation (Figure 9, Table 1)")
+	workers := flag.Int("workers", 4, "parallel workers for the sweeps and extensions")
+	only := flag.String("only", "", "run only suite components whose id contains this (e.g. e12, a1, fig9, table1)")
+	csvDir := flag.String("csv", "", "directory to additionally write CSV files into")
+	jsonDir := flag.String("json", "", "directory to additionally write JSON files into")
+	flag.Parse()
+
+	if *csvDir != "" {
+		if err := writeFiles(*csvDir, ".csv", *perms, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	if *jsonDir != "" {
+		if err := writeFiles(*jsonDir, ".json", *perms, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			os.Exit(1)
+		}
+	}
+
+	violations, err := experiments.RunSuite(os.Stdout, experiments.SuiteConfig{
+		Permutations:   *perms,
+		Seed:           *seed,
+		SkipExtensions: *paperOnly,
+		Workers:        *workers,
+		Only:           *only,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(1)
+	}
+	if len(violations) > 0 {
+		os.Exit(2)
+	}
+}
+
+// writeFiles exports the core evaluation tables in the given format
+// (".csv" or ".json").
+func writeFiles(dir, ext string, perms int, seed int64) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	write := func(name string, tb *report.Table) error {
+		f, err := os.Create(filepath.Join(dir, name+ext))
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if ext == ".json" {
+			return tb.WriteJSON(f)
+		}
+		return tb.WriteCSV(f)
+	}
+	a, err := experiments.Fig9a(perms, seed)
+	if err != nil {
+		return err
+	}
+	b, err := experiments.Fig9b(perms, seed)
+	if err != nil {
+		return err
+	}
+	c, err := experiments.Fig9c(perms, seed)
+	if err != nil {
+		return err
+	}
+	if err := write("fig9a", a.Table()); err != nil {
+		return err
+	}
+	if err := write("fig9b", b.Table()); err != nil {
+		return err
+	}
+	if err := write("fig9c", c.Table()); err != nil {
+		return err
+	}
+	if err := write("fig9d", experiments.Fig9dTable(experiments.Fig9d(a, b, c))); err != nil {
+		return err
+	}
+	t1, err := experiments.Table1(seed)
+	if err != nil {
+		return err
+	}
+	return write("table1", experiments.Table1Table(t1))
+}

@@ -1,0 +1,37 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFilesCSVAndJSON(t *testing.T) {
+	dir := t.TempDir()
+	if err := writeFiles(dir, ".csv", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFiles(dir, ".json", 3, 1); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"fig9a.csv", "fig9b.csv", "fig9c.csv", "fig9d.csv", "table1.csv",
+		"fig9a.json", "table1.json"} {
+		data, err := os.ReadFile(filepath.Join(dir, name))
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if len(data) == 0 {
+			t.Fatalf("%s empty", name)
+		}
+		if strings.HasSuffix(name, ".json") && !strings.Contains(string(data), `"rows"`) {
+			t.Fatalf("%s not JSON: %.60s", name, data)
+		}
+	}
+}
+
+func TestWriteFilesBadDir(t *testing.T) {
+	if err := writeFiles("/dev/null/subdir", ".csv", 1, 1); err == nil {
+		t.Fatal("unwritable dir accepted")
+	}
+}

@@ -1,0 +1,153 @@
+// Command ftsched schedules one workload on one fat tree and prints the
+// outcome — a workbench for exploring the schedulers interactively.
+//
+// Usage:
+//
+//	ftsched [-levels 3] [-children 4] [-parents 4]
+//	        [-scheduler level-wise|local-random|local-greedy|optimal]
+//	        [-pattern random-permutation|uniform-random|hotspot|bit-reversal|
+//	                  bit-complement|transpose|shuffle|tornado|neighbor]
+//	        [-trials 1] [-seed 1] [-rollback] [-v]
+//
+// With -v every request's outcome (path or failure level) is listed.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/optimal"
+	"repro/internal/report"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func main() {
+	levels := flag.Int("levels", 3, "switch levels l")
+	children := flag.Int("children", 4, "children per switch m")
+	parents := flag.Int("parents", 4, "parents per switch w")
+	schedName := flag.String("scheduler", "level-wise", "level-wise | local-random | local-greedy | optimal")
+	patName := flag.String("pattern", "random-permutation", "workload pattern")
+	trials := flag.Int("trials", 1, "independent workloads to schedule")
+	seed := flag.Int64("seed", 1, "workload seed")
+	rollback := flag.Bool("rollback", false, "release a failed request's partial allocations")
+	verbose := flag.Bool("v", false, "print per-request outcomes")
+	trace := flag.Bool("trace", false, "print every denial with the availability vector that caused it")
+	flag.Parse()
+
+	if err := run(*levels, *children, *parents, *schedName, *patName, *trials, *seed, *rollback, *verbose, *trace); err != nil {
+		fmt.Fprintf(os.Stderr, "ftsched: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func makeScheduler(name string, rollback bool) (core.Scheduler, error) {
+	switch name {
+	case "level-wise":
+		return &core.LevelWise{Opts: core.Options{Rollback: rollback}}, nil
+	case "local-random":
+		return core.NewLocalRandom(), nil
+	case "local-greedy":
+		return core.NewLocalGreedy(), nil
+	case "optimal":
+		return optimal.New(), nil
+	default:
+		return nil, fmt.Errorf("unknown scheduler %q", name)
+	}
+}
+
+func findPattern(name string) (traffic.Pattern, error) {
+	for p := traffic.RandomPermutation; p <= traffic.Neighbor; p++ {
+		if p.String() == name {
+			return p, nil
+		}
+	}
+	return 0, fmt.Errorf("unknown pattern %q", name)
+}
+
+func run(levels, children, parents int, schedName, patName string, trials int, seed int64, rollback, verbose, trace bool) error {
+	tree, err := topology.New(levels, children, parents)
+	if err != nil {
+		return err
+	}
+	sched, err := makeScheduler(schedName, rollback)
+	if err != nil {
+		return err
+	}
+	if trace {
+		onDenial := func(e core.TraceEvent) {
+			if e.Port == -1 {
+				fmt.Printf("  trace: %s\n", e)
+			}
+		}
+		switch s := sched.(type) {
+		case *core.LevelWise:
+			s.Opts.Trace = onDenial
+		case *core.Local:
+			s.Opts.Trace = onDenial
+		default:
+			return fmt.Errorf("-trace is not supported by scheduler %q", schedName)
+		}
+	}
+	pattern, err := findPattern(patName)
+	if err != nil {
+		return err
+	}
+	fmt.Println(tree)
+
+	gen := traffic.NewGenerator(tree.Nodes(), seed)
+	st := linkstate.New(tree)
+	ratios := make([]float64, 0, trials)
+	var last *core.Result
+	for trial := 0; trial < trials; trial++ {
+		batch, err := gen.Batch(pattern)
+		if err != nil {
+			return err
+		}
+		st.Reset()
+		res := sched.Schedule(st, batch)
+		if err := core.Verify(tree, res); err != nil {
+			return err
+		}
+		ratios = append(ratios, res.Ratio())
+		last = res
+	}
+
+	s := stats.Summarize(ratios)
+	fmt.Printf("scheduler %s on %s x%d: schedulability %s (min %s, max %s)\n",
+		last.Scheduler, pattern, trials,
+		report.Percent(s.Mean), report.Percent(s.Min), report.Percent(s.Max))
+	fmt.Printf("last batch: %d/%d granted, link utilization %s\n",
+		last.Granted, last.Total, report.Percent(st.Utilization()))
+	for h := 0; h < tree.LinkLevels(); h++ {
+		up, down := st.LevelOccupancy(h)
+		capacity := tree.LinksAt(h)
+		fmt.Printf("  level %d  up %s %s   down %s %s\n", h,
+			report.Bar(float64(up)/float64(capacity), 16), report.Percent(float64(up)/float64(capacity)),
+			report.Bar(float64(down)/float64(capacity), 16), report.Percent(float64(down)/float64(capacity)))
+	}
+
+	if verbose {
+		for i, o := range last.Outcomes {
+			if o.Granted {
+				ports := make([]string, len(o.Ports))
+				for k, p := range o.Ports {
+					ports[k] = fmt.Sprint(p)
+				}
+				fmt.Printf("  #%-4d %4d → %-4d H=%d granted ports=[%s]\n", i, o.Src, o.Dst, o.H, strings.Join(ports, " "))
+			} else {
+				where := "up"
+				if o.FailDown {
+					where = "down"
+				}
+				fmt.Printf("  #%-4d %4d → %-4d H=%d FAILED at level %d (%s)\n", i, o.Src, o.Dst, o.H, o.FailLevel, where)
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,66 @@
+package main
+
+import "testing"
+
+func TestMakeScheduler(t *testing.T) {
+	for _, name := range []string{"level-wise", "local-random", "local-greedy", "optimal"} {
+		s, err := makeScheduler(name, false)
+		if err != nil || s == nil {
+			t.Errorf("makeScheduler(%q) = %v, %v", name, s, err)
+		}
+	}
+	if _, err := makeScheduler("nope", false); err == nil {
+		t.Error("unknown scheduler accepted")
+	}
+	s, err := makeScheduler("level-wise", true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Name() != "level-wise/rollback" {
+		t.Errorf("rollback option not applied: %q", s.Name())
+	}
+}
+
+func TestFindPattern(t *testing.T) {
+	p, err := findPattern("bit-reversal")
+	if err != nil || p.String() != "bit-reversal" {
+		t.Errorf("findPattern = %v, %v", p, err)
+	}
+	if _, err := findPattern("nope"); err == nil {
+		t.Error("unknown pattern accepted")
+	}
+}
+
+func TestRunEndToEnd(t *testing.T) {
+	if err := run(3, 4, 4, "level-wise", "random-permutation", 3, 1, false, true, true); err != nil {
+		t.Fatal(err)
+	}
+	if err := run(2, 16, 16, "optimal", "transpose", 1, 1, false, false, false); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 4, 4, "level-wise", "random-permutation", 1, 1, false, false, false); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run(3, 4, 4, "nope", "random-permutation", 1, 1, false, false, false); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if err := run(3, 4, 4, "level-wise", "nope", 1, 1, false, false, false); err == nil {
+		t.Error("bad pattern accepted")
+	}
+	// Structural mismatch: transpose needs a square node count.
+	if err := run(3, 2, 2, "level-wise", "transpose", 1, 1, false, false, false); err == nil {
+		t.Error("transpose on 8 nodes accepted")
+	}
+}
+
+func TestRunTraceUnsupported(t *testing.T) {
+	if err := run(2, 4, 4, "optimal", "random-permutation", 1, 1, false, false, true); err == nil {
+		t.Error("trace on optimal accepted")
+	}
+	if err := run(2, 4, 4, "local-random", "random-permutation", 1, 1, false, false, true); err != nil {
+		t.Errorf("trace on local failed: %v", err)
+	}
+}

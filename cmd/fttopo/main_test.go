@@ -1,0 +1,61 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+func TestRunBasic(t *testing.T) {
+	if err := run(3, 4, 4, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunWithPathAndDot(t *testing.T) {
+	dot := filepath.Join(t.TempDir(), "out.dot")
+	if err := run(2, 4, 4, dot, "0,15"); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(dot)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(string(data), "graph ft") {
+		t.Fatalf("dot file wrong: %.80s", data)
+	}
+}
+
+func TestRunAsymmetricSkipsOhring(t *testing.T) {
+	// m != w: the Ohring cross-check only applies to symmetric trees and
+	// must be skipped, not fail.
+	if err := run(3, 4, 2, "", ""); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 4, 4, "", ""); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run(2, 4, 4, "", "garbage"); err == nil {
+		t.Error("bad path spec accepted")
+	}
+	if err := run(2, 4, 4, "/nonexistent-dir/x.dot", ""); err == nil {
+		t.Error("unwritable dot path accepted")
+	}
+}
+
+func TestEnumeratePathsLimit(t *testing.T) {
+	// 3-level w=4 with a top-level ancestor: 16 paths, print limited.
+	if err := enumeratePaths(topology.MustNew(3, 4, 4), 0, 63); err != nil {
+		t.Fatal(err)
+	}
+	// Same-switch pair: zero paths to enumerate, still fine.
+	if err := enumeratePaths(topology.MustNew(3, 4, 4), 0, 1); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,125 @@
+// Command ftworm drives the flit-level wormhole simulator: open-loop
+// load–latency sweeps or closed bulk-transfer phases on a fat tree.
+//
+// Usage:
+//
+//	ftworm [-levels 3] [-children 4] [-parents 4]
+//	       [-router adaptive|deterministic|random] [-vcs 1] [-buffer 4]
+//	       [-packet 5] [-rates 0.02,0.05,0.1,0.2,0.35,0.5]
+//	       [-cycles 6000] [-warmup 1000] [-seed 1]
+//	       [-bulk flits]   (run a permutation bulk phase instead)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/report"
+	"repro/internal/topology"
+	"repro/internal/wormhole"
+)
+
+func main() {
+	levels := flag.Int("levels", 3, "switch levels l")
+	children := flag.Int("children", 4, "children per switch m")
+	parents := flag.Int("parents", 4, "parents per switch w")
+	router := flag.String("router", "adaptive", "adaptive | deterministic | random")
+	vcs := flag.Int("vcs", 1, "virtual channels per input port")
+	buffer := flag.Int("buffer", 4, "per-VC buffer depth in flits")
+	packet := flag.Int("packet", 5, "packet length in flits")
+	rates := flag.String("rates", "0.02,0.05,0.1,0.2,0.35,0.5", "comma-separated injection rates")
+	cycles := flag.Int("cycles", 6000, "simulated cycles per rate")
+	warmup := flag.Int("warmup", 1000, "cycles excluded from statistics")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	bulk := flag.Int("bulk", 0, "if > 0: run a permutation bulk phase with this many flits per message")
+	flag.Parse()
+
+	if err := run(*levels, *children, *parents, *router, *vcs, *buffer, *packet, *rates, *cycles, *warmup, *seed, *bulk); err != nil {
+		fmt.Fprintf(os.Stderr, "ftworm: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+func parsePolicy(name string) (wormhole.UpPolicy, error) {
+	switch name {
+	case "adaptive":
+		return wormhole.AdaptiveFreeSpace, nil
+	case "deterministic":
+		return wormhole.DeterministicFirst, nil
+	case "random":
+		return wormhole.RandomUp, nil
+	default:
+		return 0, fmt.Errorf("unknown router %q", name)
+	}
+}
+
+func parseRates(spec string) ([]float64, error) {
+	var out []float64
+	for _, part := range strings.Split(spec, ",") {
+		r, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+		if err != nil {
+			return nil, fmt.Errorf("bad rate %q: %v", part, err)
+		}
+		out = append(out, r)
+	}
+	return out, nil
+}
+
+func run(levels, children, parents int, router string, vcs, buffer, packet int, rateSpec string, cycles, warmup int, seed int64, bulk int) error {
+	tree, err := topology.New(levels, children, parents)
+	if err != nil {
+		return err
+	}
+	policy, err := parsePolicy(router)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("%s — %s router, %d VCs, %d-flit buffers\n", tree, policy, vcs, buffer)
+
+	base := wormhole.Config{
+		Tree:            tree,
+		Policy:          policy,
+		VirtualChannels: vcs,
+		BufferDepth:     buffer,
+		PacketLen:       packet,
+		Seed:            seed,
+	}
+
+	if bulk > 0 {
+		perm := rand.New(rand.NewSource(seed)).Perm(tree.Nodes())
+		cfg := base
+		cfg.PacketLen = bulk
+		cfg.Dest = func(src int, _ *rand.Rand) int { return perm[src] }
+		m, err := wormhole.RunBulk(cfg, 1000*bulk*tree.Levels()*tree.Nodes())
+		if err != nil {
+			return err
+		}
+		fmt.Printf("bulk permutation phase, %d flits/message: %d packets delivered in %d cycles (avg latency %.1f)\n",
+			bulk, m.Delivered, m.Cycles, m.AvgLatency)
+		return nil
+	}
+
+	rateList, err := parseRates(rateSpec)
+	if err != nil {
+		return err
+	}
+	tb := report.NewTable("", "inj. rate", "injected", "delivered", "avg latency", "p99", "throughput")
+	for _, rate := range rateList {
+		cfg := base
+		cfg.Rate = rate
+		cfg.Cycles = cycles
+		cfg.Warmup = warmup
+		m, err := wormhole.Run(cfg)
+		if err != nil {
+			return err
+		}
+		tb.AddRow(fmt.Sprintf("%.3f", rate), fmt.Sprint(m.Injected), fmt.Sprint(m.Delivered),
+			fmt.Sprintf("%.1f", m.AvgLatency), fmt.Sprintf("%.0f", m.P99Latency),
+			fmt.Sprintf("%.3f", m.ThroughputFlits))
+	}
+	return tb.Render(os.Stdout)
+}

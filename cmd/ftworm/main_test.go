@@ -1,0 +1,51 @@
+package main
+
+import "testing"
+
+func TestParsePolicy(t *testing.T) {
+	for _, name := range []string{"adaptive", "deterministic", "random"} {
+		if _, err := parsePolicy(name); err != nil {
+			t.Errorf("parsePolicy(%q): %v", name, err)
+		}
+	}
+	if _, err := parsePolicy("nope"); err == nil {
+		t.Error("unknown router accepted")
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rs, err := parseRates("0.1, 0.2,0.3")
+	if err != nil || len(rs) != 3 || rs[1] != 0.2 {
+		t.Fatalf("parseRates = %v, %v", rs, err)
+	}
+	if _, err := parseRates("0.1,x"); err == nil {
+		t.Error("bad rate accepted")
+	}
+}
+
+func TestRunSweep(t *testing.T) {
+	if err := run(2, 4, 4, "adaptive", 2, 4, 5, "0.05,0.2", 500, 100, 1, 0); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunBulk(t *testing.T) {
+	if err := run(2, 4, 4, "deterministic", 1, 4, 5, "", 0, 0, 1, 8); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	if err := run(0, 4, 4, "adaptive", 1, 4, 5, "0.1", 100, 10, 1, 0); err == nil {
+		t.Error("bad topology accepted")
+	}
+	if err := run(2, 4, 4, "nope", 1, 4, 5, "0.1", 100, 10, 1, 0); err == nil {
+		t.Error("bad router accepted")
+	}
+	if err := run(2, 4, 4, "adaptive", 1, 4, 5, "zzz", 100, 10, 1, 0); err == nil {
+		t.Error("bad rates accepted")
+	}
+	if err := run(2, 4, 4, "adaptive", 1, 4, 5, "0.1", 0, 0, 1, 0); err == nil {
+		t.Error("zero cycles accepted")
+	}
+}

@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"fmt"
+
+	"repro"
+)
+
+// ExampleCompare runs the paper's head-to-head comparison on one random
+// permutation.
+func ExampleCompare() {
+	tree, err := repro.NewFatTree(3, 4, 4) // the paper's 64-node example
+	if err != nil {
+		panic(err)
+	}
+	reqs := repro.Permutation(tree, 42)
+	cmp, err := repro.Compare(tree, reqs)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("local %d/%d, level-wise %d/%d\n",
+		cmp.Local.Granted, cmp.Local.Total,
+		cmp.Global.Granted, cmp.Global.Total)
+	// Output: local 43/64, level-wise 57/64
+}
+
+// ExampleSchedule routes a single connection and shows Theorem 2's
+// symmetric port assignment.
+func ExampleSchedule() {
+	tree, _ := repro.NewFatTree(3, 4, 4)
+	res, err := repro.Schedule(tree, repro.NewLevelWise(), []repro.Request{{Src: 0, Dst: 63}})
+	if err != nil {
+		panic(err)
+	}
+	o := res.Outcomes[0]
+	fmt.Printf("granted=%v ancestor level=%d ports=%v\n", o.Granted, o.H, o.Ports)
+	// Output: granted=true ancestor level=2 ports=[0 0]
+}
+
+// ExampleNewOptimal shows that permutations are fully schedulable with
+// global rearrangement (fat trees with w = m are rearrangeably
+// non-blocking).
+func ExampleNewOptimal() {
+	tree, _ := repro.NewFatTree(3, 4, 4)
+	res, err := repro.Schedule(tree, repro.NewOptimal(), repro.Permutation(tree, 7))
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("optimal ratio: %.2f\n", res.Ratio())
+	// Output: optimal ratio: 1.00
+}

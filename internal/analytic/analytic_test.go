@@ -1,0 +1,126 @@
+package analytic
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/stats"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestHDistribution(t *testing.T) {
+	// FT(2,4): 16 nodes; same-switch peers 3/15, cross 12/15.
+	d := HDistribution(2, 4)
+	if math.Abs(d[0]-3.0/15) > 1e-12 || math.Abs(d[1]-12.0/15) > 1e-12 {
+		t.Fatalf("d = %v", d)
+	}
+	// Sums to 1 for several shapes.
+	for _, c := range [][2]int{{2, 8}, {3, 4}, {4, 5}, {5, 2}} {
+		sum := 0.0
+		for _, p := range HDistribution(c[0], c[1]) {
+			sum += p
+		}
+		if math.Abs(sum-1) > 1e-9 {
+			t.Fatalf("FT(%v): distribution sums to %v", c, sum)
+		}
+	}
+}
+
+func TestClosedFormMatchesODE(t *testing.T) {
+	for _, w := range []int{8, 16, 32, 64} {
+		cf := TwoLevelLocalClosedForm(w)
+		ode := Predict(LocalRandom, 2, w, 20000)
+		if math.Abs(cf-ode) > 0.01 {
+			t.Fatalf("w=%d: closed form %.4f vs ODE %.4f", w, cf, ode)
+		}
+	}
+}
+
+// measure runs the real simulator for comparison.
+func measure(t *testing.T, s core.Scheduler, l, w, perms int) float64 {
+	t.Helper()
+	tree := topology.MustNew(l, w, w)
+	gen := traffic.NewGenerator(tree.Nodes(), 1)
+	st := linkstate.New(tree)
+	ratios := make([]float64, 0, perms)
+	for trial := 0; trial < perms; trial++ {
+		st.Reset()
+		ratios = append(ratios, s.Schedule(st, gen.MustBatch(traffic.RandomPermutation)).Ratio())
+	}
+	return stats.Summarize(ratios).Mean
+}
+
+func TestLocalPredictionQuantitative(t *testing.T) {
+	// The local model should land within a few points of simulation,
+	// tightening as w grows.
+	cases := []struct {
+		l, w int
+		tol  float64
+	}{
+		{2, 16, 0.04}, {2, 32, 0.02}, {2, 64, 0.015},
+		{3, 8, 0.05}, {3, 16, 0.03},
+		{4, 5, 0.06}, {4, 7, 0.05},
+	}
+	for _, c := range cases {
+		pred := Predict(LocalRandom, c.l, c.w, 0)
+		meas := measure(t, core.NewLocalRandom(), c.l, c.w, 25)
+		if math.Abs(pred-meas) > c.tol {
+			t.Errorf("FT(%d,%d): predicted %.3f, measured %.3f (tol %.3f)", c.l, c.w, pred, meas, c.tol)
+		}
+	}
+}
+
+func TestLevelWisePredictionIsLowerBound(t *testing.T) {
+	// The independence model underestimates Level-wise (which preserves
+	// U/D alignment), so prediction <= measurement, while still beating
+	// the local prediction (ordering preserved).
+	for _, c := range [][2]int{{2, 16}, {3, 8}, {4, 5}} {
+		predLW := Predict(LevelWise, c[0], c[1], 0)
+		predLocal := Predict(LocalRandom, c[0], c[1], 0)
+		measLW := measure(t, core.NewLevelWise(), c[0], c[1], 15)
+		if predLW > measLW+0.01 {
+			t.Errorf("FT(%v): LW prediction %.3f above measurement %.3f", c, predLW, measLW)
+		}
+		if predLW <= predLocal {
+			t.Errorf("FT(%v): model lost the ordering: LW %.3f vs local %.3f", c, predLW, predLocal)
+		}
+	}
+}
+
+func TestPredictShapeTrends(t *testing.T) {
+	// The model reproduces the paper's qualitative trends: local falls
+	// with depth and with size; level-wise stays far above local.
+	if !(Predict(LocalRandom, 2, 16, 0) > Predict(LocalRandom, 3, 16, 0)) {
+		t.Error("local prediction does not fall with depth")
+	}
+	if !(Predict(LocalRandom, 2, 8, 0) > Predict(LocalRandom, 2, 64, 0)) {
+		t.Error("local prediction does not fall with size")
+	}
+	for _, c := range [][2]int{{2, 16}, {3, 8}, {4, 5}} {
+		if Predict(LevelWise, c[0], c[1], 0) <= Predict(LocalRandom, c[0], c[1], 0) {
+			t.Errorf("FT(%v): LW prediction not above local", c)
+		}
+	}
+}
+
+func TestPredictDegenerate(t *testing.T) {
+	// Single-level tree: everything same-switch, ratio 1.
+	if got := Predict(LocalRandom, 1, 4, 100); math.Abs(got-1) > 1e-9 {
+		t.Fatalf("FT(1,4) prediction %v", got)
+	}
+	if Scheduler(9).String() == "" || LocalRandom.String() != "local-random" || LevelWise.String() != "level-wise" {
+		t.Fatal("strings")
+	}
+}
+
+func TestPredictPanicsOnBadShape(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("bad shape did not panic")
+		}
+	}()
+	Predict(LocalRandom, 0, 4, 10)
+}

@@ -1,0 +1,166 @@
+// Package coloring edge-colors bipartite multigraphs. By König's
+// edge-coloring theorem a bipartite multigraph with maximum degree Δ can
+// be properly edge-colored with exactly Δ colors; the colors serve as
+// conflict-free upward-port assignments in the optimal fat-tree scheduler
+// (package optimal).
+//
+// The implementation regularizes the graph to degree Δ with dummy
+// vertices/edges and peels off Δ perfect matchings with Hopcroft–Karp.
+package coloring
+
+import (
+	"fmt"
+
+	"repro/internal/matching"
+)
+
+// Edge is one edge of a bipartite multigraph; parallel edges are allowed
+// and are distinguished by their slice position.
+type Edge struct {
+	L, R int
+}
+
+// MaxDegree returns the maximum vertex degree of the multigraph.
+func MaxDegree(nL, nR int, edges []Edge) int {
+	degL := make([]int, nL)
+	degR := make([]int, nR)
+	max := 0
+	for _, e := range edges {
+		degL[e.L]++
+		degR[e.R]++
+		if degL[e.L] > max {
+			max = degL[e.L]
+		}
+		if degR[e.R] > max {
+			max = degR[e.R]
+		}
+	}
+	return max
+}
+
+// Color properly edge-colors the multigraph with the given number of
+// colors, which must be at least the maximum degree. It returns one color
+// in [0, colors) per edge, such that no two edges sharing an endpoint
+// receive the same color.
+func Color(nL, nR int, edges []Edge, colors int) ([]int, error) {
+	for i, e := range edges {
+		if e.L < 0 || e.L >= nL || e.R < 0 || e.R >= nR {
+			return nil, fmt.Errorf("coloring: edge %d (%d,%d) out of range %dx%d", i, e.L, e.R, nL, nR)
+		}
+	}
+	if d := MaxDegree(nL, nR, edges); colors < d {
+		return nil, fmt.Errorf("coloring: %d colors < max degree %d", colors, d)
+	}
+	if len(edges) == 0 {
+		return []int{}, nil
+	}
+	if colors == 0 {
+		return nil, fmt.Errorf("coloring: zero colors for a non-empty graph")
+	}
+
+	// Regularize: pad both sides to the same vertex count, then add dummy
+	// edges until every vertex has degree == colors. Dummy edges connect
+	// any deficient left vertex to any deficient right vertex; both sides
+	// have identical total deficit (colors·V − E).
+	v := nL
+	if nR > v {
+		v = nR
+	}
+	degL := make([]int, v)
+	degR := make([]int, v)
+	type edgeRef struct {
+		l, r int
+		id   int // index into edges, or -1 for dummy
+	}
+	all := make([]edgeRef, 0, v*colors)
+	for i, e := range edges {
+		degL[e.L]++
+		degR[e.R]++
+		all = append(all, edgeRef{e.L, e.R, i})
+	}
+	li, ri := 0, 0
+	for {
+		for li < v && degL[li] >= colors {
+			li++
+		}
+		if li == v {
+			break
+		}
+		for ri < v && degR[ri] >= colors {
+			ri++
+		}
+		if ri == v {
+			return nil, fmt.Errorf("coloring: internal deficit mismatch") // unreachable
+		}
+		degL[li]++
+		degR[ri]++
+		all = append(all, edgeRef{li, ri, -1})
+	}
+
+	// Peel off `colors` perfect matchings. remaining[l] holds indices
+	// into all for edges of l not yet colored.
+	out := make([]int, len(edges))
+	remaining := make([][]int, v)
+	for i, e := range all {
+		remaining[e.l] = append(remaining[e.l], i)
+	}
+	adj := make([][]int, v)
+	for c := 0; c < colors; c++ {
+		for l := 0; l < v; l++ {
+			adj[l] = adj[l][:0]
+			for _, ei := range remaining[l] {
+				adj[l] = append(adj[l], all[ei].r)
+			}
+		}
+		matchL, size := matching.Max(v, v, adj)
+		if size != v {
+			return nil, fmt.Errorf("coloring: round %d found matching of %d/%d (graph not regularized?)", c, size, v)
+		}
+		// Consume one concrete edge per matched pair.
+		for l := 0; l < v; l++ {
+			r := matchL[l]
+			picked := -1
+			for k, ei := range remaining[l] {
+				if all[ei].r == r {
+					picked = k
+					break
+				}
+			}
+			if picked == -1 {
+				return nil, fmt.Errorf("coloring: matched pair (%d,%d) has no remaining edge", l, r)
+			}
+			ei := remaining[l][picked]
+			remaining[l][picked] = remaining[l][len(remaining[l])-1]
+			remaining[l] = remaining[l][:len(remaining[l])-1]
+			if id := all[ei].id; id >= 0 {
+				out[id] = c
+			}
+		}
+	}
+	return out, nil
+}
+
+// Check verifies a proper coloring: every edge has a color in [0, colors)
+// and no endpoint sees a color twice. It returns the first violation.
+func Check(nL, nR int, edges []Edge, colors int, assignment []int) error {
+	if len(assignment) != len(edges) {
+		return fmt.Errorf("coloring: %d assignments for %d edges", len(assignment), len(edges))
+	}
+	seenL := make(map[[2]int]int, len(edges))
+	seenR := make(map[[2]int]int, len(edges))
+	for i, e := range edges {
+		c := assignment[i]
+		if c < 0 || c >= colors {
+			return fmt.Errorf("coloring: edge %d color %d out of range", i, c)
+		}
+		if j, dup := seenL[[2]int{e.L, c}]; dup {
+			return fmt.Errorf("coloring: edges %d and %d share left vertex %d and color %d", j, i, e.L, c)
+		}
+		if j, dup := seenR[[2]int{e.R, c}]; dup {
+			return fmt.Errorf("coloring: edges %d and %d share right vertex %d and color %d", j, i, e.R, c)
+		}
+		seenL[[2]int{e.L, c}] = i
+		seenR[[2]int{e.R, c}] = i
+	}
+	return nil
+}

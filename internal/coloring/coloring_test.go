@@ -1,0 +1,200 @@
+package coloring
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmpty(t *testing.T) {
+	got, err := Color(0, 0, nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("empty: %v %v", got, err)
+	}
+	got, err = Color(3, 3, nil, 0)
+	if err != nil || len(got) != 0 {
+		t.Fatalf("edgeless: %v %v", got, err)
+	}
+}
+
+func TestMaxDegree(t *testing.T) {
+	edges := []Edge{{0, 0}, {0, 1}, {1, 1}}
+	if d := MaxDegree(2, 2, edges); d != 2 {
+		t.Fatalf("MaxDegree = %d", d)
+	}
+	if MaxDegree(2, 2, nil) != 0 {
+		t.Fatal("empty degree != 0")
+	}
+}
+
+func TestColorRejects(t *testing.T) {
+	if _, err := Color(2, 2, []Edge{{0, 0}, {0, 1}}, 1); err == nil {
+		t.Error("colors < max degree accepted")
+	}
+	if _, err := Color(1, 1, []Edge{{1, 0}}, 1); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if _, err := Color(1, 1, []Edge{{0, -1}}, 1); err == nil {
+		t.Error("negative vertex accepted")
+	}
+}
+
+func TestColorPermutation(t *testing.T) {
+	// A permutation (1-regular) needs exactly one color.
+	edges := []Edge{{0, 2}, {1, 0}, {2, 1}}
+	got, err := Color(3, 3, edges, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(3, 3, edges, 1, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorCompleteBipartite(t *testing.T) {
+	// K_{3,3} is 3-regular: exactly 3 colors.
+	var edges []Edge
+	for l := 0; l < 3; l++ {
+		for r := 0; r < 3; r++ {
+			edges = append(edges, Edge{l, r})
+		}
+	}
+	got, err := Color(3, 3, edges, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(3, 3, edges, 3, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorMultigraph(t *testing.T) {
+	// Two parallel edges need two colors.
+	edges := []Edge{{0, 0}, {0, 0}}
+	got, err := Color(1, 1, edges, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got[0] == got[1] {
+		t.Fatalf("parallel edges share color %d", got[0])
+	}
+	if err := Check(1, 1, edges, 2, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestColorIrregularWithSlack(t *testing.T) {
+	// Degree-2 graph colored with 4 colors (slack mirrors a fat tree
+	// with more parents than children).
+	edges := []Edge{{0, 0}, {0, 1}, {1, 0}, {2, 2}}
+	got, err := Color(3, 3, edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(3, 3, edges, 4, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUnbalancedSides(t *testing.T) {
+	edges := []Edge{{0, 0}, {1, 0}, {2, 0}, {3, 0}}
+	got, err := Color(4, 1, edges, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := Check(4, 1, edges, 4, got); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCheckCatchesViolations(t *testing.T) {
+	edges := []Edge{{0, 0}, {0, 1}}
+	if err := Check(1, 2, edges, 2, []int{0, 0}); err == nil {
+		t.Error("shared left color accepted")
+	}
+	edges = []Edge{{0, 0}, {1, 0}}
+	if err := Check(2, 1, edges, 2, []int{1, 1}); err == nil {
+		t.Error("shared right color accepted")
+	}
+	if err := Check(2, 1, edges, 2, []int{0, 2}); err == nil {
+		t.Error("out-of-range color accepted")
+	}
+	if err := Check(2, 1, edges, 2, []int{0}); err == nil {
+		t.Error("short assignment accepted")
+	}
+}
+
+// Property: random multigraphs with max degree d are properly colorable
+// with d colors, and the returned assignment passes Check.
+func TestQuickKonigColoring(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := rng.Intn(8) + 1
+		nR := rng.Intn(8) + 1
+		// Build a random multigraph by unioning up to 5 partial matchings
+		// (keeps max degree bounded and known).
+		var edges []Edge
+		rounds := rng.Intn(5) + 1
+		for k := 0; k < rounds; k++ {
+			permR := rng.Perm(nR)
+			for l := 0; l < nL && l < nR; l++ {
+				if rng.Intn(2) == 0 {
+					edges = append(edges, Edge{l, permR[l]})
+				}
+			}
+		}
+		d := MaxDegree(nL, nR, edges)
+		if d == 0 {
+			return true
+		}
+		got, err := Color(nL, nR, edges, d)
+		if err != nil {
+			t.Logf("seed %d: %v", seed, err)
+			return false
+		}
+		return Check(nL, nR, edges, d, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a union of k random permutations is k-regular and k-colorable.
+func TestQuickRegularDecomposition(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(12) + 2
+		k := rng.Intn(6) + 1
+		var edges []Edge
+		for round := 0; round < k; round++ {
+			for l, r := range rng.Perm(n) {
+				edges = append(edges, Edge{l, r})
+			}
+		}
+		got, err := Color(n, n, edges, k)
+		if err != nil {
+			return false
+		}
+		return Check(n, n, edges, k, got) == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkColor64x64Deg8(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 64, 8
+	var edges []Edge
+	for k := 0; k < d; k++ {
+		for l, r := range rng.Perm(n) {
+			edges = append(edges, Edge{l, r})
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := Color(n, n, edges, d); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

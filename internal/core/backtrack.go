@@ -1,0 +1,111 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linkstate"
+)
+
+// BacktrackLevelWise extends the Level-wise scheduler with a bounded
+// depth-first search: when the combined availability vector at level h is
+// empty, instead of denying the request it backtracks to level h-1,
+// releases that level's channels, and resumes with the next available
+// port there. The paper's scheduler is the Backtracks == 0 special case
+// (first-fit, deny at the first dead end); each extra backtrack buys one
+// more chance, closing part of the gap to the optimal rearrangeable
+// scheduler at a bounded cost that hardware could still pipeline
+// (extension E14).
+type BacktrackLevelWise struct {
+	// Backtracks bounds how many times one request may step back a level
+	// after a dead end (0 = plain first-fit Level-wise).
+	Backtracks int
+}
+
+// Name identifies the scheduler.
+func (s *BacktrackLevelWise) Name() string {
+	return fmt.Sprintf("level-wise/backtrack-%d", s.Backtracks)
+}
+
+// Schedule routes the batch request-major, mutating st. Failed requests
+// hold nothing (the search unwinds its allocations).
+func (s *BacktrackLevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
+	tree := st.Tree()
+	outs := newOutcomes(tree, reqs)
+	var ops Counters
+	for i := range outs {
+		o := &outs[i]
+		if o.H == 0 {
+			o.Granted = true
+			continue
+		}
+		s.search(st, o, &ops)
+	}
+	return finish(s.Name(), outs, ops)
+}
+
+// search runs the bounded DFS for one request.
+func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counters) {
+	tree := st.Tree()
+	w := tree.Parents()
+	// Per-level state: switch pair entering each level and the next port
+	// to try there.
+	sigmas := make([]int, o.H+1)
+	deltas := make([]int, o.H+1)
+	nextPort := make([]int, o.H)
+	sigmas[0], _ = tree.NodeSwitch(o.Src)
+	deltas[0], _ = tree.NodeSwitch(o.Dst)
+	backs := 0
+	h := 0
+	deny := func(failAt int) {
+		for lvl := len(o.Ports) - 1; lvl >= 0; lvl-- {
+			mustRelease(st, linkstate.Up, lvl, sigmas[lvl], o.Ports[lvl])
+			mustRelease(st, linkstate.Down, lvl, deltas[lvl], o.Ports[lvl])
+			ops.Releases += 2
+		}
+		o.Ports = o.Ports[:0]
+		o.FailLevel = failAt
+	}
+	for {
+		if h == o.H {
+			o.Granted = true
+			return
+		}
+		avail := st.AvailBoth(h, sigmas[h], deltas[h])
+		ops.VectorReads += 2
+		ops.VectorANDs++
+		ops.Steps++
+		found := -1
+		for p := nextPort[h]; p < w; p++ {
+			if avail.Get(p) {
+				found = p
+				break
+			}
+		}
+		if found >= 0 {
+			ops.PortPicks++
+			mustAllocate(st, linkstate.Up, h, sigmas[h], found)
+			mustAllocate(st, linkstate.Down, h, deltas[h], found)
+			ops.Allocs += 2
+			o.Ports = append(o.Ports, found)
+			nextPort[h] = found + 1
+			sigmas[h+1] = tree.UpParent(h, sigmas[h], found)
+			deltas[h+1] = tree.UpParent(h, deltas[h], found)
+			h++
+			if h < o.H {
+				nextPort[h] = 0
+			}
+			continue
+		}
+		// Dead end at level h.
+		if h == 0 || backs >= s.Backtracks {
+			deny(h)
+			return
+		}
+		backs++
+		h--
+		mustRelease(st, linkstate.Up, h, sigmas[h], o.Ports[h])
+		mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
+		ops.Releases += 2
+		o.Ports = o.Ports[:len(o.Ports)-1]
+	}
+}

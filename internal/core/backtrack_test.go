@@ -1,0 +1,102 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+func TestBacktrackZeroEqualsPlainLevelWise(t *testing.T) {
+	// Backtracks == 0: same grants as the exact Level-wise scheduler
+	// (request-major, rollback — the search always unwinds on denial).
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(71))
+	for trial := 0; trial < 15; trial++ {
+		reqs := permutation(tree, rng)
+		a := (&BacktrackLevelWise{Backtracks: 0}).Schedule(linkstate.New(tree), reqs)
+		b := (&LevelWise{Opts: Options{Traversal: RequestMajor, Rollback: true}}).Schedule(linkstate.New(tree), reqs)
+		if a.Granted != b.Granted {
+			t.Fatalf("trial %d: backtrack-0 %d vs exact %d", trial, a.Granted, b.Granted)
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i].Granted != b.Outcomes[i].Granted {
+				t.Fatalf("trial %d outcome %d differs", trial, i)
+			}
+		}
+		if err := Verify(tree, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestBacktrackImprovesMonotonically(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(73))
+	sums := map[int]float64{}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		reqs := permutation(tree, rng)
+		for _, b := range []int{0, 2, 8, 32} {
+			r := (&BacktrackLevelWise{Backtracks: b}).Schedule(linkstate.New(tree), reqs)
+			if err := Verify(tree, r); err != nil {
+				t.Fatal(err)
+			}
+			sums[b] += r.Ratio()
+		}
+	}
+	if !(sums[0] <= sums[2] && sums[2] <= sums[8] && sums[8] <= sums[32]) {
+		t.Fatalf("not monotone: %v", sums)
+	}
+	if sums[32] <= sums[0] {
+		t.Fatalf("backtracking never helped: %v", sums)
+	}
+}
+
+func TestBacktrackNoLeaks(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(79))
+	reqs := permutation(tree, rng)
+	st := linkstate.New(tree)
+	res := (&BacktrackLevelWise{Backtracks: 5}).Schedule(st, reqs)
+	if got, want := st.OccupiedCount(), HeldChannels(res); got != want {
+		t.Fatalf("occupancy %d != held %d", got, want)
+	}
+	for _, o := range res.Outcomes {
+		if !o.Granted && len(o.Ports) != 0 {
+			t.Fatal("failed request retained ports")
+		}
+	}
+}
+
+func TestBacktrackName(t *testing.T) {
+	if (&BacktrackLevelWise{Backtracks: 3}).Name() != "level-wise/backtrack-3" {
+		t.Fatal("name")
+	}
+}
+
+// Property: bounded search always terminates with a verifiable result,
+// never exceeding the optimal (100% per single request on an empty net).
+func TestQuickBacktrackConsistent(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	f := func(seed int64, budget uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(64) + 1
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Src: rng.Intn(64), Dst: rng.Intn(64)}
+		}
+		s := &BacktrackLevelWise{Backtracks: int(budget) % 20}
+		res := s.Schedule(linkstate.New(tree), reqs)
+		if err := Verify(tree, res); err != nil {
+			t.Log(err)
+			return false
+		}
+		return res.Granted <= res.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}

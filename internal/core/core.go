@@ -1,0 +1,316 @@
+// Package core implements the paper's primary contribution — the
+// Level-wise fat-tree scheduling algorithm — together with the
+// conventional local (adaptive) schedulers it is evaluated against.
+//
+// All schedulers consume a batch of connection requests and a mutable
+// link-availability state (package linkstate), and produce a Result
+// recording which connections were granted and via which upward ports.
+// The schedulability ratio of the batch — granted / total — is the
+// paper's figure of merit.
+//
+// The Level-wise scheduler (Section 4 of the paper) uses global routing
+// information: at each level h it ANDs the source-side switch's Ulink
+// vector with the destination-side mirror switch's Dlink vector and picks
+// an upward port available in both, allocating the upward and the forced
+// downward channel simultaneously (Theorem 2). The local schedulers pick
+// upward ports from the local Ulink vector only and discover downward
+// conflicts after the fact, as adaptive distributed routing does.
+package core
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// Request is one connection request between two processing nodes.
+type Request struct {
+	Src int
+	Dst int
+}
+
+// Outcome records what the scheduler did with one request.
+type Outcome struct {
+	Request
+	H         int   // lowest-common-ancestor level; 0 means same switch
+	Granted   bool  // whether the connection was fully established
+	Ports     []int // upward port per level 0..H-1 when granted
+	FailLevel int   // level of the first unresolvable conflict; -1 if granted
+	FailDown  bool  // local schedulers: conflict found on the downward path
+}
+
+// Result is the outcome of scheduling one batch.
+type Result struct {
+	Scheduler string
+	Outcomes  []Outcome
+	Granted   int
+	Total     int
+	Ops       Counters
+}
+
+// Ratio returns the schedulability ratio granted/total (1 for an empty
+// batch, matching "no request was denied").
+func (r *Result) Ratio() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Granted) / float64(r.Total)
+}
+
+// Counters tallies the elementary scheduling operations, used by the
+// complexity comparison (the paper argues O(l·log_l N) for Level-wise
+// versus O(2l·log_l N) for the conventional scheduler).
+type Counters struct {
+	VectorReads int // link-availability vector fetches
+	VectorANDs  int // Ulink AND Dlink combinations
+	PortPicks   int // priority-selector invocations
+	Allocs      int // channel allocations
+	Releases    int // channel releases (rollback / teardown)
+	// Steps counts sequential decision steps (level visits): the
+	// Level-wise scheduler settles both directions of a level in one
+	// step (~l per request), while the local scheduler visits each level
+	// once climbing and once descending (~2l) — the complexity gap the
+	// paper states.
+	Steps int
+}
+
+// Add accumulates other into c.
+func (c *Counters) Add(other Counters) {
+	c.VectorReads += other.VectorReads
+	c.VectorANDs += other.VectorANDs
+	c.PortPicks += other.PortPicks
+	c.Allocs += other.Allocs
+	c.Releases += other.Releases
+	c.Steps += other.Steps
+}
+
+// PortPolicy selects which available port a scheduler takes.
+type PortPolicy int
+
+// Port-selection policies.
+const (
+	// FirstFit takes the lowest-numbered available port (the paper:
+	// "we select the first available port").
+	FirstFit PortPolicy = iota
+	// RandomFit takes a uniformly random available port.
+	RandomFit
+	// LeastLoaded takes the available port whose parent switch has the
+	// most free upward capacity (one-level lookahead); ties break low.
+	LeastLoaded
+)
+
+// String names the policy.
+func (p PortPolicy) String() string {
+	switch p {
+	case FirstFit:
+		return "first-fit"
+	case RandomFit:
+		return "random"
+	case LeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("PortPolicy(%d)", int(p))
+	}
+}
+
+// Order controls the sequence in which a batch's requests are processed.
+type Order int
+
+// Request processing orders.
+const (
+	// NaturalOrder processes requests as given.
+	NaturalOrder Order = iota
+	// ShuffledOrder processes requests in a random order.
+	ShuffledOrder
+	// DeepestFirst processes requests with the highest common-ancestor
+	// level first (they have the most levels at which to conflict).
+	DeepestFirst
+)
+
+// String names the order.
+func (o Order) String() string {
+	switch o {
+	case NaturalOrder:
+		return "natural"
+	case ShuffledOrder:
+		return "shuffled"
+	case DeepestFirst:
+		return "deepest-first"
+	default:
+		return fmt.Sprintf("Order(%d)", int(o))
+	}
+}
+
+// Traversal controls the Level-wise scheduler's outer loop.
+type Traversal int
+
+// Traversal orders for the Level-wise scheduler.
+const (
+	// LevelMajor schedules every request at level 0, then every survivor
+	// at level 1, and so on — the paper's Figure 7 pseudo-code.
+	LevelMajor Traversal = iota
+	// RequestMajor routes each request through all its levels before the
+	// next request starts — the order the pipelined hardware realizes.
+	RequestMajor
+)
+
+// String names the traversal.
+func (tv Traversal) String() string {
+	switch tv {
+	case LevelMajor:
+		return "level-major"
+	case RequestMajor:
+		return "request-major"
+	default:
+		return fmt.Sprintf("Traversal(%d)", int(tv))
+	}
+}
+
+// Options tune a scheduler. The zero value reproduces the paper's
+// configuration: first-fit ports, natural order, level-major traversal,
+// no rollback, no retries.
+type Options struct {
+	Policy    PortPolicy
+	Order     Order
+	Traversal Traversal
+	// Rollback releases a failed request's already-allocated channels so
+	// later requests can use them (the paper's pseudo-code does not).
+	Rollback bool
+	// Retries re-attempts a failed request from scratch up to this many
+	// extra times (local schedulers only; needs a random element to make
+	// progress, so it forces RandomFit on retry attempts).
+	Retries int
+	// Rand drives RandomFit, ShuffledOrder and retries. Nil means a
+	// fixed-seed source, keeping runs reproducible by default.
+	Rand *rand.Rand
+	// Trace, when non-nil, receives one event per scheduling decision:
+	// which vectors were consulted at which level and which port was
+	// taken (or that the request was denied). It explains outcomes —
+	// "why did this request fail" — and costs nothing when nil.
+	Trace func(TraceEvent)
+}
+
+// TraceEvent describes one scheduling decision.
+type TraceEvent struct {
+	Scheduler string
+	Src, Dst  int
+	Level     int
+	// Phase is "combined" for the Level-wise AND, "up" or "down" for the
+	// local scheduler's separate passes.
+	Phase string
+	// Sigma and Delta are the source-side and destination-side switch
+	// indices consulted; Delta is -1 when only the local Ulink was read.
+	Sigma, Delta int
+	// Avail renders the availability vector that drove the decision,
+	// most significant port first.
+	Avail string
+	// Port is the selected port, or -1 when the request was denied here.
+	Port int
+}
+
+// String renders the event for logs.
+func (e TraceEvent) String() string {
+	verdict := "denied"
+	if e.Port >= 0 {
+		verdict = fmt.Sprintf("port %d", e.Port)
+	}
+	return fmt.Sprintf("%s %d→%d level %d %s avail=%s: %s",
+		e.Scheduler, e.Src, e.Dst, e.Level, e.Phase, e.Avail, verdict)
+}
+
+func (o Options) rng() *rand.Rand {
+	if o.Rand != nil {
+		return o.Rand
+	}
+	return rand.New(rand.NewSource(1))
+}
+
+// Scheduler routes a batch of requests against a link state, mutating the
+// state to reflect granted connections.
+type Scheduler interface {
+	Name() string
+	Schedule(st *linkstate.State, reqs []Request) *Result
+}
+
+// order returns processing indices for the batch.
+func orderIndices(tree *topology.Tree, reqs []Request, o Order, rng *rand.Rand) []int {
+	idx := make([]int, len(reqs))
+	for i := range idx {
+		idx[i] = i
+	}
+	switch o {
+	case ShuffledOrder:
+		rng.Shuffle(len(idx), func(i, j int) { idx[i], idx[j] = idx[j], idx[i] })
+	case DeepestFirst:
+		depth := make([]int, len(reqs))
+		for i, r := range reqs {
+			depth[i] = tree.AncestorLevel(r.Src, r.Dst)
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return depth[idx[a]] > depth[idx[b]] })
+	}
+	return idx
+}
+
+func newOutcomes(tree *topology.Tree, reqs []Request) []Outcome {
+	outs := make([]Outcome, len(reqs))
+	for i, r := range reqs {
+		outs[i] = Outcome{
+			Request:   r,
+			H:         tree.AncestorLevel(r.Src, r.Dst),
+			FailLevel: -1,
+		}
+	}
+	return outs
+}
+
+func finish(name string, outs []Outcome, ops Counters) *Result {
+	res := &Result{Scheduler: name, Outcomes: outs, Total: len(outs), Ops: ops}
+	for i := range outs {
+		if outs[i].Granted {
+			res.Granted++
+		}
+	}
+	return res
+}
+
+// pickPort applies the policy to an availability vector (the paper's
+// priority selector, generalized). h and sigma locate the chooser for the
+// LeastLoaded one-level lookahead. It returns the selected port and true,
+// or false if no port is available.
+func pickPort(st *linkstate.State, policy PortPolicy, rng *rand.Rand, h, sigma int, avail bitvec.Vector) (int, bool) {
+	switch policy {
+	case RandomFit:
+		n := avail.Count()
+		if n == 0 {
+			return 0, false
+		}
+		p, _ := avail.NthSet(rng.Intn(n))
+		return p, true
+	case LeastLoaded:
+		tree := st.Tree()
+		if h+1 >= tree.LinkLevels() {
+			return avail.FirstSet()
+		}
+		best, bestFree := -1, -1
+		for p := 0; p < avail.Width(); p++ {
+			if !avail.Get(p) {
+				continue
+			}
+			parent := tree.UpParent(h, sigma, p)
+			free := st.ULink(h+1, parent).Count()
+			if free > bestFree {
+				best, bestFree = p, free
+			}
+		}
+		if best < 0 {
+			return 0, false
+		}
+		return best, true
+	default: // FirstFit
+		return avail.FirstSet()
+	}
+}

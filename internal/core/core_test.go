@@ -1,0 +1,483 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// permutation returns a random permutation expressed as requests
+// (node i -> perm[i]).
+func permutation(tree *topology.Tree, rng *rand.Rand) []Request {
+	n := tree.Nodes()
+	perm := rng.Perm(n)
+	reqs := make([]Request, n)
+	for i, d := range perm {
+		reqs[i] = Request{Src: i, Dst: d}
+	}
+	return reqs
+}
+
+func TestPaperFigure4Scenario(t *testing.T) {
+	// Figure 4: SW(0,0) and SW(0,1) both request a connection to SW(0,8)
+	// in FT(2,4)-like conditions. We use FT(2,4): switches 0,1 -> switch 3
+	// keeps both requests crossing the top. With local greedy both pick
+	// up-port 0, forcing Dlink(0,3,0) twice -> one fails. Level-wise
+	// detects the collision via the Dlink vector and grants both.
+	tree := topology.MustNew(2, 4, 4)
+	reqs := []Request{
+		{Src: 0, Dst: 12}, // SW(0,0) -> SW(0,3)
+		{Src: 4, Dst: 13}, // SW(0,1) -> SW(0,3)
+	}
+
+	local := NewLocalGreedy()
+	resLocal := local.Schedule(linkstate.New(tree), reqs)
+	if resLocal.Granted != 1 {
+		t.Fatalf("local greedy granted %d, want 1 (down-path collision)", resLocal.Granted)
+	}
+	if !resLocal.Outcomes[1].FailDown {
+		t.Fatalf("second request should fail on the downward path: %+v", resLocal.Outcomes[1])
+	}
+
+	lw := NewLevelWise()
+	resLW := lw.Schedule(linkstate.New(tree), reqs)
+	if resLW.Granted != 2 {
+		t.Fatalf("level-wise granted %d, want 2", resLW.Granted)
+	}
+	// The two grants must use distinct ports (distinct down channels).
+	if resLW.Outcomes[0].Ports[0] == resLW.Outcomes[1].Ports[0] {
+		t.Fatalf("level-wise reused port %d for both requests", resLW.Outcomes[0].Ports[0])
+	}
+	for _, res := range []*Result{resLocal, resLW} {
+		if err := Verify(tree, res); err != nil {
+			t.Fatalf("%s: %v", res.Scheduler, err)
+		}
+	}
+}
+
+func TestSameSwitchRequestsAlwaysGranted(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	reqs := []Request{{Src: 0, Dst: 1}, {Src: 2, Dst: 2}, {Src: 5, Dst: 4}}
+	for _, s := range []Scheduler{NewLevelWise(), NewLocalGreedy(), NewLocalRandom()} {
+		st := linkstate.New(tree)
+		res := s.Schedule(st, reqs)
+		if res.Granted != 3 {
+			t.Fatalf("%s granted %d/3 same-switch requests", s.Name(), res.Granted)
+		}
+		if st.OccupiedCount() != 0 {
+			t.Fatalf("%s consumed links for same-switch requests", s.Name())
+		}
+	}
+}
+
+func TestEmptyBatch(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	res := NewLevelWise().Schedule(linkstate.New(tree), nil)
+	if res.Total != 0 || res.Granted != 0 || res.Ratio() != 1 {
+		t.Fatalf("empty batch: %+v ratio %v", res, res.Ratio())
+	}
+}
+
+func TestLevelWiseGrantsAllWhenUncontended(t *testing.T) {
+	// A permutation where every source targets a distinct switch through
+	// distinct ports cannot conflict at low load: a single request always
+	// succeeds on an empty network.
+	tree := topology.MustNew(3, 4, 4)
+	for dst := 0; dst < tree.Nodes(); dst += 7 {
+		st := linkstate.New(tree)
+		res := NewLevelWise().Schedule(st, []Request{{Src: 0, Dst: dst}})
+		if res.Granted != 1 {
+			t.Fatalf("single request 0→%d denied on empty network", dst)
+		}
+		if err := Verify(tree, res); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestGrantedChannelsMatchOccupancy(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(11))
+	reqs := permutation(tree, rng)
+	for _, s := range []Scheduler{NewLevelWise(), NewLocalGreedy(), NewLocalRandom()} {
+		st := linkstate.New(tree)
+		res := s.Schedule(st, reqs)
+		// HeldChannels counts granted paths plus the partial allocations
+		// the paper's no-rollback pseudo-code leaves behind.
+		if got, want := st.OccupiedCount(), HeldChannels(res); got != want {
+			t.Fatalf("%s: occupancy %d, outcomes hold %d (leak or double-free)", s.Name(), got, want)
+		}
+		if err := Verify(tree, res); err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+	}
+}
+
+func TestLevelWiseBeatsLocalOnPermutations(t *testing.T) {
+	// The paper's headline claim, on a small grid. Averaged over several
+	// permutations the global scheduler must dominate the local one.
+	shapes := [][3]int{{2, 8, 8}, {3, 4, 4}, {4, 3, 3}}
+	rng := rand.New(rand.NewSource(2))
+	for _, sh := range shapes {
+		tree := topology.MustNew(sh[0], sh[1], sh[2])
+		var sumLW, sumLocal float64
+		const trials = 20
+		for trial := 0; trial < trials; trial++ {
+			reqs := permutation(tree, rng)
+			resLW := NewLevelWise().Schedule(linkstate.New(tree), reqs)
+			resLocal := NewLocalGreedy().Schedule(linkstate.New(tree), reqs)
+			sumLW += resLW.Ratio()
+			sumLocal += resLocal.Ratio()
+		}
+		if sumLW <= sumLocal {
+			t.Fatalf("FT(%v): level-wise avg %.3f not above local %.3f", sh, sumLW/trials, sumLocal/trials)
+		}
+	}
+}
+
+func TestLevelMajorEqualsRequestMajorWithoutRollback(t *testing.T) {
+	// Without rollback the two traversals must produce identical grants
+	// (allocation at level h by an earlier request is visible either way).
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(5))
+	for trial := 0; trial < 25; trial++ {
+		reqs := permutation(tree, rng)
+		a := (&LevelWise{Opts: Options{Traversal: LevelMajor}}).Schedule(linkstate.New(tree), reqs)
+		b := (&LevelWise{Opts: Options{Traversal: RequestMajor}}).Schedule(linkstate.New(tree), reqs)
+		if a.Granted != b.Granted {
+			t.Fatalf("trial %d: level-major %d vs request-major %d", trial, a.Granted, b.Granted)
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i].Granted != b.Outcomes[i].Granted {
+				t.Fatalf("trial %d: outcome %d differs", trial, i)
+			}
+		}
+	}
+}
+
+func TestRollbackNeverHurtsOccupancy(t *testing.T) {
+	// With rollback, failed requests hold no channels.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(6))
+	reqs := permutation(tree, rng)
+	st := linkstate.New(tree)
+	res := (&LevelWise{Opts: Options{Rollback: true}}).Schedule(st, reqs)
+	want := 0
+	for _, o := range res.Outcomes {
+		if o.Granted {
+			want += 2 * o.H
+		} else if len(o.Ports) != 0 {
+			t.Fatalf("failed request holds ports %v despite rollback", o.Ports)
+		}
+	}
+	if st.OccupiedCount() != want {
+		t.Fatalf("occupancy %d want %d", st.OccupiedCount(), want)
+	}
+	if err := Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWithoutRollbackFailedRequestsLeakChannels(t *testing.T) {
+	// The paper's pseudo-code does not release a failed request's links.
+	// Find a permutation where some request fails above level 0 and check
+	// the channels stay occupied.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 50; trial++ {
+		reqs := permutation(tree, rng)
+		st := linkstate.New(tree)
+		res := NewLevelWise().Schedule(st, reqs)
+		leaked := 0
+		grantedNeed := 0
+		for _, o := range res.Outcomes {
+			if o.Granted {
+				grantedNeed += 2 * o.H
+			} else {
+				leaked += 2 * len(o.Ports)
+			}
+		}
+		if leaked > 0 {
+			if st.OccupiedCount() != grantedNeed+leaked {
+				t.Fatalf("occupancy %d want %d granted + %d leaked", st.OccupiedCount(), grantedNeed, leaked)
+			}
+			return // scenario found and verified
+		}
+	}
+	t.Skip("no partial failure found in 50 permutations (unexpected but not wrong)")
+}
+
+func TestLocalRetriesImprove(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(8))
+	var base, retried int
+	for trial := 0; trial < 30; trial++ {
+		reqs := permutation(tree, rng)
+		b := (&Local{Opts: Options{Policy: RandomFit, Rand: rand.New(rand.NewSource(int64(trial)))}}).Schedule(linkstate.New(tree), reqs)
+		r := (&Local{Opts: Options{Policy: RandomFit, Retries: 3, Rand: rand.New(rand.NewSource(int64(trial)))}}).Schedule(linkstate.New(tree), reqs)
+		base += b.Granted
+		retried += r.Granted
+		if err := Verify(tree, r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if retried < base {
+		t.Fatalf("retries made things worse: %d vs %d", retried, base)
+	}
+}
+
+func TestPortPolicies(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(13))
+	reqs := permutation(tree, rng)
+	for _, pol := range []PortPolicy{FirstFit, RandomFit, LeastLoaded} {
+		s := &LevelWise{Opts: Options{Policy: pol}}
+		res := s.Schedule(linkstate.New(tree), reqs)
+		if err := Verify(tree, res); err != nil {
+			t.Fatalf("policy %s: %v", pol, err)
+		}
+		if res.Granted == 0 {
+			t.Fatalf("policy %s granted nothing", pol)
+		}
+	}
+}
+
+func TestOrderings(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(17))
+	reqs := permutation(tree, rng)
+	for _, ord := range []Order{NaturalOrder, ShuffledOrder, DeepestFirst} {
+		s := &LevelWise{Opts: Options{Order: ord}}
+		res := s.Schedule(linkstate.New(tree), reqs)
+		if err := Verify(tree, res); err != nil {
+			t.Fatalf("order %s: %v", ord, err)
+		}
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	// Same inputs, same options -> identical outcomes, including the
+	// random policy (fixed default seed).
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(23))
+	reqs := permutation(tree, rng)
+	for _, mk := range []func() Scheduler{
+		func() Scheduler { return NewLevelWise() },
+		func() Scheduler { return NewLocalGreedy() },
+		func() Scheduler { return NewLocalRandom() },
+	} {
+		a := mk().Schedule(linkstate.New(tree), reqs)
+		b := mk().Schedule(linkstate.New(tree), reqs)
+		if a.Granted != b.Granted {
+			t.Fatalf("%s not deterministic: %d vs %d", a.Scheduler, a.Granted, b.Granted)
+		}
+	}
+}
+
+func TestCountersComplexityShape(t *testing.T) {
+	// Per granted request the local scheduler reads roughly twice as many
+	// vectors as the level-wise one (up + down vs combined): the paper's
+	// O(2l log_l N) vs O(l log_l N) claim, observable in the counters.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(29))
+	reqs := permutation(tree, rng)
+	lw := NewLevelWise().Schedule(linkstate.New(tree), reqs)
+	lg := NewLocalGreedy().Schedule(linkstate.New(tree), reqs)
+	if lw.Ops.VectorANDs == 0 || lg.Ops.VectorReads == 0 {
+		t.Fatal("counters not populated")
+	}
+	// Level-wise performs exactly one AND per (request, level) attempt.
+	attempts := 0
+	for _, o := range lw.Outcomes {
+		attempts += len(o.Ports)
+		if !o.Granted && o.FailLevel >= 0 {
+			attempts++ // the failing level was attempted too
+		}
+	}
+	if lw.Ops.VectorANDs != attempts {
+		t.Fatalf("level-wise ANDs = %d, attempts = %d", lw.Ops.VectorANDs, attempts)
+	}
+}
+
+func TestCountersAdd(t *testing.T) {
+	a := Counters{1, 2, 3, 4, 5, 6}
+	a.Add(Counters{10, 20, 30, 40, 50, 60})
+	if a != (Counters{11, 22, 33, 44, 55, 66}) {
+		t.Fatalf("Add = %+v", a)
+	}
+}
+
+func TestStepsComplexityGap(t *testing.T) {
+	// The paper's Section 4 claim: Level-wise settles a level in one step
+	// (both directions via the AND), the local scheduler visits every
+	// level twice. Per granted request: local steps ≈ 2 x global steps.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(37))
+	reqs := permutation(tree, rng)
+	lw := NewLevelWise().Schedule(linkstate.New(tree), reqs)
+	lg := NewLocalGreedy().Schedule(linkstate.New(tree), reqs)
+	gsteps := float64(lw.Ops.Steps) / float64(lw.Total)
+	lsteps := float64(lg.Ops.Steps) / float64(lg.Total)
+	if lsteps < 1.5*gsteps {
+		t.Fatalf("local steps/req %.2f not ~2x global %.2f", lsteps, gsteps)
+	}
+}
+
+func TestNames(t *testing.T) {
+	if NewLevelWise().Name() != "level-wise" {
+		t.Fatalf("Name = %q", NewLevelWise().Name())
+	}
+	if (&LevelWise{Opts: Options{Rollback: true, Policy: RandomFit, Traversal: RequestMajor}}).Name() !=
+		"level-wise/request-major/random/rollback" {
+		t.Fatalf("decorated name wrong: %q", (&LevelWise{Opts: Options{Rollback: true, Policy: RandomFit, Traversal: RequestMajor}}).Name())
+	}
+	if NewLocalGreedy().Name() != "local/first-fit" {
+		t.Fatalf("Name = %q", NewLocalGreedy().Name())
+	}
+	if (&Local{Opts: Options{Retries: 2}}).Name() != "local/first-fit/retry" {
+		t.Fatal("retry name wrong")
+	}
+}
+
+func TestEnumStrings(t *testing.T) {
+	if FirstFit.String() != "first-fit" || RandomFit.String() != "random" || LeastLoaded.String() != "least-loaded" {
+		t.Fatal("policy strings")
+	}
+	if PortPolicy(9).String() == "" || Order(9).String() == "" || Traversal(9).String() == "" {
+		t.Fatal("unknown enum strings empty")
+	}
+	if NaturalOrder.String() != "natural" || ShuffledOrder.String() != "shuffled" || DeepestFirst.String() != "deepest-first" {
+		t.Fatal("order strings")
+	}
+	if LevelMajor.String() != "level-major" || RequestMajor.String() != "request-major" {
+		t.Fatal("traversal strings")
+	}
+}
+
+// Property: on any request multiset (not only permutations), every
+// scheduler produces a verifiable result and never exceeds the batch size.
+func TestQuickSchedulersAlwaysConsistent(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	f := func(seed int64, nReq uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nReq)%128 + 1
+		reqs := make([]Request, n)
+		for i := range reqs {
+			reqs[i] = Request{Src: rng.Intn(64), Dst: rng.Intn(64)}
+		}
+		for _, s := range []Scheduler{
+			NewLevelWise(),
+			&LevelWise{Opts: Options{Rollback: true}},
+			&LevelWise{Opts: Options{Traversal: RequestMajor, Policy: RandomFit}},
+			NewLocalGreedy(),
+			NewLocalRandom(),
+			&Local{Opts: Options{Retries: 2}},
+		} {
+			res := s.Schedule(linkstate.New(tree), reqs)
+			if res.Granted > res.Total {
+				return false
+			}
+			if err := Verify(tree, res); err != nil {
+				t.Logf("%s: %v", s.Name(), err)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: a single request on an empty network is always granted (full
+// path diversity exists), by every scheduler.
+func TestQuickSingleRequestAlwaysGranted(t *testing.T) {
+	tree := topology.MustNew(4, 3, 3)
+	f := func(si, di uint16) bool {
+		src, dst := int(si)%tree.Nodes(), int(di)%tree.Nodes()
+		for _, s := range []Scheduler{NewLevelWise(), NewLocalGreedy(), NewLocalRandom()} {
+			if s.Schedule(linkstate.New(tree), []Request{{src, dst}}).Granted != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestVerifyCatchesCorruptedResults(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(31))
+	reqs := permutation(tree, rng)
+	res := NewLevelWise().Schedule(linkstate.New(tree), reqs)
+
+	// Corrupt: duplicate a granted path.
+	var granted *Outcome
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Granted && res.Outcomes[i].H > 0 {
+			granted = &res.Outcomes[i]
+			break
+		}
+	}
+	if granted == nil {
+		t.Skip("no multi-level grant")
+	}
+	bad := *res
+	bad.Outcomes = append(append([]Outcome(nil), res.Outcomes...), *granted)
+	bad.Total++
+	bad.Granted++
+	if err := Verify(tree, &bad); err == nil {
+		t.Fatal("Verify accepted a duplicated path")
+	}
+
+	// Corrupt: wrong port count.
+	bad2 := *res
+	bad2.Outcomes = append([]Outcome(nil), res.Outcomes...)
+	for i := range bad2.Outcomes {
+		if bad2.Outcomes[i].Granted && bad2.Outcomes[i].H > 0 {
+			bad2.Outcomes[i].Ports = bad2.Outcomes[i].Ports[:bad2.Outcomes[i].H-1]
+			break
+		}
+	}
+	if err := Verify(tree, &bad2); err == nil {
+		t.Fatal("Verify accepted truncated ports")
+	}
+
+	// Corrupt: counts.
+	bad3 := *res
+	bad3.Granted++
+	if err := Verify(tree, &bad3); err == nil {
+		t.Fatal("Verify accepted wrong granted count")
+	}
+}
+
+func BenchmarkLevelWisePermutation(b *testing.B) {
+	tree := topology.MustNew(3, 8, 8)
+	rng := rand.New(rand.NewSource(1))
+	reqs := permutation(tree, rng)
+	st := linkstate.New(tree)
+	s := NewLevelWise()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		s.Schedule(st, reqs)
+	}
+}
+
+func BenchmarkLocalGreedyPermutation(b *testing.B) {
+	tree := topology.MustNew(3, 8, 8)
+	rng := rand.New(rand.NewSource(1))
+	reqs := permutation(tree, rng)
+	st := linkstate.New(tree)
+	s := NewLocalGreedy()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		s.Schedule(st, reqs)
+	}
+}

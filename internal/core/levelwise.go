@@ -1,0 +1,189 @@
+package core
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/linkstate"
+)
+
+// LevelWise is the paper's centralized global scheduler (Section 4,
+// Figure 7). At every level h it consults both Ulink(h, σ_h) of the
+// source-side switch and Dlink(h, δ_h) of the destination-side mirror
+// switch, so an upward port is only taken when the downward channel it
+// forces (Theorem 2) is also free.
+type LevelWise struct {
+	Opts Options
+}
+
+// NewLevelWise returns a Level-wise scheduler with the paper's default
+// options (first-fit ports, natural order, level-major traversal).
+func NewLevelWise() *LevelWise { return &LevelWise{} }
+
+// Name identifies the scheduler in results and reports.
+func (s *LevelWise) Name() string {
+	n := "level-wise"
+	if s.Opts.Traversal == RequestMajor {
+		n += "/request-major"
+	}
+	if s.Opts.Policy != FirstFit {
+		n += "/" + s.Opts.Policy.String()
+	}
+	if s.Opts.Rollback {
+		n += "/rollback"
+	}
+	return n
+}
+
+// request-in-flight bookkeeping for the level-major sweep.
+type lwState struct {
+	sigma, delta int  // current source-side and mirror switch indices
+	alive        bool // still schedulable
+}
+
+// Schedule routes the batch, mutating st. Requests whose endpoints share a
+// level-0 switch (H == 0) are granted without consuming links.
+func (s *LevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
+	tree := st.Tree()
+	rng := s.Opts.rng()
+	outs := newOutcomes(tree, reqs)
+	order := orderIndices(tree, reqs, s.Opts.Order, rng)
+	var ops Counters
+
+	if s.Opts.Traversal == RequestMajor {
+		for _, i := range order {
+			s.scheduleOne(st, &outs[i], &ops, rng)
+		}
+		return finish(s.Name(), outs, ops)
+	}
+
+	// Level-major: the paper's pseudo-code. All requests advance through
+	// level h before any touches level h+1.
+	states := make([]lwState, len(reqs))
+	maxH := 0
+	for i := range outs {
+		sigma, _ := tree.NodeSwitch(outs[i].Src)
+		delta, _ := tree.NodeSwitch(outs[i].Dst)
+		states[i] = lwState{sigma: sigma, delta: delta, alive: true}
+		if outs[i].H == 0 {
+			outs[i].Granted = true
+			states[i].alive = false
+		} else if outs[i].H > maxH {
+			maxH = outs[i].H
+		}
+	}
+	for h := 0; h < maxH; h++ {
+		for _, i := range order {
+			o, ls := &outs[i], &states[i]
+			if !ls.alive || h >= o.H {
+				continue
+			}
+			avail := st.AvailBoth(h, ls.sigma, ls.delta)
+			ops.VectorReads += 2
+			ops.VectorANDs++
+			ops.Steps++
+			p, ok := pickPort(st, s.Opts.Policy, rng, h, ls.sigma, avail)
+			ops.PortPicks++
+			if s.Opts.Trace != nil {
+				port := p
+				if !ok {
+					port = -1
+				}
+				s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
+					Phase: "combined", Sigma: ls.sigma, Delta: ls.delta, Avail: avail.String(), Port: port})
+			}
+			if !ok {
+				ls.alive = false
+				o.FailLevel = h
+				if s.Opts.Rollback {
+					s.rollback(st, o, &ops)
+				}
+				continue
+			}
+			mustAllocate(st, linkstate.Up, h, ls.sigma, p)
+			mustAllocate(st, linkstate.Down, h, ls.delta, p)
+			ops.Allocs += 2
+			o.Ports = append(o.Ports, p)
+			ls.sigma = tree.UpParent(h, ls.sigma, p)
+			ls.delta = tree.UpParent(h, ls.delta, p)
+			if len(o.Ports) == o.H {
+				o.Granted = true
+				ls.alive = false
+			}
+		}
+	}
+	return finish(s.Name(), outs, ops)
+}
+
+// scheduleOne routes a single request through all its levels
+// (request-major traversal — the order the hardware pipeline realizes).
+func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, rng *rand.Rand) {
+	tree := st.Tree()
+	if o.H == 0 {
+		o.Granted = true
+		return
+	}
+	sigma, _ := tree.NodeSwitch(o.Src)
+	delta, _ := tree.NodeSwitch(o.Dst)
+	for h := 0; h < o.H; h++ {
+		avail := st.AvailBoth(h, sigma, delta)
+		ops.VectorReads += 2
+		ops.VectorANDs++
+		ops.Steps++
+		p, ok := pickPort(st, s.Opts.Policy, rng, h, sigma, avail)
+		ops.PortPicks++
+		if s.Opts.Trace != nil {
+			port := p
+			if !ok {
+				port = -1
+			}
+			s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
+				Phase: "combined", Sigma: sigma, Delta: delta, Avail: avail.String(), Port: port})
+		}
+		if !ok {
+			o.FailLevel = h
+			if s.Opts.Rollback {
+				s.rollback(st, o, ops)
+			}
+			return
+		}
+		mustAllocate(st, linkstate.Up, h, sigma, p)
+		mustAllocate(st, linkstate.Down, h, delta, p)
+		ops.Allocs += 2
+		o.Ports = append(o.Ports, p)
+		sigma = tree.UpParent(h, sigma, p)
+		delta = tree.UpParent(h, delta, p)
+	}
+	o.Granted = true
+}
+
+// rollback releases the channels a failed request allocated at levels
+// below its failure level.
+func (s *LevelWise) rollback(st *linkstate.State, o *Outcome, ops *Counters) {
+	tree := st.Tree()
+	sigma, _ := tree.NodeSwitch(o.Src)
+	delta, _ := tree.NodeSwitch(o.Dst)
+	for h, p := range o.Ports {
+		mustRelease(st, linkstate.Up, h, sigma, p)
+		mustRelease(st, linkstate.Down, h, delta, p)
+		ops.Releases += 2
+		sigma = tree.UpParent(h, sigma, p)
+		delta = tree.UpParent(h, delta, p)
+	}
+	o.Ports = o.Ports[:0]
+}
+
+// mustAllocate claims a channel whose availability was just verified; an
+// error here is a scheduler invariant violation, not a runtime condition.
+func mustAllocate(st *linkstate.State, d linkstate.Direction, h, idx, p int) {
+	if err := st.Allocate(d, h, idx, p); err != nil {
+		panic(fmt.Sprintf("core: invariant violation: %v", err))
+	}
+}
+
+// mustRelease returns a channel the scheduler itself allocated.
+func mustRelease(st *linkstate.State, d linkstate.Direction, h, idx, p int) {
+	if err := st.Release(d, h, idx, p); err != nil {
+		panic(fmt.Sprintf("core: invariant violation: %v", err))
+	}
+}

@@ -1,0 +1,158 @@
+package core
+
+import (
+	"math/rand"
+
+	"repro/internal/linkstate"
+)
+
+// Local is the conventional adaptive scheduler the paper compares against:
+// upward ports are chosen using only the local switch's Ulink vector, so a
+// request commits to an up-path before knowing whether the forced
+// down-path (Theorem 2) is free. Conflicts surface while descending; a
+// request that cannot complete is torn down (its channels released) and
+// counted as failed.
+//
+// With Policy == FirstFit this is the paper's "greedy" local scheduler;
+// with Policy == RandomFit it is the "random" adaptive one.
+type Local struct {
+	Opts Options
+}
+
+// NewLocalGreedy returns the greedy local baseline (first-fit ports).
+func NewLocalGreedy() *Local { return &Local{} }
+
+// NewLocalRandom returns the random adaptive baseline with a fixed seed.
+func NewLocalRandom() *Local { return &Local{Opts: Options{Policy: RandomFit}} }
+
+// Name identifies the scheduler in results and reports.
+func (s *Local) Name() string {
+	n := "local/" + s.Opts.Policy.String()
+	if s.Opts.Retries > 0 {
+		n += "/retry"
+	}
+	return n
+}
+
+// Schedule routes the batch, mutating st.
+func (s *Local) Schedule(st *linkstate.State, reqs []Request) *Result {
+	tree := st.Tree()
+	rng := s.Opts.rng()
+	outs := newOutcomes(tree, reqs)
+	order := orderIndices(tree, reqs, s.Opts.Order, rng)
+	var ops Counters
+	for _, i := range order {
+		o := &outs[i]
+		if o.H == 0 {
+			o.Granted = true
+			continue
+		}
+		policy := s.Opts.Policy
+		for attempt := 0; ; attempt++ {
+			if s.tryOne(st, o, policy, rng, &ops) {
+				break
+			}
+			if attempt >= s.Opts.Retries {
+				break
+			}
+			// Deterministic retries would repeat the same failure, so
+			// further attempts explore randomly.
+			policy = RandomFit
+			o.Ports = o.Ports[:0]
+			o.FailLevel = -1
+			o.FailDown = false
+		}
+	}
+	return finish(s.Name(), outs, ops)
+}
+
+// tryOne makes one attempt to route o. On failure every channel the
+// attempt claimed is released (the connection is not established, so it
+// holds nothing) and false is returned.
+func (s *Local) tryOne(st *linkstate.State, o *Outcome, policy PortPolicy, rng *rand.Rand, ops *Counters) bool {
+	tree := st.Tree()
+	sigma, _ := tree.NodeSwitch(o.Src)
+
+	// Climb: choose from the locally visible upward links only.
+	upSwitches := make([]int, 0, o.H)
+	for h := 0; h < o.H; h++ {
+		avail := st.ULink(h, sigma)
+		ops.VectorReads++
+		ops.Steps++
+		p, ok := pickPort(st, policy, rng, h, sigma, avail)
+		ops.PortPicks++
+		if s.Opts.Trace != nil {
+			port := p
+			if !ok {
+				port = -1
+			}
+			s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
+				Phase: "up", Sigma: sigma, Delta: -1, Avail: avail.String(), Port: port})
+		}
+		if !ok {
+			o.FailLevel = h
+			s.teardown(st, o, upSwitches, -1, ops)
+			return false
+		}
+		mustAllocate(st, linkstate.Up, h, sigma, p)
+		ops.Allocs++
+		o.Ports = append(o.Ports, p)
+		upSwitches = append(upSwitches, sigma)
+		sigma = tree.UpParent(h, sigma, p)
+	}
+
+	// Descend: the path is forced (Theorem 2 — same port index at the
+	// mirror switches). Walk top-down, as the physical circuit would.
+	deltas := make([]int, o.H) // mirror switch at each level
+	delta, _ := tree.NodeSwitch(o.Dst)
+	for h := 0; h < o.H; h++ {
+		deltas[h] = delta
+		delta = tree.UpParent(h, delta, o.Ports[h])
+	}
+	for h := o.H - 1; h >= 0; h-- {
+		ops.VectorReads++
+		ops.Steps++
+		if s.Opts.Trace != nil {
+			port := o.Ports[h]
+			if !st.Available(linkstate.Down, h, deltas[h], port) {
+				port = -1
+			}
+			s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
+				Phase: "down", Sigma: -1, Delta: deltas[h], Avail: st.DLink(h, deltas[h]).String(), Port: port})
+		}
+		if !st.Available(linkstate.Down, h, deltas[h], o.Ports[h]) {
+			o.FailLevel = h
+			o.FailDown = true
+			s.teardown(st, o, upSwitches, h, ops)
+			return false
+		}
+		mustAllocate(st, linkstate.Down, h, deltas[h], o.Ports[h])
+		ops.Allocs++
+	}
+	o.Granted = true
+	return true
+}
+
+// teardown releases an attempt's claims: all upward channels, and the
+// downward channels at levels above failDown (the descent allocates from
+// the top level downward). failDown == -1 means the descent never started.
+func (s *Local) teardown(st *linkstate.State, o *Outcome, upSwitches []int, failDown int, ops *Counters) {
+	for h := len(upSwitches) - 1; h >= 0; h-- {
+		mustRelease(st, linkstate.Up, h, upSwitches[h], o.Ports[h])
+		ops.Releases++
+	}
+	if failDown >= 0 {
+		tree := st.Tree()
+		delta, _ := tree.NodeSwitch(o.Dst)
+		deltas := make([]int, o.H)
+		for h := 0; h < o.H; h++ {
+			deltas[h] = delta
+			delta = tree.UpParent(h, delta, o.Ports[h])
+		}
+		for h := o.H - 1; h > failDown; h-- {
+			mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
+			ops.Releases++
+		}
+	}
+	o.Ports = o.Ports[:0]
+}

@@ -1,0 +1,318 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bitvec"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// MulticastRequest is a one-to-many connection: the source streams the
+// same data to every destination simultaneously, with switches
+// replicating flits down a tree of channels. Collective operations
+// (broadcast, barrier release, snoop invalidation) motivate it; the
+// paper's Level-wise idea extends to it naturally (see MulticastLevelWise)
+// because Theorem 2 applies per destination.
+type MulticastRequest struct {
+	Src  int
+	Dsts []int
+}
+
+// MulticastOutcome records the scheduling of one multicast.
+type MulticastOutcome struct {
+	MulticastRequest
+	// H is the tree height needed: the maximum ancestor level over
+	// destinations (0 when every destination shares the source switch).
+	H       int
+	Granted bool
+	// Ports holds the upward port per level 0..H-1 (Theorem 2: the same
+	// index steers every destination's downward branch at that level).
+	Ports     []int
+	FailLevel int
+}
+
+// MulticastResult is the outcome of a multicast batch.
+type MulticastResult struct {
+	Scheduler string
+	Outcomes  []MulticastOutcome
+	Granted   int
+	Total     int
+}
+
+// Ratio returns granted/total (1 for an empty batch).
+func (r *MulticastResult) Ratio() float64 {
+	if r.Total == 0 {
+		return 1
+	}
+	return float64(r.Granted) / float64(r.Total)
+}
+
+// MulticastLevelWise schedules one-to-many connections with global
+// information. At level h the up-port must be free at the source-side
+// switch AND the corresponding downward channel must be free at the
+// mirror switch of *every* destination whose branch is still above level
+// h — a single AND across 1 + |distinct mirrors| vectors. Destinations
+// sharing a mirror switch share the downward channel (the switch
+// replicates), so the allocation is a proper tree.
+type MulticastLevelWise struct {
+	// Rollback releases a failed multicast's partial tree (default on:
+	// multicast trees are large, leaking them would be pathological).
+	NoRollback bool
+}
+
+// Name identifies the scheduler.
+func (s *MulticastLevelWise) Name() string { return "multicast/level-wise" }
+
+// MulticastLocal is the blind baseline: up-ports chosen from the local
+// Ulink only; the forced downward tree is checked (and claimed) after the
+// fact, failing on the first occupied branch channel.
+type MulticastLocal struct{}
+
+// Name identifies the scheduler.
+func (s *MulticastLocal) Name() string { return "multicast/local" }
+
+// multicastPlan computes, per level, the distinct mirror switches whose
+// downward channel the tree needs at that level, given up-ports chosen so
+// far. Branch b (destination d) needs the level-h channel only when
+// h < AncestorLevel(src, d).
+type mcBranch struct {
+	dst   int
+	h     int // ancestor level for this destination
+	delta int // current mirror switch index
+}
+
+func newBranches(tree *topology.Tree, req MulticastRequest) ([]mcBranch, int) {
+	maxH := 0
+	var branches []mcBranch
+	seen := map[int]bool{}
+	for _, d := range req.Dsts {
+		if seen[d] {
+			continue // duplicate destination: one branch suffices
+		}
+		seen[d] = true
+		h := tree.AncestorLevel(req.Src, d)
+		if h == 0 {
+			continue // same switch: served by the crossbar
+		}
+		sw, _ := tree.NodeSwitch(d)
+		branches = append(branches, mcBranch{dst: d, h: h, delta: sw})
+		if h > maxH {
+			maxH = h
+		}
+	}
+	return branches, maxH
+}
+
+// distinctMirrors returns the distinct delta switches of branches alive
+// at level h, sorted for deterministic allocation order.
+func distinctMirrors(branches []mcBranch, h int) []int {
+	set := map[int]bool{}
+	for _, b := range branches {
+		if h < b.h {
+			set[b.delta] = true
+		}
+	}
+	out := make([]int, 0, len(set))
+	for d := range set {
+		out = append(out, d)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// Schedule routes the batch, mutating st.
+func (s *MulticastLevelWise) Schedule(st *linkstate.State, reqs []MulticastRequest) *MulticastResult {
+	tree := st.Tree()
+	res := &MulticastResult{Scheduler: s.Name(), Total: len(reqs)}
+	avail := bitvec.New(tree.Parents())
+	for _, req := range reqs {
+		o := MulticastOutcome{MulticastRequest: req, FailLevel: -1}
+		branches, maxH := newBranches(tree, req)
+		o.H = maxH
+		sigma, _ := tree.NodeSwitch(req.Src)
+		var claims []mcClaim
+		ok := true
+		for h := 0; h < maxH; h++ {
+			mirrors := distinctMirrors(branches, h)
+			avail.CopyFrom(st.ULink(h, sigma))
+			for _, d := range mirrors {
+				avail.AndWith(st.DLink(h, d))
+			}
+			p, found := avail.FirstSet()
+			if !found {
+				ok = false
+				o.FailLevel = h
+				break
+			}
+			mustAllocate(st, linkstate.Up, h, sigma, p)
+			claims = append(claims, mcClaim{linkstate.Up, h, sigma, p})
+			for _, d := range mirrors {
+				mustAllocate(st, linkstate.Down, h, d, p)
+				claims = append(claims, mcClaim{linkstate.Down, h, d, p})
+			}
+			o.Ports = append(o.Ports, p)
+			sigma = tree.UpParent(h, sigma, p)
+			for i := range branches {
+				if h < branches[i].h {
+					branches[i].delta = tree.UpParent(h, branches[i].delta, p)
+				}
+			}
+		}
+		if ok {
+			o.Granted = true
+			res.Granted++
+		} else if !s.NoRollback {
+			for i := len(claims) - 1; i >= 0; i-- {
+				c := claims[i]
+				mustRelease(st, c.dir, c.h, c.idx, c.prt)
+			}
+			o.Ports = o.Ports[:0]
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	return res
+}
+
+// Schedule routes the batch blindly, mutating st.
+func (s *MulticastLocal) Schedule(st *linkstate.State, reqs []MulticastRequest) *MulticastResult {
+	tree := st.Tree()
+	res := &MulticastResult{Scheduler: s.Name(), Total: len(reqs)}
+	for _, req := range reqs {
+		o := MulticastOutcome{MulticastRequest: req, FailLevel: -1}
+		branches, maxH := newBranches(tree, req)
+		o.H = maxH
+		sigma, _ := tree.NodeSwitch(req.Src)
+		var claims []mcClaim
+		ok := true
+		// Climb using local information only.
+		for h := 0; h < maxH && ok; h++ {
+			p, found := st.ULink(h, sigma).FirstSet()
+			if !found {
+				ok = false
+				o.FailLevel = h
+				break
+			}
+			mustAllocate(st, linkstate.Up, h, sigma, p)
+			claims = append(claims, mcClaim{linkstate.Up, h, sigma, p})
+			o.Ports = append(o.Ports, p)
+			sigma = tree.UpParent(h, sigma, p)
+		}
+		// Claim the forced downward tree.
+		if ok {
+			for i := range branches {
+				delta := branches[i].delta
+				for h := 0; h < branches[i].h && ok; h++ {
+					p := o.Ports[h]
+					if st.Available(linkstate.Down, h, delta, p) {
+						mustAllocate(st, linkstate.Down, h, delta, p)
+						claims = append(claims, mcClaim{linkstate.Down, h, delta, p})
+					} else if !claimedByUs(claims, h, delta, p) {
+						ok = false
+						o.FailLevel = h
+					}
+					delta = tree.UpParent(h, delta, p)
+				}
+				if !ok {
+					break
+				}
+			}
+		}
+		if ok {
+			o.Granted = true
+			res.Granted++
+		} else {
+			for i := len(claims) - 1; i >= 0; i-- {
+				c := claims[i]
+				mustRelease(st, c.dir, c.h, c.idx, c.prt)
+			}
+			o.Ports = o.Ports[:0]
+		}
+		res.Outcomes = append(res.Outcomes, o)
+	}
+	return res
+}
+
+// mcClaim records one channel a multicast tree holds.
+type mcClaim struct {
+	dir         linkstate.Direction
+	h, idx, prt int
+}
+
+// claimedByUs reports whether this multicast already claimed the down
+// channel (branches sharing a mirror switch share the channel).
+func claimedByUs(claims []mcClaim, h, idx, p int) bool {
+	for _, c := range claims {
+		if c.dir == linkstate.Down && c.h == h && c.idx == idx && c.prt == p {
+			return true
+		}
+	}
+	return false
+}
+
+// VerifyMulticast replays every granted multicast tree against a fresh
+// link state: each tree's channels (one up per level, one down per
+// distinct mirror per level) must be available and never shared between
+// trees.
+func VerifyMulticast(tree *topology.Tree, res *MulticastResult) error {
+	st := linkstate.New(tree)
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Granted {
+			if len(o.Ports) != 0 && o.FailLevel >= 0 && len(o.Ports) > o.FailLevel {
+				return fmt.Errorf("core: multicast %d failed at level %d but holds %d ports", i, o.FailLevel, len(o.Ports))
+			}
+			continue
+		}
+		branches, maxH := newBranches(tree, o.MulticastRequest)
+		if len(o.Ports) != maxH {
+			return fmt.Errorf("core: multicast %d granted with %d ports, needs %d", i, len(o.Ports), maxH)
+		}
+		sigma, _ := tree.NodeSwitch(o.Src)
+		for h := 0; h < maxH; h++ {
+			p := o.Ports[h]
+			if err := st.Allocate(linkstate.Up, h, sigma, p); err != nil {
+				return fmt.Errorf("core: multicast %d: %v", i, err)
+			}
+			for _, d := range distinctMirrors(branches, h) {
+				if err := st.Allocate(linkstate.Down, h, d, p); err != nil {
+					return fmt.Errorf("core: multicast %d: %v", i, err)
+				}
+			}
+			sigma = tree.UpParent(h, sigma, p)
+			for bi := range branches {
+				if h < branches[bi].h {
+					branches[bi].delta = tree.UpParent(h, branches[bi].delta, p)
+				}
+			}
+		}
+		// Every destination is reachable: replaying each branch's mirror
+		// walk with the shared ports must land on its switch... which it
+		// does by construction (Theorem 2 per destination); assert the
+		// ancestor is common.
+		for _, b := range branches {
+			cur, _ := tree.NodeSwitch(b.dst)
+			for h := 0; h < b.h; h++ {
+				cur = tree.UpParent(h, cur, o.Ports[h])
+			}
+			top, _ := tree.NodeSwitch(o.Src)
+			for h := 0; h < b.h; h++ {
+				top = tree.UpParent(h, top, o.Ports[h])
+			}
+			if cur != top {
+				return fmt.Errorf("core: multicast %d: branch to %d does not meet the source at level %d", i, b.dst, b.h)
+			}
+		}
+	}
+	granted := 0
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Granted {
+			granted++
+		}
+	}
+	if granted != res.Granted {
+		return fmt.Errorf("core: multicast result reports %d granted, outcomes show %d", res.Granted, granted)
+	}
+	return nil
+}

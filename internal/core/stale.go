@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linkstate"
+)
+
+// StaleLevelWise schedules like LevelWise but reads the destination-side
+// Dlink vectors from a periodically refreshed snapshot of the link state,
+// modeling a scheduler whose global view lags the network — e.g. one
+// whose link-state database is synchronized over a control plane every
+// Window requests rather than instantaneously.
+//
+// Decisions combine the always-fresh local Ulink (a switch knows its own
+// ports) with the stale Dlink view; commits run against the live state,
+// so a stale decision can collide on the downward channel and fail
+// exactly like the conventional local scheduler's blind commitment. The
+// spectrum interpolates between the paper's two contenders:
+//
+//   - Window == 1: the view refreshes before every request — identical
+//     grants to the exact Level-wise scheduler (request-major,
+//     first-fit).
+//   - Window >= the batch size: the view never refreshes past the fresh
+//     start — destination information is useless and behavior approaches
+//     the greedy local scheduler.
+//
+// Extension E12 sweeps Window to show how much staleness the global
+// advantage tolerates.
+type StaleLevelWise struct {
+	// Window is the number of requests between view refreshes (>= 1).
+	Window int
+}
+
+// Name identifies the scheduler in results and reports.
+func (s *StaleLevelWise) Name() string {
+	return fmt.Sprintf("level-wise/stale-%d", s.Window)
+}
+
+// Schedule routes the batch, mutating st. Failed requests release
+// everything they claimed (a connection that is not established holds
+// nothing — required here because stale decisions fail at commit time).
+func (s *StaleLevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
+	if s.Window < 1 {
+		panic("core: StaleLevelWise.Window must be >= 1")
+	}
+	tree := st.Tree()
+	outs := newOutcomes(tree, reqs)
+	var ops Counters
+
+	view := linkstate.New(tree)
+	processed := 0
+	for i := range outs {
+		o := &outs[i]
+		if processed%s.Window == 0 {
+			view.Restore(st.Snapshot())
+		}
+		processed++
+		if o.H == 0 {
+			o.Granted = true
+			continue
+		}
+		s.tryOne(st, view, o, &ops)
+	}
+	return finish(s.Name(), outs, ops)
+}
+
+func (s *StaleLevelWise) tryOne(st, view *linkstate.State, o *Outcome, ops *Counters) {
+	tree := st.Tree()
+	sigma, _ := tree.NodeSwitch(o.Src)
+	delta, _ := tree.NodeSwitch(o.Dst)
+	sigmas := make([]int, 0, o.H)
+	deltas := make([]int, 0, o.H)
+	fail := func(level int, down bool) {
+		o.FailLevel = level
+		o.FailDown = down
+		for h := len(o.Ports) - 1; h >= 0; h-- {
+			mustRelease(st, linkstate.Up, h, sigmas[h], o.Ports[h])
+			mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
+			ops.Releases += 2
+		}
+		o.Ports = o.Ports[:0]
+	}
+	for h := 0; h < o.H; h++ {
+		// Decision: fresh local Ulink AND stale Dlink view.
+		availU := st.ULink(h, sigma)
+		availD := view.DLink(h, delta)
+		ops.VectorReads += 2
+		ops.VectorANDs++
+		ops.Steps++
+		p := -1
+		for b := 0; b < availU.Width(); b++ {
+			if availU.Get(b) && availD.Get(b) {
+				p = b
+				break
+			}
+		}
+		ops.PortPicks++
+		if p < 0 {
+			fail(h, false)
+			return
+		}
+		// Commit against reality: the up channel is fresh and must be
+		// free; the down channel may have been taken since the last
+		// refresh.
+		if !st.Available(linkstate.Down, h, delta, p) {
+			fail(h, true)
+			return
+		}
+		mustAllocate(st, linkstate.Up, h, sigma, p)
+		mustAllocate(st, linkstate.Down, h, delta, p)
+		ops.Allocs += 2
+		o.Ports = append(o.Ports, p)
+		sigmas = append(sigmas, sigma)
+		deltas = append(deltas, delta)
+		sigma = tree.UpParent(h, sigma, p)
+		delta = tree.UpParent(h, delta, p)
+	}
+	o.Granted = true
+}

@@ -1,0 +1,104 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+func TestStaleWindowOneEqualsExactLevelWise(t *testing.T) {
+	// With refresh before every request the stale scheduler makes the
+	// same decisions as the exact Level-wise scheduler in request-major
+	// order with rollback (stale always rolls back failures).
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(51))
+	for trial := 0; trial < 15; trial++ {
+		reqs := permutation(tree, rng)
+		a := (&StaleLevelWise{Window: 1}).Schedule(linkstate.New(tree), reqs)
+		b := (&LevelWise{Opts: Options{Traversal: RequestMajor, Rollback: true}}).Schedule(linkstate.New(tree), reqs)
+		if a.Granted != b.Granted {
+			t.Fatalf("trial %d: stale-1 %d vs exact %d", trial, a.Granted, b.Granted)
+		}
+		for i := range a.Outcomes {
+			if a.Outcomes[i].Granted != b.Outcomes[i].Granted {
+				t.Fatalf("trial %d outcome %d differs", trial, i)
+			}
+		}
+		if err := Verify(tree, a); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestStaleDegradesMonotonically(t *testing.T) {
+	// Averaged over permutations, a fresher view can only help.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(53))
+	sums := map[int]float64{}
+	const trials = 40
+	for trial := 0; trial < trials; trial++ {
+		reqs := permutation(tree, rng)
+		for _, w := range []int{1, 8, 64} {
+			r := (&StaleLevelWise{Window: w}).Schedule(linkstate.New(tree), reqs)
+			if err := Verify(tree, r); err != nil {
+				t.Fatal(err)
+			}
+			sums[w] += r.Ratio()
+		}
+	}
+	if !(sums[1] >= sums[8] && sums[8] >= sums[64]) {
+		t.Fatalf("not monotone: w1=%.3f w8=%.3f w64=%.3f", sums[1]/trials, sums[8]/trials, sums[64]/trials)
+	}
+	if sums[1]-sums[64] < 0.01*trials {
+		t.Fatalf("staleness had no effect: %v", sums)
+	}
+}
+
+func TestStaleCommitFailuresAreDownPhase(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(57))
+	sawCommitFail := false
+	for trial := 0; trial < 30 && !sawCommitFail; trial++ {
+		reqs := permutation(tree, rng)
+		r := (&StaleLevelWise{Window: 64}).Schedule(linkstate.New(tree), reqs)
+		for _, o := range r.Outcomes {
+			if !o.Granted && o.FailDown {
+				sawCommitFail = true
+				if len(o.Ports) != 0 {
+					t.Fatal("commit failure retained ports")
+				}
+			}
+		}
+	}
+	if !sawCommitFail {
+		t.Fatal("no stale commit failure observed in 30 permutations")
+	}
+}
+
+func TestStaleNoLeaks(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(59))
+	reqs := permutation(tree, rng)
+	st := linkstate.New(tree)
+	res := (&StaleLevelWise{Window: 16}).Schedule(st, reqs)
+	if got, want := st.OccupiedCount(), HeldChannels(res); got != want {
+		t.Fatalf("occupancy %d != held %d", got, want)
+	}
+}
+
+func TestStaleBadWindowPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Window 0 did not panic")
+		}
+	}()
+	(&StaleLevelWise{}).Schedule(linkstate.New(topology.MustNew(2, 2, 2)), nil)
+}
+
+func TestStaleName(t *testing.T) {
+	if (&StaleLevelWise{Window: 7}).Name() != "level-wise/stale-7" {
+		t.Fatal("name")
+	}
+}

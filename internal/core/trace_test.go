@@ -1,0 +1,119 @@
+package core
+
+import (
+	"math/rand"
+	"strings"
+	"testing"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+func TestTraceLevelWiseEventCount(t *testing.T) {
+	// One event per (request, level) attempt — exactly Ops.Steps.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(41))
+	reqs := permutation(tree, rng)
+	var events []TraceEvent
+	s := &LevelWise{Opts: Options{Trace: func(e TraceEvent) { events = append(events, e) }}}
+	res := s.Schedule(linkstate.New(tree), reqs)
+	if len(events) != res.Ops.Steps {
+		t.Fatalf("events %d != steps %d", len(events), res.Ops.Steps)
+	}
+	for _, e := range events {
+		if e.Phase != "combined" {
+			t.Fatalf("level-wise phase = %q", e.Phase)
+		}
+		if e.Level < 0 || e.Level >= tree.LinkLevels() {
+			t.Fatalf("level %d out of range", e.Level)
+		}
+		if len(e.Avail) != tree.Parents() {
+			t.Fatalf("avail %q wrong width", e.Avail)
+		}
+	}
+	// Denials in the trace match the failed outcomes.
+	denials := 0
+	for _, e := range events {
+		if e.Port == -1 {
+			denials++
+		}
+	}
+	failed := 0
+	for _, o := range res.Outcomes {
+		if !o.Granted {
+			failed++
+		}
+	}
+	if denials != failed {
+		t.Fatalf("trace denials %d != failed outcomes %d", denials, failed)
+	}
+}
+
+func TestTraceRequestMajorMatchesLevelMajor(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(43))
+	reqs := permutation(tree, rng)
+	count := func(tr Traversal) int {
+		n := 0
+		s := &LevelWise{Opts: Options{Traversal: tr, Trace: func(TraceEvent) { n++ }}}
+		s.Schedule(linkstate.New(tree), reqs)
+		return n
+	}
+	if a, b := count(LevelMajor), count(RequestMajor); a != b {
+		t.Fatalf("event counts differ: %d vs %d", a, b)
+	}
+}
+
+func TestTraceLocalPhases(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	// The Figure 4 scenario: the second request's down-phase denial must
+	// appear in the trace with the occupied vector visible.
+	reqs := []Request{{Src: 0, Dst: 12}, {Src: 4, Dst: 13}}
+	var events []TraceEvent
+	s := &Local{Opts: Options{Trace: func(e TraceEvent) { events = append(events, e) }}}
+	res := s.Schedule(linkstate.New(tree), reqs)
+	if res.Granted != 1 {
+		t.Fatalf("granted %d", res.Granted)
+	}
+	var sawUp, sawDownDenial bool
+	for _, e := range events {
+		switch e.Phase {
+		case "up":
+			sawUp = true
+			if e.Delta != -1 {
+				t.Fatalf("up phase consulted delta: %+v", e)
+			}
+		case "down":
+			if e.Port == -1 {
+				sawDownDenial = true
+				if !strings.Contains(e.String(), "denied") {
+					t.Fatalf("String() lacks verdict: %s", e)
+				}
+			}
+		default:
+			t.Fatalf("unexpected phase %q", e.Phase)
+		}
+	}
+	if !sawUp || !sawDownDenial {
+		t.Fatalf("missing phases: up=%v downDenial=%v", sawUp, sawDownDenial)
+	}
+}
+
+func TestTraceNilCostsNothing(t *testing.T) {
+	// Smoke: no trace, no events, identical results.
+	tree := topology.MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(47))
+	reqs := permutation(tree, rng)
+	a := NewLevelWise().Schedule(linkstate.New(tree), reqs)
+	b := (&LevelWise{Opts: Options{Trace: func(TraceEvent) {}}}).Schedule(linkstate.New(tree), reqs)
+	if a.Granted != b.Granted {
+		t.Fatalf("tracing changed the outcome: %d vs %d", a.Granted, b.Granted)
+	}
+}
+
+func TestTraceEventString(t *testing.T) {
+	e := TraceEvent{Scheduler: "x", Src: 1, Dst: 2, Level: 0, Phase: "combined", Avail: "0110", Port: 1}
+	if got := e.String(); !strings.Contains(got, "port 1") || !strings.Contains(got, "1→2") {
+		t.Fatalf("String = %q", got)
+	}
+}

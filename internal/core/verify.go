@@ -1,0 +1,80 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// Verify replays every connection of a result — granted full paths and the
+// partial allocations of failed requests that were not rolled back —
+// against a fresh link state and confirms that
+//
+//  1. each granted outcome carries exactly H ports and expands to a valid
+//     switch path in the topology,
+//  2. each failed outcome carries fewer than H ports (a failed request is
+//     never fully routed), and
+//  3. no two replayed allocations share a channel.
+//
+// It returns the first inconsistency found, or nil. Verify is the
+// link-safety oracle used by tests and by the experiment harness.
+func Verify(tree *topology.Tree, res *Result) error {
+	st := linkstate.New(tree)
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Granted {
+			if len(o.Ports) != o.H {
+				return fmt.Errorf("core: outcome %d (%d→%d) granted with %d ports, H = %d", i, o.Src, o.Dst, len(o.Ports), o.H)
+			}
+			if _, err := tree.ExpandPath(o.Src, o.Dst, o.Ports); err != nil {
+				return fmt.Errorf("core: outcome %d: %v", i, err)
+			}
+		} else {
+			if o.H > 0 && len(o.Ports) >= o.H {
+				return fmt.Errorf("core: outcome %d (%d→%d) failed but holds %d ports, H = %d", i, o.Src, o.Dst, len(o.Ports), o.H)
+			}
+			if len(o.Ports) > 0 && o.FailLevel != len(o.Ports) {
+				return fmt.Errorf("core: outcome %d failed at level %d but holds %d ports", i, o.FailLevel, len(o.Ports))
+			}
+		}
+		// Replay all held channels level by level (partial for failures).
+		sigma, _ := tree.NodeSwitch(o.Src)
+		delta, _ := tree.NodeSwitch(o.Dst)
+		for h, p := range o.Ports {
+			if err := st.Allocate(linkstate.Up, h, sigma, p); err != nil {
+				return fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
+			}
+			if err := st.Allocate(linkstate.Down, h, delta, p); err != nil {
+				return fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
+			}
+			sigma = tree.UpParent(h, sigma, p)
+			delta = tree.UpParent(h, delta, p)
+		}
+	}
+	counted := 0
+	for i := range res.Outcomes {
+		if res.Outcomes[i].Granted {
+			counted++
+		}
+	}
+	if counted != res.Granted {
+		return fmt.Errorf("core: result reports %d granted, outcomes show %d", res.Granted, counted)
+	}
+	if res.Total != len(res.Outcomes) {
+		return fmt.Errorf("core: result reports %d total, outcomes show %d", res.Total, len(res.Outcomes))
+	}
+	return nil
+}
+
+// HeldChannels returns the number of channels a result's outcomes hold:
+// 2 per level for granted paths plus 2 per retained port of failed,
+// non-rolled-back requests. After scheduling on a fresh state this equals
+// linkstate.State.OccupiedCount.
+func HeldChannels(res *Result) int {
+	total := 0
+	for i := range res.Outcomes {
+		total += 2 * len(res.Outcomes[i].Ports)
+	}
+	return total
+}

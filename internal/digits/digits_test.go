@@ -1,0 +1,359 @@
+package digits
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestSpecValidate(t *testing.T) {
+	good := []Spec{{1, 2, 2}, {3, 4, 4}, {4, 3, 3}, {3, 8, 2}}
+	for _, s := range good {
+		if err := s.Validate(); err != nil {
+			t.Errorf("Validate(%+v) = %v, want nil", s, err)
+		}
+	}
+	bad := []Spec{{0, 2, 2}, {2, 0, 2}, {2, 2, 0}, {-1, 4, 4}}
+	for _, s := range bad {
+		if err := s.Validate(); err == nil {
+			t.Errorf("Validate(%+v) = nil, want error", s)
+		}
+	}
+}
+
+func TestCountsSymmetric(t *testing.T) {
+	// FT(3, 4): the paper's 64-node example (Figure 1c).
+	s := Spec{L: 3, M: 4, W: 4}
+	if s.Nodes() != 64 {
+		t.Fatalf("Nodes = %d want 64", s.Nodes())
+	}
+	for h := 0; h < 3; h++ {
+		if got := s.SwitchesAt(h); got != 16 {
+			t.Fatalf("SwitchesAt(%d) = %d want 16", h, got)
+		}
+	}
+	if s.TotalSwitches() != 48 {
+		t.Fatalf("TotalSwitches = %d want 48", s.TotalSwitches())
+	}
+	if s.LinkLevels() != 2 {
+		t.Fatalf("LinkLevels = %d want 2", s.LinkLevels())
+	}
+	if !s.Symmetric() {
+		t.Fatal("FT(3,4) should be symmetric")
+	}
+}
+
+func TestCountsSlim(t *testing.T) {
+	// Slimmed tree: more children than parents.
+	s := Spec{L: 3, M: 4, W: 2}
+	if s.Nodes() != 64 {
+		t.Fatalf("Nodes = %d want 64", s.Nodes())
+	}
+	wantPerLevel := []int{16, 8, 4} // m^(l-1-h) * w^h
+	for h, want := range wantPerLevel {
+		if got := s.SwitchesAt(h); got != want {
+			t.Fatalf("SwitchesAt(%d) = %d want %d", h, got, want)
+		}
+	}
+	if s.Symmetric() {
+		t.Fatal("FT(3,4,2) should not be symmetric")
+	}
+	// Link conservation between adjacent levels:
+	// switches(h) * w == switches(h+1) * m.
+	for h := 0; h < s.L-1; h++ {
+		if s.SwitchesAt(h)*s.W != s.SwitchesAt(h+1)*s.M {
+			t.Fatalf("link count mismatch between levels %d and %d", h, h+1)
+		}
+	}
+}
+
+func TestSingleLevelTree(t *testing.T) {
+	s := Spec{L: 1, M: 4, W: 4}
+	if s.Nodes() != 4 || s.SwitchesAt(0) != 1 || s.LinkLevels() != 0 {
+		t.Fatalf("FT(1,4): nodes=%d switches=%d links=%d", s.Nodes(), s.SwitchesAt(0), s.LinkLevels())
+	}
+	lab, port := s.NodeSwitch(3)
+	if len(lab) != 0 || port != 3 {
+		t.Fatalf("NodeSwitch(3) = %v,%d", lab, port)
+	}
+	if s.AncestorLevel(lab, lab) != 0 {
+		t.Fatal("single switch ancestor level != 0")
+	}
+}
+
+func TestIndexLabelRoundTrip(t *testing.T) {
+	specs := []Spec{{2, 4, 4}, {3, 4, 4}, {4, 3, 3}, {3, 4, 2}, {3, 2, 4}, {5, 2, 3}}
+	for _, s := range specs {
+		for h := 0; h < s.L; h++ {
+			n := s.SwitchesAt(h)
+			for idx := 0; idx < n; idx++ {
+				lab := s.LabelOf(h, idx)
+				if got := s.Index(h, lab); got != idx {
+					t.Fatalf("%+v level %d: Index(LabelOf(%d)) = %d", s, h, idx, got)
+				}
+			}
+		}
+	}
+}
+
+func TestIndexMatchesPaperBaseW(t *testing.T) {
+	// For m == w the label is the plain base-w integer at every level.
+	s := Spec{L: 4, M: 4, W: 4}
+	for h := 0; h < s.L; h++ {
+		for idx := 0; idx < s.SwitchesAt(h); idx++ {
+			lab := s.LabelOf(h, idx)
+			v := 0
+			for pos := len(lab) - 1; pos >= 0; pos-- {
+				v = v*4 + lab[pos]
+			}
+			if v != idx {
+				t.Fatalf("level %d idx %d: base-4 value %d", h, idx, v)
+			}
+		}
+	}
+}
+
+func TestUpMatchesPaperExample(t *testing.T) {
+	// Paper Section 4 worked example: FT(4,4), request (0,000) -> (0,113).
+	// P0=0: σ1 = s2 s1 P0 = 000, δ1 = d2 d1 P0 = 110.
+	// P1=1: σ2 = s2 P0 P1 = 001, δ2 = d2 P0 P1 = 101.
+	// P2=0: σ3 = P0 P1 P2 = 010, δ3 = 010.
+	s := Spec{L: 4, M: 4, W: 4}
+	sigma := Label{0, 0, 0} // 000 (positions 0..2 LSB-first)
+	delta := Label{3, 1, 1} // 113 => d2=1 d1=1 d0=3
+
+	sigma1 := s.Up(0, sigma, 0)
+	delta1 := s.Up(0, delta, 0)
+	if s.Index(1, sigma1) != 0 {
+		t.Fatalf("σ1 = %v want 000", sigma1)
+	}
+	if got := s.Index(1, delta1); got != 4*4+4*1+0 {
+		t.Fatalf("δ1 index = %d want 20 (110 base 4)", got)
+	}
+
+	sigma2 := s.Up(1, sigma1, 1)
+	delta2 := s.Up(1, delta1, 1)
+	if got := s.Index(2, sigma2); got != 1 { // 001
+		t.Fatalf("σ2 index = %d want 1", got)
+	}
+	if got := s.Index(2, delta2); got != 16+1 { // 101
+		t.Fatalf("δ2 index = %d want 17", got)
+	}
+
+	sigma3 := s.Up(2, sigma2, 0)
+	delta3 := s.Up(2, delta2, 0)
+	if !sigma3.Equal(delta3) {
+		t.Fatalf("common ancestor mismatch: %v vs %v", sigma3, delta3)
+	}
+	if got := s.Index(3, sigma3); got != 4 { // 010
+		t.Fatalf("ancestor index = %d want 4", got)
+	}
+}
+
+func TestUpDoesNotMutate(t *testing.T) {
+	s := Spec{L: 3, M: 4, W: 4}
+	d := Label{2, 3}
+	orig := d.Clone()
+	s.Up(0, d, 1)
+	if !d.Equal(orig) {
+		t.Fatal("Up mutated its argument")
+	}
+}
+
+func TestUpInPlaceMatchesUp(t *testing.T) {
+	s := Spec{L: 4, M: 3, W: 5}
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 200; trial++ {
+		h := rng.Intn(s.L - 1)
+		idx := rng.Intn(s.SwitchesAt(h))
+		p := rng.Intn(s.W)
+		lab := s.LabelOf(h, idx)
+		want := s.Up(h, lab, p)
+		got := lab.Clone()
+		dropped := s.UpInPlace(h, got, p)
+		if !got.Equal(want) {
+			t.Fatalf("UpInPlace(%v) = %v want %v", lab, got, want)
+		}
+		if dropped != lab[h] {
+			t.Fatalf("dropped child = %d want %d", dropped, lab[h])
+		}
+	}
+}
+
+func TestDownInvertsUp(t *testing.T) {
+	specs := []Spec{{3, 4, 4}, {4, 3, 3}, {3, 4, 2}, {4, 2, 3}}
+	rng := rand.New(rand.NewSource(9))
+	for _, s := range specs {
+		for trial := 0; trial < 300; trial++ {
+			h := rng.Intn(s.L - 1)
+			lab := s.LabelOf(h, rng.Intn(s.SwitchesAt(h)))
+			p := rng.Intn(s.W)
+			parent := s.Up(h, lab, p)
+			child, upPort := s.Down(h, parent, lab[h])
+			if !child.Equal(lab) {
+				t.Fatalf("%+v: Down(Up(%v,%d), %d) = %v", s, lab, p, lab[h], child)
+			}
+			if upPort != p {
+				t.Fatalf("%+v: recovered up port %d want %d", s, upPort, p)
+			}
+		}
+	}
+}
+
+func TestNodeSwitch(t *testing.T) {
+	s := Spec{L: 3, M: 4, W: 4}
+	// Paper: node 3 attaches to switch 0 at port 3.
+	lab, port := s.NodeSwitch(3)
+	if s.Index(0, lab) != 0 || port != 3 {
+		t.Fatalf("NodeSwitch(3) = %v,%d", lab, port)
+	}
+	// Node 95 in FT(4,4): switch 23 (base-4 113), port 3.
+	s4 := Spec{L: 4, M: 4, W: 4}
+	lab, port = s4.NodeSwitch(95)
+	if s4.Index(0, lab) != 23 || port != 3 {
+		t.Fatalf("NodeSwitch(95) = idx %d, port %d", s4.Index(0, lab), port)
+	}
+}
+
+func TestAncestorLevel(t *testing.T) {
+	s := Spec{L: 3, M: 4, W: 4}
+	a := Label{0, 0}
+	if got := s.AncestorLevel(a, Label{0, 0}); got != 0 {
+		t.Fatalf("same switch: H = %d", got)
+	}
+	if got := s.AncestorLevel(a, Label{1, 0}); got != 1 {
+		t.Fatalf("differ at pos 0: H = %d", got)
+	}
+	if got := s.AncestorLevel(a, Label{0, 2}); got != 2 {
+		t.Fatalf("differ at pos 1: H = %d", got)
+	}
+	if got := s.AncestorLevel(a, Label{3, 2}); got != 2 {
+		t.Fatalf("differ at both: H = %d", got)
+	}
+}
+
+func TestNodeAncestorLevel(t *testing.T) {
+	s := Spec{L: 3, M: 4, W: 4}
+	// Nodes 0 and 1 share the level-0 switch.
+	if got := s.NodeAncestorLevel(0, 1); got != 0 {
+		t.Fatalf("H(0,1) = %d want 0", got)
+	}
+	// Paper Figure 2: SW(0,0) to SW(0,6) — subtrees of size 16 nodes
+	// means nodes 0 and 24 (switch 6) meet at the top (level 2).
+	if got := s.NodeAncestorLevel(0, 24); got != 2 {
+		t.Fatalf("H(0,24) = %d want 2", got)
+	}
+	// Nodes 0 and 4: switches 0 and 1, same group of 4 -> level 1.
+	if got := s.NodeAncestorLevel(0, 4); got != 1 {
+		t.Fatalf("H(0,4) = %d want 1", got)
+	}
+}
+
+// Property: Up produces a label valid at the next level, and Down with the
+// dropped child digit recovers the original (for arbitrary specs).
+func TestQuickUpDownRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Spec{L: 2 + rng.Intn(3), M: 2 + rng.Intn(4), W: 2 + rng.Intn(4)}
+		h := rng.Intn(s.L - 1)
+		lab := s.LabelOf(h, rng.Intn(s.SwitchesAt(h)))
+		p := rng.Intn(s.W)
+		parent := s.Up(h, lab, p)
+		// Index must be in range at level h+1 (checkLabelShape panics otherwise).
+		idx := s.Index(h+1, parent)
+		if idx < 0 || idx >= s.SwitchesAt(h+1) {
+			return false
+		}
+		child, upPort := s.Down(h, parent, lab[h])
+		return child.Equal(lab) && upPort == p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: AncestorLevel is symmetric and zero iff labels are equal.
+func TestQuickAncestorSymmetry(t *testing.T) {
+	s := Spec{L: 4, M: 4, W: 4}
+	n := s.SwitchesAt(0)
+	f := func(ai, bi uint32) bool {
+		a := s.LabelOf(0, int(ai)%n)
+		b := s.LabelOf(0, int(bi)%n)
+		ha := s.AncestorLevel(a, b)
+		hb := s.AncestorLevel(b, a)
+		if ha != hb {
+			return false
+		}
+		return (ha == 0) == a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: climbing H levels from both endpoints with identical ports
+// reaches the same switch (the digit-level core of Theorem 2).
+func TestQuickTheorem2Convergence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		s := Spec{L: 2 + rng.Intn(3), M: 2 + rng.Intn(3), W: 2 + rng.Intn(3)}
+		na := rng.Intn(s.Nodes())
+		nb := rng.Intn(s.Nodes())
+		a, _ := s.NodeSwitch(na)
+		b, _ := s.NodeSwitch(nb)
+		h := s.AncestorLevel(a, b)
+		for lvl := 0; lvl < h; lvl++ {
+			p := rng.Intn(s.W)
+			a = s.Up(lvl, a, p)
+			b = s.Up(lvl, b, p)
+		}
+		return a.Equal(b)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLabelString(t *testing.T) {
+	if got := (Label{3, 1, 1}).String(); got != "1.1.3" {
+		t.Fatalf("String = %q", got)
+	}
+	if got := (Label{}).String(); got != "·" {
+		t.Fatalf("empty String = %q", got)
+	}
+}
+
+func TestPanics(t *testing.T) {
+	s := Spec{L: 3, M: 4, W: 4}
+	cases := []func(){
+		func() { s.SwitchesAt(3) },
+		func() { s.SwitchesAt(-1) },
+		func() { s.LabelOf(0, 16) },
+		func() { s.LabelOf(0, -1) },
+		func() { s.Index(0, Label{0}) },            // wrong length
+		func() { s.Index(0, Label{4, 0}) },         // digit out of radix
+		func() { s.Up(2, Label{0, 0}, 0) },         // up from top
+		func() { s.Up(0, Label{0, 0}, 4) },         // bad port
+		func() { s.Down(2, Label{0, 0}, 0) },       // down level out of range
+		func() { s.Down(0, Label{0, 0}, 4) },       // bad child
+		func() { s.NodeSwitch(64) },                // node out of range
+		func() { s.NodeSwitch(-1) },                //
+		func() { s.UpInPlace(0, Label{0, 0}, -1) }, // bad port
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestPow(t *testing.T) {
+	if Pow(2, 10) != 1024 || Pow(7, 0) != 1 || Pow(5, 3) != 125 {
+		t.Fatal("Pow wrong")
+	}
+}

@@ -1,0 +1,170 @@
+package dynamic
+
+import (
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+func baseConfig(t testing.TB) Config {
+	t.Helper()
+	return Config{
+		Tree:        topology.MustNew(3, 4, 4),
+		Scheduler:   &core.LevelWise{Opts: core.Options{Rollback: true}},
+		ArrivalRate: 0.5,
+		MeanHold:    40,
+		Duration:    4000,
+		WarmUp:      400,
+		Seed:        1,
+	}
+}
+
+func TestValidation(t *testing.T) {
+	good := baseConfig(t)
+	bads := []func(*Config){
+		func(c *Config) { c.Tree = nil },
+		func(c *Config) { c.Scheduler = nil },
+		func(c *Config) { c.ArrivalRate = 0 },
+		func(c *Config) { c.MeanHold = -1 },
+		func(c *Config) { c.Duration = 0 },
+		func(c *Config) { c.WarmUp = c.Duration },
+	}
+	for i, mut := range bads {
+		c := good
+		mut(&c)
+		if _, err := Run(c); err == nil {
+			t.Errorf("bad config %d accepted", i)
+		}
+	}
+	if _, err := Run(good); err != nil {
+		t.Fatalf("good config rejected: %v", err)
+	}
+}
+
+func TestConservation(t *testing.T) {
+	cfg := baseConfig(t)
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Offered == 0 {
+		t.Fatal("no offered load")
+	}
+	if s.Accepted+s.Blocked != s.Offered {
+		t.Fatalf("accepted %d + blocked %d != offered %d", s.Accepted, s.Blocked, s.Offered)
+	}
+	if p := s.BlockingProbability(); p < 0 || p > 1 {
+		t.Fatalf("blocking probability %v", p)
+	}
+	if s.MeanActive < 0 || s.PeakActive < 0 {
+		t.Fatalf("stats: %+v", s)
+	}
+}
+
+func TestLowLoadRarelyBlocks(t *testing.T) {
+	cfg := baseConfig(t)
+	cfg.ArrivalRate = 0.02
+	cfg.MeanHold = 10 // offered load ~0.2 concurrent connections
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p := s.BlockingProbability(); p > 0.05 {
+		t.Fatalf("blocking %v at trivial load", p)
+	}
+}
+
+func TestHighLoadBlocksMore(t *testing.T) {
+	low := baseConfig(t)
+	low.ArrivalRate = 0.05
+	high := baseConfig(t)
+	high.ArrivalRate = 5
+	high.MeanHold = 200
+	sLow, err := Run(low)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sHigh, err := Run(high)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sHigh.BlockingProbability() <= sLow.BlockingProbability() {
+		t.Fatalf("blocking did not grow with load: %v vs %v",
+			sLow.BlockingProbability(), sHigh.BlockingProbability())
+	}
+	if sHigh.MeanUtilization <= sLow.MeanUtilization {
+		t.Fatalf("utilization did not grow with load: %v vs %v",
+			sLow.MeanUtilization, sHigh.MeanUtilization)
+	}
+}
+
+func TestLevelWiseBlocksLessThanLocal(t *testing.T) {
+	// The paper's motivation: for long-lived connections the better
+	// scheduler translates into lower blocking.
+	mk := func(s core.Scheduler, seed int64) Stats {
+		cfg := baseConfig(t)
+		cfg.Scheduler = s
+		cfg.ArrivalRate = 2
+		cfg.MeanHold = 60
+		cfg.Duration = 6000
+		cfg.Seed = seed
+		st, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	var lw, local float64
+	const seeds = 5
+	for seed := int64(0); seed < seeds; seed++ {
+		lw += mk(&core.LevelWise{Opts: core.Options{Rollback: true}}, seed).BlockingProbability()
+		local += mk(core.NewLocalGreedy(), seed).BlockingProbability()
+	}
+	if lw >= local {
+		t.Fatalf("level-wise blocking %.4f not below local %.4f", lw/seeds, local/seeds)
+	}
+}
+
+func TestNoLeakWithNonRollbackScheduler(t *testing.T) {
+	// A scheduler without rollback retains failed-partial allocations in
+	// the outcome; Run must release them so the network drains.
+	cfg := baseConfig(t)
+	cfg.Scheduler = core.NewLevelWise() // no rollback
+	cfg.ArrivalRate = 4
+	cfg.MeanHold = 100
+	s, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Whatever is still occupied must be explainable by <= PeakActive
+	// live connections of at most 2*(l-1) channels each.
+	tree := cfg.Tree
+	maxPer := 2 * tree.LinkLevels()
+	if s.FinalOccupied > s.PeakActive*maxPer {
+		t.Fatalf("final occupancy %d exceeds any possible live set (peak %d)", s.FinalOccupied, s.PeakActive)
+	}
+}
+
+func TestDeterminism(t *testing.T) {
+	a, err := Run(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(baseConfig(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatalf("same seed, different stats:\n%+v\n%+v", a, b)
+	}
+}
+
+func BenchmarkChurn(b *testing.B) {
+	cfg := baseConfig(b)
+	for i := 0; i < b.N; i++ {
+		if _, err := Run(cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

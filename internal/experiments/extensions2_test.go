@@ -1,0 +1,267 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/optimal"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestExtTBWPOrdering(t *testing.T) {
+	cells, err := ExtTBWP(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid := map[[2]int]map[string]float64{}
+	for _, c := range cells {
+		k := [2]int{c.Levels, c.Width}
+		if byGrid[k] == nil {
+			byGrid[k] = map[string]float64{}
+		}
+		byGrid[k][c.Scheduler] = c.Ratio.Mean
+	}
+	for k, m := range byGrid {
+		// TBWP improves on plain local (it has strictly more options)
+		// but global information still wins.
+		if m["TBWP"] <= m["Local"] {
+			t.Fatalf("%v: TBWP %.3f not above Local %.3f", k, m["TBWP"], m["Local"])
+		}
+		if m["Global"] <= m["TBWP"] {
+			t.Fatalf("%v: Global %.3f not above TBWP %.3f", k, m["Global"], m["TBWP"])
+		}
+	}
+	if !strings.Contains(TBWPTable(cells).String(), "laterals/grant") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtRoundsOrdering(t *testing.T) {
+	cells, err := ExtRounds(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid := map[[2]int]map[string]float64{}
+	for _, c := range cells {
+		k := [2]int{c.Levels, c.Width}
+		if byGrid[k] == nil {
+			byGrid[k] = map[string]float64{}
+		}
+		byGrid[k][c.Scheduler] = c.Rounds.Mean
+		if c.Rounds.Min < 1 {
+			t.Fatalf("%v %s: rounds < 1", k, c.Scheduler)
+		}
+	}
+	for k, m := range byGrid {
+		if m["Global"] >= m["Local"] {
+			t.Fatalf("%v: Global needs %.2f rounds, not below Local %.2f", k, m["Global"], m["Local"])
+		}
+	}
+	if !strings.Contains(RoundsTable(cells).String(), "mean rounds") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestRoundsToCompleteOptimalIsOne(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 3)
+	st := linkstate.New(tree)
+	for trial := 0; trial < 5; trial++ {
+		r, err := RoundsToComplete(tree, st, optimal.New(), g.MustBatch(traffic.RandomPermutation))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r != 1 {
+			t.Fatalf("optimal needed %d rounds", r)
+		}
+	}
+}
+
+func TestRoundsToCompleteEmptyBatch(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	st := linkstate.New(tree)
+	r, err := RoundsToComplete(tree, st, core.NewLevelWise(), nil)
+	if err != nil || r != 0 {
+		t.Fatalf("empty batch: %d rounds, %v", r, err)
+	}
+}
+
+func TestExtFaultsDegradesGracefully(t *testing.T) {
+	cells, err := ExtFaults(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byFrac := map[float64]map[string]float64{}
+	for _, c := range cells {
+		if byFrac[c.FailFraction] == nil {
+			byFrac[c.FailFraction] = map[string]float64{}
+		}
+		byFrac[c.FailFraction][c.Scheduler] = c.Ratio.Mean
+	}
+	// Ratio falls with failures but Global keeps its lead at every level.
+	if byFrac[0.20]["Global"] >= byFrac[0]["Global"] {
+		t.Fatalf("failures did not hurt: %v", byFrac)
+	}
+	for frac, m := range byFrac {
+		if m["Global"] <= m["Local"] {
+			t.Fatalf("frac %.2f: Global %.3f not above Local %.3f", frac, m["Global"], m["Local"])
+		}
+	}
+	// Graceful: 2% failures cost Global fewer than 10 points.
+	if byFrac[0]["Global"]-byFrac[0.02]["Global"] > 0.10 {
+		t.Fatalf("2%% failures catastrophic: %v", byFrac)
+	}
+	if !strings.Contains(FaultTable(cells).String(), "failed links") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtFailureLoci(t *testing.T) {
+	loci, err := ExtFailureLoci(15, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(loci) != 2 {
+		t.Fatalf("loci = %d", len(loci))
+	}
+	for _, l := range loci {
+		denied := l.Total - l.Granted
+		counted := 0
+		for h := range l.UpFails {
+			counted += l.UpFails[h] + l.DownFails[h]
+		}
+		if counted != denied {
+			t.Fatalf("%s: counted %d denials, result says %d", l.Scheduler, counted, denied)
+		}
+		if l.Scheduler == "Global" {
+			for h, d := range l.DownFails {
+				if d != 0 {
+					t.Fatalf("level-wise has down-phase denials at level %d", h)
+				}
+			}
+		}
+		if l.Scheduler == "Local" {
+			down := 0
+			for _, d := range l.DownFails {
+				down += d
+			}
+			if down == 0 {
+				t.Fatal("local scheduler shows no down-phase denials (Figure 4 effect missing)")
+			}
+		}
+	}
+	if !strings.Contains(FailureLociTable(loci).String(), "down-phase denials") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtStalenessSpectrum(t *testing.T) {
+	cells, err := ExtStaleness(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 7 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Fresh view at the top of the table, decay toward the bottom; the
+	// freshest window must beat the most stale one clearly.
+	first, lastWindow := cells[0], cells[len(cells)-2]
+	if first.Window != 1 {
+		t.Fatalf("first cell window = %d", first.Window)
+	}
+	if first.Ratio.Mean <= lastWindow.Ratio.Mean {
+		t.Fatalf("staleness did not degrade: %.3f vs %.3f", first.Ratio.Mean, lastWindow.Ratio.Mean)
+	}
+	// Even fully stale, the commit check keeps it at or above the local
+	// baseline (same blind failure mode, no worse information).
+	local := cells[len(cells)-1]
+	if lastWindow.Ratio.Mean < local.Ratio.Mean-0.05 {
+		t.Fatalf("fully stale (%.3f) far below local greedy (%.3f)", lastWindow.Ratio.Mean, local.Ratio.Mean)
+	}
+	if !strings.Contains(StalenessTable(cells).String(), "view refresh") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtMulticastOrdering(t *testing.T) {
+	cells, err := ExtMulticast(8, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 10 { // 5 fanouts x 2 schedulers
+		t.Fatalf("cells = %d", len(cells))
+	}
+	byFanout := map[int]map[string]float64{}
+	for _, c := range cells {
+		if byFanout[c.Fanout] == nil {
+			byFanout[c.Fanout] = map[string]float64{}
+		}
+		byFanout[c.Fanout][c.Scheduler] = c.Ratio.Mean
+	}
+	for fanout, m := range byFanout {
+		if m["Global"] < m["Local"] {
+			t.Fatalf("fanout %d: global %.3f below local %.3f", fanout, m["Global"], m["Local"])
+		}
+	}
+	// Bigger trees are harder: ratio decreases with fanout for both.
+	if byFanout[16]["Global"] >= byFanout[1]["Global"] {
+		t.Fatalf("fanout did not hurt global: %v", byFanout)
+	}
+	if !strings.Contains(MulticastTable(cells).String(), "fanout") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtBacktrackClosesGap(t *testing.T) {
+	cells, err := ExtBacktrack(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byGrid := map[[2]int]map[string]float64{}
+	for _, c := range cells {
+		k := [2]int{c.Levels, c.Width}
+		if byGrid[k] == nil {
+			byGrid[k] = map[string]float64{}
+		}
+		byGrid[k][c.Variant] = c.Ratio.Mean
+	}
+	for k, m := range byGrid {
+		if m["backtrack 32"] < m["backtrack 0 (paper)"] {
+			t.Fatalf("%v: search hurt: %v", k, m)
+		}
+		if m["optimal"] < m["backtrack 32"] {
+			t.Fatalf("%v: search exceeded optimal: %v", k, m)
+		}
+	}
+	if !strings.Contains(BacktrackTable(cells).String(), "backtrack 8") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtAnalyticRelationships(t *testing.T) {
+	cells, err := ExtAnalytic(10, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 12 { // 6 grid points x 2 schedulers
+		t.Fatalf("cells = %d", len(cells))
+	}
+	for _, c := range cells {
+		switch c.Scheduler {
+		case "Local":
+			if d := c.Predicted - c.Measured.Mean; d > 0.08 || d < -0.12 {
+				t.Errorf("FT(%d,%d) local: prediction %.3f vs measured %.3f", c.Levels, c.Width, c.Predicted, c.Measured.Mean)
+			}
+		case "Global":
+			if c.Predicted > c.Measured.Mean+0.02 {
+				t.Errorf("FT(%d,%d) global: lower bound %.3f above measured %.3f", c.Levels, c.Width, c.Predicted, c.Measured.Mean)
+			}
+		}
+	}
+	if !strings.Contains(AnalyticTable(cells).String(), "predicted") {
+		t.Fatal("rendering")
+	}
+}

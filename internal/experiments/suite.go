@@ -1,0 +1,275 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"sync"
+
+	"repro/internal/report"
+)
+
+// SuiteConfig controls a full reproduction run.
+type SuiteConfig struct {
+	// Permutations per test point; 0 means the paper's 100.
+	Permutations int
+	// Seed makes the whole suite reproducible.
+	Seed int64
+	// SkipExtensions restricts the run to the paper's own evaluation
+	// (Figure 9 and Table 1).
+	SkipExtensions bool
+	// Workers parallelizes the Figure 9 sweeps across system sizes and
+	// the ablations/extensions across each other; results and output
+	// order are identical to a sequential run.
+	Workers int
+	// Only, when non-empty, runs just the suite components whose id
+	// contains it (case-insensitive), e.g. "e12", "a1", "fig9",
+	// "table1" or "complexity".
+	Only string
+}
+
+func (c SuiteConfig) wants(id string) bool {
+	if c.Only == "" {
+		return true
+	}
+	return strings.Contains(strings.ToLower(id), strings.ToLower(c.Only))
+}
+
+// component is one named, independently runnable piece of the suite.
+type component struct {
+	id  string
+	run func() (*report.Table, error)
+}
+
+// RunSuite executes the evaluation — every figure and table of the paper
+// plus (unless skipped or filtered) the ablations and extensions —
+// rendering each as an ASCII table to out. It returns the Figure 9
+// claim-check violations (nil when the reproduction matches the paper's
+// shape, or when the claim check did not run due to filtering).
+func RunSuite(out io.Writer, cfg SuiteConfig) ([]string, error) {
+	var violations []string
+	if cfg.wants("fig9") {
+		a, err := RunFig9(Fig9Config{Name: "Figure 9(a): two-level fat tree", Levels: 2, Widths: Fig9aWidths,
+			Permutations: cfg.Permutations, Seed: cfg.Seed, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		b, err := RunFig9(Fig9Config{Name: "Figure 9(b): three-level fat tree", Levels: 3, Widths: Fig9bWidths,
+			Permutations: cfg.Permutations, Seed: cfg.Seed, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		c, err := RunFig9(Fig9Config{Name: "Figure 9(c): four-level fat tree", Levels: 4, Widths: Fig9cWidths,
+			Permutations: cfg.Permutations, Seed: cfg.Seed, Workers: cfg.Workers})
+		if err != nil {
+			return nil, err
+		}
+		for _, r := range []*Fig9Result{a, b, c} {
+			if err := r.Table().Render(out); err != nil {
+				return nil, err
+			}
+		}
+		if err := Fig9dTable(Fig9d(a, b, c)).Render(out); err != nil {
+			return nil, err
+		}
+		violations = CheckPaperClaims(a, b, c)
+		if len(violations) == 0 {
+			fmt.Fprintln(out, "Figure 9 claim check: all Section 5 claims hold.")
+		} else {
+			fmt.Fprintf(out, "Figure 9 claim check: %d violation(s):\n", len(violations))
+			for _, v := range violations {
+				fmt.Fprintf(out, "  - %s\n", v)
+			}
+		}
+		fmt.Fprintln(out)
+	}
+
+	if cfg.wants("table1") {
+		t1, err := Table1(cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := Table1Table(t1).Render(out); err != nil {
+			return nil, err
+		}
+	}
+	if cfg.wants("complexity") {
+		cc, err := ComplexityCounts(0, cfg.Seed)
+		if err != nil {
+			return nil, err
+		}
+		if err := ComplexityTable(cc).Render(out); err != nil {
+			return nil, err
+		}
+	}
+
+	if cfg.SkipExtensions {
+		return violations, nil
+	}
+
+	components := []component{
+		{"A1 port-policy", func() (*report.Table, error) {
+			cells, err := AblationPortPolicy(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("Ablation A1: Level-wise port-selection policy", cells), nil
+		}},
+		{"A2 rollback", func() (*report.Table, error) {
+			cells, err := AblationRollback(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("Ablation A2: rollback of failed requests", cells), nil
+		}},
+		{"A3 ordering", func() (*report.Table, error) {
+			cells, err := AblationOrdering(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("Ablation A3: request processing order", cells), nil
+		}},
+		{"E1 optimal", func() (*report.Table, error) {
+			cells, err := ExtOptimal(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return AblationTable("Extension E1: optimal (rearrangeable) reference", cells), nil
+		}},
+		{"E2 traffic", func() (*report.Table, error) {
+			cells, err := ExtTraffic(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return TrafficTable(cells), nil
+		}},
+		{"E3 slim", func() (*report.Table, error) {
+			cells, err := ExtSlim(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return SlimTable(cells), nil
+		}},
+		{"E4 dynamic", func() (*report.Table, error) {
+			cells, err := ExtDynamic(cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return DynamicTable(cells), nil
+		}},
+		{"E5 switchsim", func() (*report.Table, error) {
+			cells, err := ExtSwitchSim(cfg.Permutations/2, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return SwitchSimTable(cells), nil
+		}},
+		{"E6 tbwp", func() (*report.Table, error) {
+			cells, err := ExtTBWP(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return TBWPTable(cells), nil
+		}},
+		{"E7 rounds", func() (*report.Table, error) {
+			cells, err := ExtRounds(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return RoundsTable(cells), nil
+		}},
+		{"E8 wormhole-load", func() (*report.Table, error) {
+			cells, err := ExtWormholeLoad(cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return WormholeLoadTable(cells), nil
+		}},
+		{"E9 bulk-transfer", func() (*report.Table, error) {
+			cells, err := ExtBulkTransfer(cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return BulkTable(cells), nil
+		}},
+		{"E10 faults", func() (*report.Table, error) {
+			cells, err := ExtFaults(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return FaultTable(cells), nil
+		}},
+		{"E11 failure-loci", func() (*report.Table, error) {
+			loci, err := ExtFailureLoci(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return FailureLociTable(loci), nil
+		}},
+		{"E12 staleness", func() (*report.Table, error) {
+			cells, err := ExtStaleness(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return StalenessTable(cells), nil
+		}},
+		{"E13 multicast", func() (*report.Table, error) {
+			cells, err := ExtMulticast(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return MulticastTable(cells), nil
+		}},
+		{"E14 backtrack", func() (*report.Table, error) {
+			cells, err := ExtBacktrack(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return BacktrackTable(cells), nil
+		}},
+		{"E15 analytic", func() (*report.Table, error) {
+			cells, err := ExtAnalytic(cfg.Permutations, cfg.Seed)
+			if err != nil {
+				return nil, err
+			}
+			return AnalyticTable(cells), nil
+		}},
+	}
+	var selected []component
+	for _, c := range components {
+		if cfg.wants(c.id) {
+			selected = append(selected, c)
+		}
+	}
+
+	// Components are independent; run them on a bounded pool and render
+	// in the original order.
+	tables := make([]*report.Table, len(selected))
+	errs := make([]error, len(selected))
+	workers := cfg.Workers
+	if workers < 1 {
+		workers = 1
+	}
+	sem := make(chan struct{}, workers)
+	var wg sync.WaitGroup
+	for i := range selected {
+		i := i
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer wg.Done()
+			defer func() { <-sem }()
+			tables[i], errs[i] = selected[i].run()
+		}()
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("experiments: %s: %w", selected[i].id, err)
+		}
+		if err := tables[i].Render(out); err != nil {
+			return nil, err
+		}
+	}
+	return violations, nil
+}

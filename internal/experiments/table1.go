@@ -1,0 +1,86 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/hardware"
+	"repro/internal/report"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// Table1Row is one row of the paper's Table 1: the hardware scheduler
+// timing for a three-level fat tree of a given switch width.
+type Table1Row struct {
+	SwitchWidth int
+	Nodes       int
+	// PaperSingleNS / PaperAllNS are the published numbers.
+	PaperSingleNS float64
+	PaperAllNS    float64
+	// Model numbers from the cycle-accurate pipeline.
+	SingleNS   float64
+	AllNS      float64 // N·3T, the paper's throughput accounting
+	MakespanNS float64 // cycle-exact, includes pipeline fill
+	Cycles     uint64
+	Granted    int
+	Total      int
+}
+
+// paperTable1 holds the published Table 1 values.
+var paperTable1 = []struct {
+	w, n            int
+	singleNS, allNS float64
+}{
+	{4, 64, 15, 480},
+	{8, 512, 17, 4352},
+	{16, 4096, 19, 38912},
+}
+
+// Table1 reruns the paper's Table 1 on the hardware pipeline model: one
+// random permutation per system size, timed cycle by cycle.
+func Table1(seed int64) ([]Table1Row, error) {
+	var rows []Table1Row
+	for _, c := range paperTable1 {
+		tree, err := topology.New(3, c.w, c.w)
+		if err != nil {
+			return nil, err
+		}
+		gen := traffic.NewGenerator(tree.Nodes(), seed+int64(c.w))
+		reqs := gen.MustBatch(traffic.RandomPermutation)
+		pipe := hardware.New(tree)
+		res, tm := pipe.Schedule(reqs)
+		rows = append(rows, Table1Row{
+			SwitchWidth:   c.w,
+			Nodes:         c.n,
+			PaperSingleNS: c.singleNS,
+			PaperAllNS:    c.allNS,
+			SingleNS:      tm.SingleRequestNS,
+			AllNS:         tm.PipelinedBatchNS,
+			MakespanNS:    tm.BatchNS,
+			Cycles:        tm.Cycles,
+			Granted:       res.Granted,
+			Total:         res.Total,
+		})
+	}
+	return rows, nil
+}
+
+// Table1Table renders the comparison in the paper's layout.
+func Table1Table(rows []Table1Row) *report.Table {
+	tb := report.NewTable("Table 1: hardware scheduler timing (3-level fat tree, Stratix II calibration)",
+		"system", "switch", "single paper", "single model", "all paper", "all model", "makespan", "granted")
+	for _, r := range rows {
+		tb.AddRow(
+			fmt.Sprint(r.Nodes),
+			fmt.Sprintf("%dx%d", r.SwitchWidth, r.SwitchWidth),
+			fmt.Sprintf("%.0f ns", r.PaperSingleNS),
+			fmt.Sprintf("%.0f ns", r.SingleNS),
+			fmt.Sprintf("%.0f ns", r.PaperAllNS),
+			fmt.Sprintf("%.0f ns", r.AllNS),
+			fmt.Sprintf("%.1f ns", r.MakespanNS),
+			fmt.Sprintf("%d/%d", r.Granted, r.Total),
+		)
+	}
+	tb.AddNote("single = 6-cycle pipeline latency; all = N·3T throughput accounting (paper); makespan = cycle-exact incl. fill")
+	return tb
+}

@@ -1,0 +1,163 @@
+package experiments
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/report"
+	"repro/internal/topology"
+	"repro/internal/wormhole"
+)
+
+// LoadLatencyCell is one point of the wormhole load–latency sweep.
+type LoadLatencyCell struct {
+	Router     string
+	Rate       float64
+	AvgLatency float64
+	P99Latency float64
+	Throughput float64 // flits/node/cycle
+}
+
+// ExtWormholeLoad (E8) sweeps injection rate on FT(3,4) under uniform
+// traffic for three wormhole routers — deterministic, adaptive, and
+// adaptive with 4 virtual channels — the classic interconnect
+// load–latency curves for the packet-switched transport the paper's
+// circuit scheduling replaces.
+func ExtWormholeLoad(seed int64) ([]LoadLatencyCell, error) {
+	tree, err := topology.New(3, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	routers := []struct {
+		name   string
+		policy wormhole.UpPolicy
+		vcs    int
+		sf     bool
+	}{
+		{"store-and-forward", wormhole.AdaptiveFreeSpace, 1, true},
+		{"deterministic", wormhole.DeterministicFirst, 1, false},
+		{"adaptive", wormhole.AdaptiveFreeSpace, 1, false},
+		{"adaptive+4vc", wormhole.AdaptiveFreeSpace, 4, false},
+	}
+	var cells []LoadLatencyCell
+	for _, r := range routers {
+		for _, rate := range []float64{0.02, 0.05, 0.10, 0.20, 0.35, 0.50} {
+			depth := 0 // default
+			if r.sf {
+				depth = 5 // store-and-forward holds whole 5-flit packets
+			}
+			m, err := wormhole.Run(wormhole.Config{
+				Tree:            tree,
+				Policy:          r.policy,
+				VirtualChannels: r.vcs,
+				StoreAndForward: r.sf,
+				BufferDepth:     depth,
+				Rate:            rate,
+				Cycles:          6000,
+				Warmup:          1000,
+				Seed:            seed,
+			})
+			if err != nil {
+				return nil, err
+			}
+			cells = append(cells, LoadLatencyCell{
+				Router:     r.name,
+				Rate:       rate,
+				AvgLatency: m.AvgLatency,
+				P99Latency: m.P99Latency,
+				Throughput: m.ThroughputFlits,
+			})
+		}
+	}
+	return cells, nil
+}
+
+// WormholeLoadTable renders the load–latency sweep.
+func WormholeLoadTable(cells []LoadLatencyCell) *report.Table {
+	tb := report.NewTable("Extension E8: wormhole load–latency on FT(3,4), uniform traffic, 5-flit packets",
+		"router", "inj. rate", "avg latency", "p99", "throughput (flits/node/cyc)")
+	for _, c := range cells {
+		tb.AddRow(c.Router, fmt.Sprintf("%.2f", c.Rate),
+			fmt.Sprintf("%.1f", c.AvgLatency), fmt.Sprintf("%.0f", c.P99Latency),
+			fmt.Sprintf("%.3f", c.Throughput))
+	}
+	return tb
+}
+
+// BulkCell is one message-size point of the circuit-vs-wormhole phase
+// comparison.
+type BulkCell struct {
+	MessageFlits   int
+	WormholeCycles int
+	CircuitRounds  int
+	// CircuitCycles = rounds · (message + setup), setup being the
+	// hardware scheduler's 3 cycles/request (Table 1 throughput).
+	CircuitCycles int
+	Speedup       float64 // wormhole / circuit
+}
+
+// ExtBulkTransfer (E9) quantifies the paper's motivation — "the penalty
+// of low bandwidth utilization detrimentally impacts execution time,
+// especially for long-lived connections" — by timing one full
+// permutation phase where every node sends an M-flit message:
+//
+//   - wormhole: measured completion cycles of the flit-level simulation;
+//   - scheduled circuits: the Level-wise scheduler delivers the
+//     permutation in R rounds (extension E7); every granted circuit then
+//     streams at link rate, so the phase costs R·(M + 3N) cycles
+//     including the hardware scheduler's 3-cycles-per-request setup.
+func ExtBulkTransfer(seed int64) ([]BulkCell, error) {
+	tree, err := topology.New(3, 4, 4)
+	if err != nil {
+		return nil, err
+	}
+	n := tree.Nodes()
+	perm := rand.New(rand.NewSource(seed)).Perm(n)
+	reqs := make([]core.Request, n)
+	for i, d := range perm {
+		reqs[i] = core.Request{Src: i, Dst: d}
+	}
+	st := linkstate.New(tree)
+	rounds, err := RoundsToComplete(tree, st, core.NewLevelWise(), reqs)
+	if err != nil {
+		return nil, err
+	}
+	setup := 3 * n // hardware scheduler: 3 cycles per request per round
+
+	var cells []BulkCell
+	for _, m := range []int{16, 64, 256, 1024} {
+		wm, err := wormhole.RunBulk(wormhole.Config{
+			Tree:      tree,
+			PacketLen: m,
+			Seed:      seed,
+			Dest:      func(src int, _ *rand.Rand) int { return perm[src] },
+		}, 100*m*tree.Levels()*n)
+		if err != nil {
+			return nil, err
+		}
+		circuit := rounds * (m + setup)
+		cells = append(cells, BulkCell{
+			MessageFlits:   m,
+			WormholeCycles: wm.Cycles,
+			CircuitRounds:  rounds,
+			CircuitCycles:  circuit,
+			Speedup:        float64(wm.Cycles) / float64(circuit),
+		})
+	}
+	return cells, nil
+}
+
+// BulkTable renders the phase comparison.
+func BulkTable(cells []BulkCell) *report.Table {
+	tb := report.NewTable("Extension E9: permutation phase time, wormhole vs Level-wise circuits (FT(3,4))",
+		"message flits", "wormhole cycles", "circuit rounds", "circuit cycles", "circuit speedup")
+	for _, c := range cells {
+		tb.AddRow(fmt.Sprint(c.MessageFlits), fmt.Sprint(c.WormholeCycles),
+			fmt.Sprint(c.CircuitRounds), fmt.Sprint(c.CircuitCycles),
+			fmt.Sprintf("%.2fx", c.Speedup))
+	}
+	tb.AddNote("circuit cycles include 3·N setup cycles per round (hardware scheduler throughput, Table 1)")
+	return tb
+}

@@ -1,0 +1,61 @@
+package experiments
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestExtWormholeLoadShape(t *testing.T) {
+	cells, err := ExtWormholeLoad(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 24 { // 4 routers x 6 rates
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// Latency grows monotonically enough: last point above first, per
+	// router.
+	byRouter := map[string][]LoadLatencyCell{}
+	for _, c := range cells {
+		byRouter[c.Router] = append(byRouter[c.Router], c)
+	}
+	if len(byRouter) != 4 {
+		t.Fatalf("routers = %d", len(byRouter))
+	}
+	for name, pts := range byRouter {
+		first, last := pts[0], pts[len(pts)-1]
+		if last.AvgLatency <= first.AvgLatency {
+			t.Fatalf("%s: latency flat under load (%.1f -> %.1f)", name, first.AvgLatency, last.AvgLatency)
+		}
+		if first.Throughput <= 0 {
+			t.Fatalf("%s: zero throughput at light load", name)
+		}
+	}
+	if !strings.Contains(WormholeLoadTable(cells).String(), "inj. rate") {
+		t.Fatal("rendering")
+	}
+}
+
+func TestExtBulkTransferCircuitsWinForLongMessages(t *testing.T) {
+	cells, err := ExtBulkTransfer(1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 4 {
+		t.Fatalf("cells = %d", len(cells))
+	}
+	// The paper's motivation: for long-lived transfers, circuits beat
+	// wormhole. Demand it at the largest message size.
+	last := cells[len(cells)-1]
+	if last.Speedup <= 1 {
+		t.Fatalf("circuits not ahead at %d flits: speedup %.2f", last.MessageFlits, last.Speedup)
+	}
+	// Speedup improves with message length (setup amortizes).
+	if cells[0].Speedup >= last.Speedup {
+		t.Fatalf("speedup not growing: %.2f at %d vs %.2f at %d",
+			cells[0].Speedup, cells[0].MessageFlits, last.Speedup, last.MessageFlits)
+	}
+	if !strings.Contains(BulkTable(cells).String(), "circuit speedup") {
+		t.Fatal("rendering")
+	}
+}

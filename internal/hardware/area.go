@@ -1,0 +1,83 @@
+package hardware
+
+import (
+	"fmt"
+	"math/bits"
+
+	"repro/internal/topology"
+)
+
+// gateDelayNS is the modeled delay of one logic level on the paper's
+// Stratix II target. With it, the published clock periods decompose into
+// integer level counts (see CriticalPathLevels): 6·T(w) = 11 + 2·log2(w)
+// gate delays.
+const gateDelayNS = 1.0 / 6
+
+// fixedPathLevels is the width-independent part of the compute stage's
+// critical path: RAM clock-to-output, the Ulink AND Dlink gate, result
+// multiplexing and register setup.
+const fixedPathLevels = 11
+
+// Resources estimates the FPGA footprint of the full scheduler (all l-1
+// P-blocks) in technology-neutral units. It substitutes for the paper's
+// Altera synthesis report: absolute LUT counts are estimates, but the
+// memory size is exact and the critical-path model reproduces the
+// published clock periods (asserted in tests).
+type Resources struct {
+	Blocks int // P-blocks (l-1)
+	// MemoryBits is the exact total of the Ulink and Dlink RAMs:
+	// 2 bits per physical link channel pair, i.e. 2·Σ_h switches(h)·w.
+	MemoryBits int
+	// ALUTs estimates combinational logic: per block, the w-bit AND
+	// array, a priority encoder (~2w), the one-hot update masks (~2w),
+	// and control (~w).
+	ALUTs int
+	// Registers estimates pipeline state: per block, two w-bit vector
+	// registers per stage pair plus the request register (source and
+	// destination switch labels and the accumulated ports).
+	Registers int
+	// CriticalPathLevels is the compute-stage depth in logic levels:
+	// fixedPathLevels + 2·log2(w) for the priority encoder tree.
+	CriticalPathLevels int
+	// ClockNS is CriticalPathLevels · gateDelayNS — the cycle time the
+	// structure supports. It equals ClockNS(w) for the synthesized
+	// widths.
+	ClockNS float64
+}
+
+// Estimate computes the resource model for a scheduler serving the tree.
+func Estimate(tree *topology.Tree) Resources {
+	w := tree.Parents()
+	l := tree.Levels()
+	r := Resources{Blocks: tree.LinkLevels()}
+	for h := 0; h < tree.LinkLevels(); h++ {
+		r.MemoryBits += 2 * tree.SwitchesAt(h) * w
+	}
+	logW := bits.Len(uint(w - 1)) // ceil(log2 w), 0 for w == 1
+	if w == 1 {
+		logW = 0
+	}
+	perBlockLUTs := w + 2*w + 2*w + w // AND + priority encoder + masks + control
+	r.ALUTs = r.Blocks * perBlockLUTs
+	// Request register: l-1 digits of logW bits for each of σ and δ,
+	// plus up to l-1 selected ports; vector registers: 2 stages × 2
+	// vectors × w bits.
+	reqBits := 2*(l-1)*maxInt(logW, 1) + (l-1)*maxInt(logW, 1)
+	r.Registers = r.Blocks * (4*w + reqBits)
+	r.CriticalPathLevels = fixedPathLevels + 2*logW
+	r.ClockNS = float64(r.CriticalPathLevels) * gateDelayNS
+	return r
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+// String summarizes the estimate.
+func (r Resources) String() string {
+	return fmt.Sprintf("%d P-blocks: %d RAM bits, ~%d ALUTs, ~%d registers, %d-level critical path (%.3f ns clock)",
+		r.Blocks, r.MemoryBits, r.ALUTs, r.Registers, r.CriticalPathLevels, r.ClockNS)
+}

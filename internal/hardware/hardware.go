@@ -1,0 +1,233 @@
+// Package hardware is a cycle-accurate structural model of the paper's
+// FPGA scheduler (Section 6): a chain of P-blocks, one per link level,
+// each a three-stage pipeline.
+//
+//   - load:    compute σ_h and δ_h from the request and the ports chosen
+//     so far, and read the Ulink and Dlink availability vectors
+//     from the two link-state RAMs;
+//   - compute: AND the vectors and run the priority selector (pure
+//     combinational logic);
+//   - update:  write the updated vectors back to the RAMs.
+//
+// A new request may enter a block's load stage only after the previous
+// request's update has written back — the load-after-update RAM hazard —
+// giving an initiation interval of three cycles. With l-1 chained blocks a
+// single request takes 3·(l-1) cycles; for the paper's three-level tree
+// that is 6 cycles, matching the published 15/17/19 ns at the calibrated
+// clock periods (see ClockNS).
+//
+// The model schedules for real: its grant set is bit-identical to the
+// Level-wise software scheduler's (request-major, first-fit), which the
+// tests assert. Only the ns-per-cycle constant is taken from the paper's
+// post-place-and-route synthesis, as our substitute for the Altera
+// Stratix II toolchain (DESIGN.md §5).
+package hardware
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bitvec"
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// ClockNS returns the calibrated clock period in nanoseconds for a given
+// switch width w. The paper's synthesis gives 6-cycle latencies of 15, 17
+// and 19 ns for w = 4, 8, 16, i.e. T = 2.5, 17/6, 19/6 ns: one third of a
+// nanosecond per doubling of w (the priority selector and AND tree grow
+// logarithmically). Widths outside the synthesized range extrapolate on
+// the same line, with a floor at 1 ns.
+func ClockNS(w int) float64 {
+	if w < 1 {
+		w = 1
+	}
+	t := 2.5 + (math.Log2(float64(w))-2)/3
+	if t < 1 {
+		t = 1
+	}
+	return t
+}
+
+// Timing reports the clock-level outcome of a batch.
+type Timing struct {
+	Cycles          uint64  // makespan of the batch in cycles
+	ClockNS         float64 // calibrated cycle time
+	SingleRequestNS float64 // latency of one request: 3·(l-1)·T
+	ThroughputNS    float64 // steady-state per-request time: 3·T
+	BatchNS         float64 // Cycles · ClockNS
+	// PipelinedBatchNS is the paper's Table 1 accounting for "schedule
+	// all requests": N · 3T (throughput times batch size).
+	PipelinedBatchNS float64
+}
+
+// Pipeline is the hardware scheduler model for one fat tree.
+type Pipeline struct {
+	tree   *topology.Tree
+	blocks []*pBlock
+	clock  float64
+}
+
+// pBlock is one P-block: the level-h port resolver with its two RAMs.
+type pBlock struct {
+	h     int
+	ulink *bitvec.Matrix // availability RAM, rows = switches at level h
+	dlink *bitvec.Matrix
+	flit  *flit // request occupying the block (nil when free)
+	left  int   // cycles until the occupying flit completes its 3 stages
+	avail bitvec.Vector
+}
+
+// flit is a request in flight through the block chain.
+type flit struct {
+	idx          int
+	h            int // ancestor level of the request
+	sigma, delta int
+	ports        []int
+	failed       bool
+	failLevel    int
+}
+
+// New builds a Pipeline for the tree with every link available.
+func New(tree *topology.Tree) *Pipeline {
+	p := &Pipeline{tree: tree, clock: ClockNS(tree.Parents())}
+	for h := 0; h < tree.LinkLevels(); h++ {
+		b := &pBlock{
+			h:     h,
+			ulink: bitvec.NewMatrix(tree.SwitchesAt(h), tree.Parents()),
+			dlink: bitvec.NewMatrix(tree.SwitchesAt(h), tree.Parents()),
+			avail: bitvec.New(tree.Parents()),
+		}
+		b.ulink.SetAll()
+		b.dlink.SetAll()
+		p.blocks = append(p.blocks, b)
+	}
+	return p
+}
+
+// Reset clears all pipeline state and marks every link available.
+func (p *Pipeline) Reset() {
+	for _, b := range p.blocks {
+		b.ulink.SetAll()
+		b.dlink.SetAll()
+		b.flit = nil
+		b.left = 0
+	}
+}
+
+// Blocks returns the number of P-blocks (l-1).
+func (p *Pipeline) Blocks() int { return len(p.blocks) }
+
+// process executes a block's three stages on its flit. The model is
+// timing-accurate at cycle granularity (the stages occupy three cycles;
+// the work is applied atomically at update time, which is sound because
+// the initiation interval admits no intra-block overlap).
+func (b *pBlock) process(tree *topology.Tree, f *flit) {
+	if f.failed || b.h >= f.h {
+		return // dead or pass-through: no RAM update
+	}
+	b.avail.And(b.ulink.Row(f.sigma), b.dlink.Row(f.delta))
+	port, ok := b.avail.FirstSet() // the priority selector
+	if !ok {
+		f.failed = true
+		f.failLevel = b.h
+		return
+	}
+	b.ulink.Row(f.sigma).Clear(port)
+	b.dlink.Row(f.delta).Clear(port)
+	f.ports = append(f.ports, port)
+	f.sigma = tree.UpParent(b.h, f.sigma, port)
+	f.delta = tree.UpParent(b.h, f.delta, port)
+}
+
+// Schedule runs the batch through the pipeline, cycle by cycle, and
+// returns the scheduling result and the timing. The pipeline retains link
+// occupancy across calls (use Reset between independent batches).
+func (p *Pipeline) Schedule(reqs []core.Request) (*core.Result, Timing) {
+	tree := p.tree
+	outs := make([]core.Outcome, len(reqs))
+	flits := make([]*flit, len(reqs))
+	for i, r := range reqs {
+		outs[i] = core.Outcome{Request: r, H: tree.AncestorLevel(r.Src, r.Dst), FailLevel: -1}
+		sigma, _ := tree.NodeSwitch(r.Src)
+		delta, _ := tree.NodeSwitch(r.Dst)
+		flits[i] = &flit{idx: i, h: outs[i].H, sigma: sigma, delta: delta, failLevel: -1}
+	}
+
+	var cycles uint64
+	next := 0     // next request to inject
+	inFlight := 0 // flits inside the pipeline
+	retire := func(f *flit) {
+		o := &outs[f.idx]
+		o.Ports = f.ports
+		if f.failed {
+			o.FailLevel = f.failLevel
+		} else {
+			o.Granted = true
+		}
+		inFlight--
+	}
+	if len(p.blocks) == 0 {
+		// Single-level tree: every request is same-switch.
+		for i := range outs {
+			outs[i].Granted = true
+		}
+		next = len(reqs)
+	}
+	for next < len(reqs) || inFlight > 0 {
+		cycles++
+		// Inject at the cycle start: the new flit's load stage runs this
+		// cycle. The load-after-update hazard is respected structurally:
+		// block 0 only frees once its occupant's update has written back.
+		if next < len(reqs) && p.blocks[0].flit == nil {
+			p.blocks[0].flit, p.blocks[0].left = flits[next], 3
+			next++
+			inFlight++
+		}
+		// Advance blocks downstream-first so hand-offs see freed blocks.
+		for bi := len(p.blocks) - 1; bi >= 0; bi-- {
+			b := p.blocks[bi]
+			if b.flit == nil {
+				continue
+			}
+			b.left--
+			if b.left > 0 {
+				continue
+			}
+			b.process(tree, b.flit)
+			if bi+1 < len(p.blocks) {
+				nb := p.blocks[bi+1]
+				if nb.flit != nil {
+					// Uniform 3-cycle blocks never collide; a collision
+					// would be a model bug.
+					panic("hardware: structural hazard between blocks")
+				}
+				nb.flit, nb.left = b.flit, 3
+			} else {
+				retire(b.flit)
+			}
+			b.flit = nil
+		}
+	}
+
+	res := &core.Result{Scheduler: "hardware-pipeline", Outcomes: outs, Total: len(outs)}
+	for i := range outs {
+		if outs[i].Granted {
+			res.Granted++
+		}
+	}
+	t := Timing{
+		Cycles:           cycles,
+		ClockNS:          p.clock,
+		SingleRequestNS:  float64(3*len(p.blocks)) * p.clock,
+		ThroughputNS:     3 * p.clock,
+		BatchNS:          float64(cycles) * p.clock,
+		PipelinedBatchNS: float64(len(reqs)) * 3 * p.clock,
+	}
+	return res, t
+}
+
+// String describes the pipeline.
+func (p *Pipeline) String() string {
+	return fmt.Sprintf("hardware pipeline: %d P-blocks, clock %.3f ns", len(p.blocks), p.clock)
+}

@@ -1,0 +1,326 @@
+// Package linkstate tracks the availability of every upward and downward
+// link channel in a fat tree, exactly as the paper's scheduler hardware
+// does with its Ulink and Dlink memories.
+//
+// For each link level h (joining switch levels h and h+1) the state holds
+// two bit matrices indexed by (level-h switch, upper port): Ulink marks
+// the upward channel available, Dlink the downward channel of the same
+// physical link. Bit set means available (the paper's convention: "If
+// Ulink(h,τ)[i] equals one, [the] upward link connected via port i of
+// switch (h,τ) is available; otherwise, it is occupied").
+package linkstate
+
+import (
+	"fmt"
+
+	"repro/internal/bitvec"
+	"repro/internal/topology"
+)
+
+// Direction selects one of the two channels of a physical link.
+type Direction int
+
+// The two channel directions.
+const (
+	Up Direction = iota
+	Down
+)
+
+// String names the direction.
+func (d Direction) String() string {
+	switch d {
+	case Up:
+		return "up"
+	case Down:
+		return "down"
+	default:
+		return fmt.Sprintf("Direction(%d)", int(d))
+	}
+}
+
+// State is the complete link-availability state of one fat tree. It is not
+// safe for concurrent mutation.
+type State struct {
+	tree    *topology.Tree
+	ulink   []*bitvec.Matrix // per link level: rows = switches at level h
+	dlink   []*bitvec.Matrix
+	scratch bitvec.Vector // reused AND buffer, width w
+	// failedU/failedD mark permanently failed channels (fault-injection
+	// experiments); Reset keeps them unavailable. Nil until the first
+	// MarkFailed call.
+	failedU []*bitvec.Matrix
+	failedD []*bitvec.Matrix
+}
+
+// New returns a State for the tree with every link available.
+func New(tree *topology.Tree) *State {
+	s := &State{
+		tree:    tree,
+		ulink:   make([]*bitvec.Matrix, tree.LinkLevels()),
+		dlink:   make([]*bitvec.Matrix, tree.LinkLevels()),
+		scratch: bitvec.New(tree.Parents()),
+	}
+	for h := 0; h < tree.LinkLevels(); h++ {
+		rows := tree.SwitchesAt(h)
+		s.ulink[h] = bitvec.NewMatrix(rows, tree.Parents())
+		s.dlink[h] = bitvec.NewMatrix(rows, tree.Parents())
+	}
+	s.Reset()
+	return s
+}
+
+// Tree returns the topology this state belongs to.
+func (s *State) Tree() *topology.Tree { return s.tree }
+
+// Reset marks every link channel available, except channels failed via
+// MarkFailed, which stay unavailable.
+func (s *State) Reset() {
+	for h := range s.ulink {
+		s.ulink[h].SetAll()
+		s.dlink[h].SetAll()
+		if s.failedU != nil {
+			for r := 0; r < s.ulink[h].Rows(); r++ {
+				s.ulink[h].Row(r).AndNot(s.ulink[h].Row(r), s.failedU[h].Row(r))
+				s.dlink[h].Row(r).AndNot(s.dlink[h].Row(r), s.failedD[h].Row(r))
+			}
+		}
+	}
+}
+
+// MarkFailed permanently removes a channel from service: it becomes
+// unavailable now and stays unavailable across Reset. Marking an
+// already-failed channel is a no-op. Fault-injection experiments use
+// this to model broken links.
+func (s *State) MarkFailed(d Direction, h, idx, port int) {
+	if s.failedU == nil {
+		s.failedU = make([]*bitvec.Matrix, len(s.ulink))
+		s.failedD = make([]*bitvec.Matrix, len(s.dlink))
+		for lvl := range s.ulink {
+			s.failedU[lvl] = bitvec.NewMatrix(s.ulink[lvl].Rows(), s.ulink[lvl].Width())
+			s.failedD[lvl] = bitvec.NewMatrix(s.dlink[lvl].Rows(), s.dlink[lvl].Width())
+		}
+	}
+	if d == Up {
+		s.failedU[h].Row(idx).Set(port)
+		s.ulink[h].Row(idx).Clear(port)
+	} else {
+		s.failedD[h].Row(idx).Set(port)
+		s.dlink[h].Row(idx).Clear(port)
+	}
+}
+
+// FailedCount returns the number of channels removed from service.
+func (s *State) FailedCount() int {
+	if s.failedU == nil {
+		return 0
+	}
+	total := 0
+	for h := range s.failedU {
+		total += s.failedU[h].Count() + s.failedD[h].Count()
+	}
+	return total
+}
+
+// ULink returns the upward availability vector of the level-h switch idx.
+// The returned vector aliases internal storage: treat it as read-only and
+// use Allocate/Release to mutate.
+func (s *State) ULink(h, idx int) bitvec.Vector { return s.ulink[h].Row(idx) }
+
+// DLink returns the downward availability vector of the level-h switch idx
+// (same aliasing caveat as ULink).
+func (s *State) DLink(h, idx int) bitvec.Vector { return s.dlink[h].Row(idx) }
+
+// AvailBoth writes Ulink(h,src) AND Dlink(h,dst) — the paper's level-h
+// available-port vector for a request whose source-side switch is src and
+// destination-side mirror switch is dst — into an internal scratch vector
+// and returns it. The result is invalidated by the next AvailBoth call.
+func (s *State) AvailBoth(h, src, dst int) bitvec.Vector {
+	s.scratch.And(s.ulink[h].Row(src), s.dlink[h].Row(dst))
+	return s.scratch
+}
+
+// Available reports whether the given channel is free.
+func (s *State) Available(d Direction, h, idx, port int) bool {
+	return s.matrix(d)[h].Row(idx).Get(port)
+}
+
+func (s *State) matrix(d Direction) []*bitvec.Matrix {
+	if d == Up {
+		return s.ulink
+	}
+	return s.dlink
+}
+
+// Allocate marks the channel occupied. It returns an error if the channel
+// is already occupied — schedulers rely on this to catch double allocation.
+func (s *State) Allocate(d Direction, h, idx, port int) error {
+	row := s.matrix(d)[h].Row(idx)
+	if !row.Get(port) {
+		return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d already occupied", d, h, idx, port)
+	}
+	row.Clear(port)
+	return nil
+}
+
+// Release marks the channel available. It returns an error if the channel
+// was not occupied or has been failed via MarkFailed.
+func (s *State) Release(d Direction, h, idx, port int) error {
+	if s.failedU != nil {
+		failed := s.failedU
+		if d == Down {
+			failed = s.failedD
+		}
+		if failed[h].Row(idx).Get(port) {
+			return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d is failed", d, h, idx, port)
+		}
+	}
+	row := s.matrix(d)[h].Row(idx)
+	if row.Get(port) {
+		return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d not occupied", d, h, idx, port)
+	}
+	row.Set(port)
+	return nil
+}
+
+// OccupiedCount returns the number of occupied channels (both directions)
+// across all levels.
+func (s *State) OccupiedCount() int {
+	total := 0
+	for h := range s.ulink {
+		cap := s.ulink[h].Rows() * s.ulink[h].Width()
+		total += cap - s.ulink[h].Count()
+		total += cap - s.dlink[h].Count()
+	}
+	return total
+}
+
+// ChannelCount returns the total number of channels (2 per physical link).
+func (s *State) ChannelCount() int { return 2 * s.tree.TotalLinks() }
+
+// Utilization returns occupied channels / total channels in [0, 1].
+func (s *State) Utilization() float64 {
+	if s.ChannelCount() == 0 {
+		return 0
+	}
+	return float64(s.OccupiedCount()) / float64(s.ChannelCount())
+}
+
+// LevelOccupancy returns the occupied channel count at link level h, split
+// by direction.
+func (s *State) LevelOccupancy(h int) (up, down int) {
+	cap := s.ulink[h].Rows() * s.ulink[h].Width()
+	return cap - s.ulink[h].Count(), cap - s.dlink[h].Count()
+}
+
+// Snapshot captures the full state for later Restore. Snapshots are cheap
+// (one []uint64 copy per matrix) and are how schedulers implement rollback.
+type Snapshot struct {
+	u, d [][]uint64
+}
+
+// Snapshot returns a copy of the current availability state.
+func (s *State) Snapshot() Snapshot {
+	snap := Snapshot{
+		u: make([][]uint64, len(s.ulink)),
+		d: make([][]uint64, len(s.dlink)),
+	}
+	for h := range s.ulink {
+		snap.u[h] = s.ulink[h].Snapshot()
+		snap.d[h] = s.dlink[h].Snapshot()
+	}
+	return snap
+}
+
+// Restore rewinds the state to a snapshot taken from the same State.
+func (s *State) Restore(snap Snapshot) {
+	if len(snap.u) != len(s.ulink) || len(snap.d) != len(s.dlink) {
+		panic("linkstate: snapshot shape mismatch")
+	}
+	for h := range s.ulink {
+		s.ulink[h].Restore(snap.u[h])
+		s.dlink[h].Restore(snap.d[h])
+	}
+}
+
+// Equal reports whether two states over the same tree have identical
+// availability.
+func (s *State) Equal(other *State) bool {
+	if len(s.ulink) != len(other.ulink) {
+		return false
+	}
+	for h := range s.ulink {
+		if !s.ulink[h].Equal(other.ulink[h]) || !s.dlink[h].Equal(other.dlink[h]) {
+			return false
+		}
+	}
+	return true
+}
+
+// AllocatePath claims every channel of a fully routed connection: the
+// upward channel at each climb hop and the downward channel at each mirror
+// switch (Theorem 2: same port index at each level). src and dst are
+// nodes; ports has one entry per level below the common ancestor. On any
+// conflict it releases what it claimed and returns an error, leaving the
+// state unchanged.
+func (s *State) AllocatePath(src, dst int, ports []int) error {
+	h := s.tree.AncestorLevel(src, dst)
+	if len(ports) != h {
+		return fmt.Errorf("linkstate: request (%d→%d) needs %d ports, got %d", src, dst, h, len(ports))
+	}
+	sigma, _ := s.tree.NodeSwitch(src)
+	delta, _ := s.tree.NodeSwitch(dst)
+	type claim struct {
+		dir            Direction
+		lvl, idx, port int
+	}
+	var claimed []claim
+	undo := func() {
+		for i := len(claimed) - 1; i >= 0; i-- {
+			c := claimed[i]
+			if err := s.Release(c.dir, c.lvl, c.idx, c.port); err != nil {
+				panic(err) // release of our own claim cannot fail
+			}
+		}
+	}
+	for lvl := 0; lvl < h; lvl++ {
+		p := ports[lvl]
+		if err := s.Allocate(Up, lvl, sigma, p); err != nil {
+			undo()
+			return err
+		}
+		claimed = append(claimed, claim{Up, lvl, sigma, p})
+		if err := s.Allocate(Down, lvl, delta, p); err != nil {
+			undo()
+			return err
+		}
+		claimed = append(claimed, claim{Down, lvl, delta, p})
+		sigma = s.tree.UpParent(lvl, sigma, p)
+		delta = s.tree.UpParent(lvl, delta, p)
+	}
+	return nil
+}
+
+// ReleasePath releases every channel of a previously allocated connection.
+// It returns an error (after releasing what it can) if any channel was not
+// actually occupied.
+func (s *State) ReleasePath(src, dst int, ports []int) error {
+	h := s.tree.AncestorLevel(src, dst)
+	if len(ports) != h {
+		return fmt.Errorf("linkstate: request (%d→%d) needs %d ports, got %d", src, dst, h, len(ports))
+	}
+	sigma, _ := s.tree.NodeSwitch(src)
+	delta, _ := s.tree.NodeSwitch(dst)
+	var firstErr error
+	for lvl := 0; lvl < h; lvl++ {
+		p := ports[lvl]
+		if err := s.Release(Up, lvl, sigma, p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		if err := s.Release(Down, lvl, delta, p); err != nil && firstErr == nil {
+			firstErr = err
+		}
+		sigma = s.tree.UpParent(lvl, sigma, p)
+		delta = s.tree.UpParent(lvl, delta, p)
+	}
+	return firstErr
+}

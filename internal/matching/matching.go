@@ -1,0 +1,85 @@
+// Package matching implements Hopcroft–Karp maximum bipartite matching.
+// It is the substrate of the edge-coloring decomposition (package
+// coloring) behind the optimal reference scheduler: every Δ-regular
+// bipartite multigraph has a perfect matching (König), and peeling w of
+// them yields a conflict-free port assignment.
+package matching
+
+// Hopcroft–Karp over a bipartite graph with nL left and nR right vertices.
+// adj[l] lists the right neighbors of left vertex l (parallel entries are
+// harmless).
+//
+// Max returns matchL (the matched right vertex per left vertex, -1 if
+// unmatched) and the matching size.
+func Max(nL, nR int, adj [][]int) (matchL []int, size int) {
+	const inf = int(^uint(0) >> 1)
+	matchL = make([]int, nL)
+	matchR := make([]int, nR)
+	for i := range matchL {
+		matchL[i] = -1
+	}
+	for i := range matchR {
+		matchR[i] = -1
+	}
+	dist := make([]int, nL)
+	queue := make([]int, 0, nL)
+
+	bfs := func() bool {
+		queue = queue[:0]
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 {
+				dist[l] = 0
+				queue = append(queue, l)
+			} else {
+				dist[l] = inf
+			}
+		}
+		found := false
+		for qi := 0; qi < len(queue); qi++ {
+			l := queue[qi]
+			for _, r := range adj[l] {
+				nl := matchR[r]
+				if nl == -1 {
+					found = true
+				} else if dist[nl] == inf {
+					dist[nl] = dist[l] + 1
+					queue = append(queue, nl)
+				}
+			}
+		}
+		return found
+	}
+
+	var dfs func(l int) bool
+	dfs = func(l int) bool {
+		for _, r := range adj[l] {
+			nl := matchR[r]
+			if nl == -1 || (dist[nl] == dist[l]+1 && dfs(nl)) {
+				matchL[l] = r
+				matchR[r] = l
+				return true
+			}
+		}
+		dist[l] = inf
+		return false
+	}
+
+	for bfs() {
+		for l := 0; l < nL; l++ {
+			if matchL[l] == -1 && dfs(l) {
+				size++
+			}
+		}
+	}
+	return matchL, size
+}
+
+// IsPerfect reports whether a matching covers every left vertex.
+func IsPerfect(matchL []int) bool {
+	for _, r := range matchL {
+		if r == -1 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,190 @@
+package matching
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestEmptyGraph(t *testing.T) {
+	matchL, size := Max(0, 0, nil)
+	if len(matchL) != 0 || size != 0 {
+		t.Fatalf("empty: %v %d", matchL, size)
+	}
+	matchL, size = Max(3, 3, [][]int{{}, {}, {}})
+	if size != 0 || IsPerfect(matchL) {
+		t.Fatalf("edgeless: %v %d", matchL, size)
+	}
+}
+
+func TestPerfectMatchingSimple(t *testing.T) {
+	// Identity-capable graph plus noise.
+	adj := [][]int{{0, 1}, {1, 2}, {2, 0}}
+	matchL, size := Max(3, 3, adj)
+	if size != 3 || !IsPerfect(matchL) {
+		t.Fatalf("size = %d, matchL = %v", size, matchL)
+	}
+	seen := map[int]bool{}
+	for l, r := range matchL {
+		if seen[r] {
+			t.Fatalf("right vertex %d matched twice", r)
+		}
+		seen[r] = true
+		ok := false
+		for _, x := range adj[l] {
+			if x == r {
+				ok = true
+			}
+		}
+		if !ok {
+			t.Fatalf("matched pair (%d,%d) is not an edge", l, r)
+		}
+	}
+}
+
+func TestKnownMaximum(t *testing.T) {
+	// Classic: 4 left, 4 right, max matching 3.
+	adj := [][]int{{0, 1}, {0}, {1}, {}}
+	_, size := Max(4, 4, adj)
+	if size != 2 {
+		t.Fatalf("size = %d want 2", size)
+	}
+	adj = [][]int{{0}, {0, 1}, {1, 2}, {2, 3}}
+	_, size = Max(4, 4, adj)
+	if size != 4 {
+		t.Fatalf("size = %d want 4", size)
+	}
+}
+
+func TestParallelEdgesHarmless(t *testing.T) {
+	adj := [][]int{{0, 0, 0}, {0, 1, 1}}
+	matchL, size := Max(2, 2, adj)
+	if size != 2 || !IsPerfect(matchL) {
+		t.Fatalf("multigraph: %v %d", matchL, size)
+	}
+}
+
+func TestRegularGraphHasPerfectMatching(t *testing.T) {
+	// König: every d-regular bipartite graph has a perfect matching.
+	rng := rand.New(rand.NewSource(7))
+	for _, n := range []int{4, 8, 16} {
+		for _, d := range []int{2, 3, 4} {
+			adj := make([][]int, n)
+			// Union of d random permutations is d-regular.
+			for k := 0; k < d; k++ {
+				perm := rng.Perm(n)
+				for l, r := range perm {
+					adj[l] = append(adj[l], r)
+				}
+			}
+			matchL, size := Max(n, n, adj)
+			if size != n || !IsPerfect(matchL) {
+				t.Fatalf("n=%d d=%d: size %d", n, d, size)
+			}
+		}
+	}
+}
+
+// Property: matching size equals a brute-force maximum on small graphs.
+func TestQuickMatchesBruteForce(t *testing.T) {
+	brute := func(nL, nR int, adj [][]int) int {
+		best := 0
+		usedR := make([]bool, nR)
+		var rec func(l, count int)
+		rec = func(l, count int) {
+			if count > best {
+				best = count
+			}
+			if l == nL {
+				return
+			}
+			rec(l+1, count) // skip l
+			for _, r := range adj[l] {
+				if !usedR[r] {
+					usedR[r] = true
+					rec(l+1, count+1)
+					usedR[r] = false
+				}
+			}
+		}
+		rec(0, 0)
+		return best
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := rng.Intn(6) + 1
+		nR := rng.Intn(6) + 1
+		adj := make([][]int, nL)
+		for l := range adj {
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					adj[l] = append(adj[l], r)
+				}
+			}
+		}
+		_, size := Max(nL, nR, adj)
+		return size == brute(nL, nR, adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: output is always a valid matching (edges exist, no vertex
+// reused).
+func TestQuickValidMatching(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := rng.Intn(20) + 1
+		nR := rng.Intn(20) + 1
+		adj := make([][]int, nL)
+		for l := range adj {
+			deg := rng.Intn(4)
+			for k := 0; k < deg; k++ {
+				adj[l] = append(adj[l], rng.Intn(nR))
+			}
+		}
+		matchL, size := Max(nL, nR, adj)
+		count := 0
+		usedR := map[int]bool{}
+		for l, r := range matchL {
+			if r == -1 {
+				continue
+			}
+			count++
+			if usedR[r] {
+				return false
+			}
+			usedR[r] = true
+			found := false
+			for _, x := range adj[l] {
+				if x == r {
+					found = true
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		return count == size
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkHopcroftKarp64x64Regular(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	n, d := 64, 8
+	adj := make([][]int, n)
+	for k := 0; k < d; k++ {
+		perm := rng.Perm(n)
+		for l, r := range perm {
+			adj[l] = append(adj[l], r)
+		}
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Max(n, n, adj)
+	}
+}

@@ -1,0 +1,126 @@
+// Package maxflow implements Dinic's maximum-flow algorithm. The optimal
+// reference scheduler uses it for admission control: the largest subset
+// of requests respecting the per-switch port capacities is a
+// degree-constrained subgraph problem, i.e. a unit-capacity flow between
+// source-switch and destination-switch capacity nodes. Greedy admission
+// is not optimal there; max-flow is, which makes the optimal scheduler a
+// true upper bound for every other scheduler on arbitrary batches.
+package maxflow
+
+// Graph is a flow network under construction. Nodes are dense integers;
+// create them with AddNode or number them yourself and size the graph
+// with NewGraph.
+type Graph struct {
+	adj [][]int // node -> edge indices
+	to  []int
+	cap []int
+}
+
+// NewGraph returns a flow network with n nodes and no edges.
+func NewGraph(n int) *Graph {
+	return &Graph{adj: make([][]int, n)}
+}
+
+// AddNode appends a node and returns its index.
+func (g *Graph) AddNode() int {
+	g.adj = append(g.adj, nil)
+	return len(g.adj) - 1
+}
+
+// Nodes returns the node count.
+func (g *Graph) Nodes() int { return len(g.adj) }
+
+// AddEdge adds a directed edge with the given capacity and returns its
+// index, usable with Flow after Run. The reverse (residual) edge is
+// created automatically.
+func (g *Graph) AddEdge(from, to, capacity int) int {
+	if from < 0 || from >= len(g.adj) || to < 0 || to >= len(g.adj) {
+		panic("maxflow: edge endpoint out of range")
+	}
+	if capacity < 0 {
+		panic("maxflow: negative capacity")
+	}
+	id := len(g.to)
+	g.to = append(g.to, to)
+	g.cap = append(g.cap, capacity)
+	g.adj[from] = append(g.adj[from], id)
+	g.to = append(g.to, from)
+	g.cap = append(g.cap, 0)
+	g.adj[to] = append(g.adj[to], id+1)
+	return id
+}
+
+// Flow returns the flow pushed through edge id (after Run): the capacity
+// accumulated on its residual twin.
+func (g *Graph) Flow(id int) int { return g.cap[id^1] }
+
+// Run computes the maximum flow from s to t (Dinic). It may be called
+// once per graph.
+func (g *Graph) Run(s, t int) int {
+	if s == t {
+		return 0
+	}
+	n := len(g.adj)
+	level := make([]int, n)
+	iter := make([]int, n)
+	queue := make([]int, 0, n)
+
+	bfs := func() bool {
+		for i := range level {
+			level[i] = -1
+		}
+		level[s] = 0
+		queue = append(queue[:0], s)
+		for qi := 0; qi < len(queue); qi++ {
+			u := queue[qi]
+			for _, id := range g.adj[u] {
+				v := g.to[id]
+				if g.cap[id] > 0 && level[v] < 0 {
+					level[v] = level[u] + 1
+					queue = append(queue, v)
+				}
+			}
+		}
+		return level[t] >= 0
+	}
+
+	var dfs func(u, f int) int
+	dfs = func(u, f int) int {
+		if u == t {
+			return f
+		}
+		for ; iter[u] < len(g.adj[u]); iter[u]++ {
+			id := g.adj[u][iter[u]]
+			v := g.to[id]
+			if g.cap[id] <= 0 || level[v] != level[u]+1 {
+				continue
+			}
+			pushed := f
+			if g.cap[id] < pushed {
+				pushed = g.cap[id]
+			}
+			if got := dfs(v, pushed); got > 0 {
+				g.cap[id] -= got
+				g.cap[id^1] += got
+				return got
+			}
+		}
+		return 0
+	}
+
+	const inf = int(^uint(0) >> 1)
+	total := 0
+	for bfs() {
+		for i := range iter {
+			iter[i] = 0
+		}
+		for {
+			f := dfs(s, inf)
+			if f == 0 {
+				break
+			}
+			total += f
+		}
+	}
+	return total
+}

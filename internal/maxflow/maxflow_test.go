@@ -1,0 +1,201 @@
+package maxflow
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestTrivial(t *testing.T) {
+	g := NewGraph(2)
+	e := g.AddEdge(0, 1, 5)
+	if got := g.Run(0, 1); got != 5 {
+		t.Fatalf("flow = %d", got)
+	}
+	if g.Flow(e) != 5 {
+		t.Fatalf("edge flow = %d", g.Flow(e))
+	}
+}
+
+func TestSourceEqualsSink(t *testing.T) {
+	g := NewGraph(1)
+	if g.Run(0, 0) != 0 {
+		t.Fatal("s == t flow != 0")
+	}
+}
+
+func TestDisconnected(t *testing.T) {
+	g := NewGraph(3)
+	g.AddEdge(0, 1, 7)
+	if g.Run(0, 2) != 0 {
+		t.Fatal("disconnected flow != 0")
+	}
+}
+
+func TestClassicNetwork(t *testing.T) {
+	// CLRS-style example with max flow 23.
+	g := NewGraph(6)
+	g.AddEdge(0, 1, 16)
+	g.AddEdge(0, 2, 13)
+	g.AddEdge(1, 2, 10)
+	g.AddEdge(2, 1, 4)
+	g.AddEdge(1, 3, 12)
+	g.AddEdge(3, 2, 9)
+	g.AddEdge(2, 4, 14)
+	g.AddEdge(4, 3, 7)
+	g.AddEdge(3, 5, 20)
+	g.AddEdge(4, 5, 4)
+	if got := g.Run(0, 5); got != 23 {
+		t.Fatalf("flow = %d want 23", got)
+	}
+}
+
+func TestParallelEdges(t *testing.T) {
+	g := NewGraph(2)
+	a := g.AddEdge(0, 1, 1)
+	b := g.AddEdge(0, 1, 1)
+	if g.Run(0, 1) != 2 {
+		t.Fatal("parallel edges not both used")
+	}
+	if g.Flow(a) != 1 || g.Flow(b) != 1 {
+		t.Fatal("per-edge flows wrong")
+	}
+}
+
+func TestAddNode(t *testing.T) {
+	g := NewGraph(0)
+	s := g.AddNode()
+	m := g.AddNode()
+	tk := g.AddNode()
+	g.AddEdge(s, m, 3)
+	g.AddEdge(m, tk, 2)
+	if g.Nodes() != 3 || g.Run(s, tk) != 2 {
+		t.Fatal("bottleneck flow wrong")
+	}
+}
+
+func TestPanics(t *testing.T) {
+	g := NewGraph(2)
+	for _, fn := range []func(){
+		func() { g.AddEdge(-1, 0, 1) },
+		func() { g.AddEdge(0, 2, 1) },
+		func() { g.AddEdge(0, 1, -1) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+// Property: max flow on bipartite unit graphs equals Hopcroft–Karp-style
+// brute-force maximum matching.
+func TestQuickBipartiteMatchingEquivalence(t *testing.T) {
+	brute := func(nL, nR int, adj [][]int) int {
+		best := 0
+		usedR := make([]bool, nR)
+		var rec func(l, count int)
+		rec = func(l, count int) {
+			if count > best {
+				best = count
+			}
+			if l == nL {
+				return
+			}
+			rec(l+1, count)
+			for _, r := range adj[l] {
+				if !usedR[r] {
+					usedR[r] = true
+					rec(l+1, count+1)
+					usedR[r] = false
+				}
+			}
+		}
+		rec(0, 0)
+		return best
+	}
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		nL := rng.Intn(5) + 1
+		nR := rng.Intn(5) + 1
+		adj := make([][]int, nL)
+		g := NewGraph(nL + nR + 2)
+		s, tk := nL+nR, nL+nR+1
+		for l := 0; l < nL; l++ {
+			g.AddEdge(s, l, 1)
+			for r := 0; r < nR; r++ {
+				if rng.Intn(3) == 0 {
+					adj[l] = append(adj[l], r)
+					g.AddEdge(l, nL+r, 1)
+				}
+			}
+		}
+		for r := 0; r < nR; r++ {
+			g.AddEdge(nL+r, tk, 1)
+		}
+		return g.Run(s, tk) == brute(nL, nR, adj)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: per-edge flow respects capacity, and at every internal node
+// inflow equals outflow (conservation).
+func TestQuickConservation(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(8) + 2
+		g := NewGraph(n)
+		type edge struct{ id, from, to, cap int }
+		var all []edge
+		for i := 0; i < n*2; i++ {
+			u, v := rng.Intn(n), rng.Intn(n)
+			if u == v {
+				continue
+			}
+			c := rng.Intn(5)
+			all = append(all, edge{g.AddEdge(u, v, c), u, v, c})
+		}
+		total := g.Run(0, n-1)
+		net := make([]int, n) // outflow - inflow per node
+		for _, e := range all {
+			fl := g.Flow(e.id)
+			if fl < 0 || fl > e.cap {
+				return false
+			}
+			net[e.from] += fl
+			net[e.to] -= fl
+		}
+		for v := 1; v < n-1; v++ {
+			if net[v] != 0 {
+				return false
+			}
+		}
+		return net[0] == total && net[n-1] == -total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkDinicBipartite(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	const n = 64
+	for i := 0; i < b.N; i++ {
+		g := NewGraph(2*n + 2)
+		s, tk := 2*n, 2*n+1
+		for l := 0; l < n; l++ {
+			g.AddEdge(s, l, 4)
+			g.AddEdge(n+l, tk, 4)
+		}
+		for e := 0; e < 4*n; e++ {
+			g.AddEdge(rng.Intn(n), n+rng.Intn(n), 1)
+		}
+		g.Run(s, tk)
+	}
+}

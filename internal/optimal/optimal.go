@@ -1,0 +1,197 @@
+// Package optimal implements a rearrangeable reference scheduler for fat
+// trees with w >= m: it assigns upward ports by recursive bipartite edge
+// coloring (the constructive Slepian–Duguid argument), achieving 100%
+// schedulability for any admissible batch — in particular for every
+// permutation. It upper-bounds what the greedy Level-wise scheduler can
+// hope to achieve and quantifies how far from optimal both evaluated
+// algorithms are (extension experiment E1).
+//
+// Level-by-level argument: at level h the active requests form a bipartite
+// multigraph between source-side switches σ_h and destination-side mirror
+// switches δ_h. Its maximum degree is at most max(m, per-switch request
+// load) ≤ w, so it is w-edge-colorable (König); using the color as P_h
+// gives every request a private Ulink(h, σ_h, P_h) and — by Theorem 2 — a
+// private Dlink(h, δ_h, P_h). Climbing one level preserves the degree
+// bound because edges into a level-h+1 switch come from distinct children
+// (same child ⇒ distinct colors).
+package optimal
+
+import (
+	"fmt"
+
+	"repro/internal/coloring"
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/maxflow"
+	"repro/internal/topology"
+)
+
+// Scheduler is the optimal reference scheduler.
+type Scheduler struct{}
+
+// New returns an optimal reference scheduler.
+func New() *Scheduler { return &Scheduler{} }
+
+// Name identifies the scheduler in results and reports.
+func (s *Scheduler) Name() string { return "optimal" }
+
+// Admissible reports whether a batch can be fully scheduled by this
+// construction on the given tree: w >= m and no level-0 switch sources or
+// sinks more than w active (H > 0) requests.
+func Admissible(tree *topology.Tree, reqs []core.Request) bool {
+	if tree.Parents() < tree.Children() {
+		return false
+	}
+	w := tree.Parents()
+	out := make(map[int]int)
+	in := make(map[int]int)
+	for _, r := range reqs {
+		if tree.AncestorLevel(r.Src, r.Dst) == 0 {
+			continue
+		}
+		srcSw, _ := tree.NodeSwitch(r.Src)
+		dstSw, _ := tree.NodeSwitch(r.Dst)
+		out[srcSw]++
+		in[dstSw]++
+		if out[srcSw] > w || in[dstSw] > w {
+			return false
+		}
+	}
+	return true
+}
+
+// Schedule routes the batch, mutating st. Requests beyond the admissible
+// per-switch load (w per level-0 switch in either role) are dropped —
+// they exceed physical port capacity and no scheduler could grant them
+// all. Admission selects a *maximum* feasible subset by max-flow (greedy
+// admission is suboptimal for degree-constrained subgraphs), so on a
+// fresh state the grant count is a true upper bound over every
+// scheduler. If st is not fresh, requests whose computed path collides
+// with pre-existing occupancy fail individually.
+//
+// Schedule returns an error result (granted = 0 paths, all failed) if the
+// tree has w < m, where the recursion's degree bound does not hold.
+func (s *Scheduler) Schedule(st *linkstate.State, reqs []core.Request) *core.Result {
+	tree := st.Tree()
+	res := &core.Result{Scheduler: s.Name(), Total: len(reqs)}
+	res.Outcomes = make([]core.Outcome, len(reqs))
+	for i, r := range reqs {
+		res.Outcomes[i] = core.Outcome{
+			Request:   r,
+			H:         tree.AncestorLevel(r.Src, r.Dst),
+			FailLevel: -1,
+		}
+	}
+	if tree.Parents() < tree.Children() {
+		for i := range res.Outcomes {
+			res.Outcomes[i].FailLevel = 0
+		}
+		return res
+	}
+	w := tree.Parents()
+
+	// Admission: maximum subset with per-switch source/sink load <= w,
+	// via unit-capacity flow source → srcSwitch(w) → request(1) →
+	// dstSwitch(w) → sink.
+	type active struct {
+		idx          int // outcome index
+		sigma, delta int // current switch indices
+	}
+	var act []active
+	flow := maxflow.NewGraph(2)
+	const source, sink = 0, 1
+	srcNode := map[int]int{}
+	dstNode := map[int]int{}
+	type pending struct {
+		idx          int
+		edge         int
+		sigma, delta int
+	}
+	var pend []pending
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.H == 0 {
+			o.Granted = true
+			res.Granted++
+			continue
+		}
+		srcSw, _ := tree.NodeSwitch(o.Src)
+		dstSw, _ := tree.NodeSwitch(o.Dst)
+		sn, ok := srcNode[srcSw]
+		if !ok {
+			sn = flow.AddNode()
+			srcNode[srcSw] = sn
+			flow.AddEdge(source, sn, w)
+		}
+		dn, ok := dstNode[dstSw]
+		if !ok {
+			dn = flow.AddNode()
+			dstNode[dstSw] = dn
+			flow.AddEdge(dn, sink, w)
+		}
+		pend = append(pend, pending{idx: i, edge: flow.AddEdge(sn, dn, 1), sigma: srcSw, delta: dstSw})
+	}
+	flow.Run(source, sink)
+	for _, p := range pend {
+		o := &res.Outcomes[p.idx]
+		if flow.Flow(p.edge) == 0 {
+			o.FailLevel = 0 // inadmissible: dropped at admission
+			continue
+		}
+		act = append(act, active{idx: p.idx, sigma: p.sigma, delta: p.delta})
+	}
+
+	// Level-by-level edge coloring.
+	maxH := 0
+	for _, a := range act {
+		if h := res.Outcomes[a.idx].H; h > maxH {
+			maxH = h
+		}
+	}
+	for h := 0; h < maxH && len(act) > 0; h++ {
+		n := tree.SwitchesAt(h)
+		edges := make([]coloring.Edge, len(act))
+		for i, a := range act {
+			edges[i] = coloring.Edge{L: a.sigma, R: a.delta}
+		}
+		colors, err := coloring.Color(n, n, edges, w)
+		if err != nil {
+			// Degree bound violated — cannot happen for admitted batches;
+			// surface loudly because it would be a logic error.
+			panic(fmt.Sprintf("optimal: level %d coloring failed: %v", h, err))
+		}
+		next := act[:0]
+		for i := range act {
+			a := act[i]
+			o := &res.Outcomes[a.idx]
+			p := colors[i]
+			o.Ports = append(o.Ports, p)
+			a.sigma = tree.UpParent(h, a.sigma, p)
+			a.delta = tree.UpParent(h, a.delta, p)
+			if len(o.Ports) < o.H {
+				next = append(next, a)
+			}
+		}
+		act = next
+	}
+
+	// Commit the computed paths against the link state.
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Granted || o.FailLevel == 0 && len(o.Ports) == 0 && o.H > 0 {
+			continue
+		}
+		if len(o.Ports) != o.H {
+			continue
+		}
+		if err := st.AllocatePath(o.Src, o.Dst, o.Ports); err != nil {
+			// Only possible when st was not fresh.
+			o.Ports = o.Ports[:0]
+			o.FailLevel = 0
+			continue
+		}
+		o.Granted = true
+		res.Granted++
+	}
+	return res
+}

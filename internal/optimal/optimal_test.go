@@ -1,0 +1,192 @@
+package optimal
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestPermutationsFullySchedulable(t *testing.T) {
+	// Fat trees with w == m are rearrangeably non-blocking for
+	// permutations: the optimal scheduler must reach 100%.
+	shapes := [][3]int{{2, 4, 4}, {2, 8, 8}, {3, 4, 4}, {3, 6, 6}, {4, 3, 3}}
+	for _, sh := range shapes {
+		tree := topology.MustNew(sh[0], sh[1], sh[2])
+		g := traffic.NewGenerator(tree.Nodes(), 7)
+		for trial := 0; trial < 10; trial++ {
+			reqs := g.MustBatch(traffic.RandomPermutation)
+			res := New().Schedule(linkstate.New(tree), reqs)
+			if res.Granted != res.Total {
+				t.Fatalf("FT(%v) trial %d: optimal granted %d/%d", sh, trial, res.Granted, res.Total)
+			}
+			if err := core.Verify(tree, res); err != nil {
+				t.Fatalf("FT(%v): %v", sh, err)
+			}
+		}
+	}
+}
+
+func TestStructuredPermutationsFullySchedulable(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 9)
+	for _, p := range []traffic.Pattern{
+		traffic.BitReversal, traffic.BitComplement, traffic.Shuffle,
+		traffic.Tornado, traffic.Neighbor, traffic.Transpose,
+	} {
+		reqs := g.MustBatch(p)
+		res := New().Schedule(linkstate.New(tree), reqs)
+		if res.Granted != res.Total {
+			t.Fatalf("%v: optimal granted %d/%d", p, res.Granted, res.Total)
+		}
+		if err := core.Verify(tree, res); err != nil {
+			t.Fatalf("%v: %v", p, err)
+		}
+	}
+}
+
+func TestOptimalAtLeastLevelWise(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 11)
+	for trial := 0; trial < 20; trial++ {
+		reqs := g.MustBatch(traffic.RandomPermutation)
+		opt := New().Schedule(linkstate.New(tree), reqs)
+		lw := core.NewLevelWise().Schedule(linkstate.New(tree), reqs)
+		if opt.Granted < lw.Granted {
+			t.Fatalf("trial %d: optimal %d < level-wise %d", trial, opt.Granted, lw.Granted)
+		}
+	}
+}
+
+func TestHotspotAdmission(t *testing.T) {
+	// All 64 nodes target node 0: dest switch 0 can sink at most w = 4
+	// external requests; the 4 nodes of switch 0 reach it internally
+	// (H == 0).
+	tree := topology.MustNew(3, 4, 4)
+	reqs := make([]core.Request, 64)
+	for i := range reqs {
+		reqs[i] = core.Request{Src: i, Dst: 0}
+	}
+	res := New().Schedule(linkstate.New(tree), reqs)
+	// 4 same-switch + 4 admitted external.
+	if res.Granted != 8 {
+		t.Fatalf("hotspot granted %d, want 8", res.Granted)
+	}
+	if err := core.Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+	if Admissible(tree, reqs) {
+		t.Fatal("64-to-1 hotspot reported admissible")
+	}
+}
+
+func TestAdmissible(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 13)
+	if !Admissible(tree, g.MustBatch(traffic.RandomPermutation)) {
+		t.Fatal("permutation reported inadmissible")
+	}
+	if !Admissible(tree, nil) {
+		t.Fatal("empty batch reported inadmissible")
+	}
+	slim := topology.MustNew(3, 4, 2)
+	if Admissible(slim, nil) {
+		t.Fatal("w < m tree reported admissible")
+	}
+}
+
+func TestSlimTreeRefused(t *testing.T) {
+	tree := topology.MustNew(3, 4, 2)
+	g := traffic.NewGenerator(64, 17)
+	res := New().Schedule(linkstate.New(tree), g.MustBatch(traffic.RandomPermutation))
+	if res.Granted != 0 {
+		t.Fatalf("w < m: granted %d, want 0 (refused)", res.Granted)
+	}
+}
+
+func TestNonFreshStateFailsGracefully(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	st := linkstate.New(tree)
+	// Occupy every up channel of switch 0.
+	for p := 0; p < 4; p++ {
+		if err := st.Allocate(linkstate.Up, 0, 0, p); err != nil {
+			t.Fatal(err)
+		}
+	}
+	reqs := []core.Request{{Src: 0, Dst: 15}} // needs to leave switch 0
+	res := New().Schedule(st, reqs)
+	if res.Granted != 0 {
+		t.Fatalf("granted %d on a saturated source switch", res.Granted)
+	}
+	if err := core.Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestName(t *testing.T) {
+	if New().Name() != "optimal" {
+		t.Fatal("name")
+	}
+}
+
+// Property: on any random batch, the optimal scheduler grants at least as
+// much as Level-wise and the result verifies.
+func TestQuickDominatesLevelWise(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(64) + 1
+		reqs := make([]core.Request, n)
+		for i := range reqs {
+			reqs[i] = core.Request{Src: rng.Intn(64), Dst: rng.Intn(64)}
+		}
+		opt := New().Schedule(linkstate.New(tree), reqs)
+		if err := core.Verify(tree, opt); err != nil {
+			t.Log(err)
+			return false
+		}
+		lw := core.NewLevelWise().Schedule(linkstate.New(tree), reqs)
+		return opt.Granted >= lw.Granted
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: every admissible batch is granted completely.
+func TestQuickAdmissibleMeansFullGrant(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := rng.Intn(80) + 1
+		reqs := make([]core.Request, n)
+		for i := range reqs {
+			reqs[i] = core.Request{Src: rng.Intn(64), Dst: rng.Intn(64)}
+		}
+		if !Admissible(tree, reqs) {
+			return true
+		}
+		res := New().Schedule(linkstate.New(tree), reqs)
+		return res.Granted == res.Total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkOptimalPermutation512(b *testing.B) {
+	tree := topology.MustNew(3, 8, 8)
+	g := traffic.NewGenerator(512, 1)
+	reqs := g.MustBatch(traffic.RandomPermutation)
+	st := linkstate.New(tree)
+	s := New()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st.Reset()
+		s.Schedule(st, reqs)
+	}
+}

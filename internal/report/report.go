@@ -1,0 +1,184 @@
+// Package report renders experiment results as aligned ASCII tables (the
+// rows/series the paper's figures and tables present) and as CSV for
+// external plotting.
+package report
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"strings"
+)
+
+// Table is a titled grid of cells with a header row.
+type Table struct {
+	Title  string
+	Header []string
+	Rows   [][]string
+	Notes  []string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, header ...string) *Table {
+	return &Table{Title: title, Header: header}
+}
+
+// AddRow appends a row. Cells beyond the header width are kept; short rows
+// are padded when rendered.
+func (t *Table) AddRow(cells ...string) { t.Rows = append(t.Rows, cells) }
+
+// AddRowf appends a row of formatted cells: each argument is rendered with
+// %v except float64, which uses %.4g.
+func (t *Table) AddRowf(cells ...interface{}) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", v)
+		case string:
+			row[i] = v
+		default:
+			row[i] = fmt.Sprint(v)
+		}
+	}
+	t.AddRow(row...)
+}
+
+// AddNote appends a footnote rendered below the table.
+func (t *Table) AddNote(format string, args ...interface{}) {
+	t.Notes = append(t.Notes, fmt.Sprintf(format, args...))
+}
+
+func (t *Table) widths() []int {
+	n := len(t.Header)
+	for _, r := range t.Rows {
+		if len(r) > n {
+			n = len(r)
+		}
+	}
+	w := make([]int, n)
+	for i, h := range t.Header {
+		w[i] = len(h)
+	}
+	for _, r := range t.Rows {
+		for i, c := range r {
+			if len(c) > w[i] {
+				w[i] = len(c)
+			}
+		}
+	}
+	return w
+}
+
+// Render writes the table as aligned ASCII.
+func (t *Table) Render(out io.Writer) error {
+	w := t.widths()
+	if t.Title != "" {
+		if _, err := fmt.Fprintf(out, "%s\n%s\n", t.Title, strings.Repeat("=", len(t.Title))); err != nil {
+			return err
+		}
+	}
+	line := func(cells []string) string {
+		var sb strings.Builder
+		for i := 0; i < len(w); i++ {
+			c := ""
+			if i < len(cells) {
+				c = cells[i]
+			}
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			sb.WriteString(strings.Repeat(" ", w[i]-len(c)))
+		}
+		return strings.TrimRight(sb.String(), " ")
+	}
+	if len(t.Header) > 0 {
+		if _, err := fmt.Fprintln(out, line(t.Header)); err != nil {
+			return err
+		}
+		total := len(w) - 1
+		for _, x := range w {
+			total += x + 1
+		}
+		if _, err := fmt.Fprintln(out, strings.Repeat("-", total)); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if _, err := fmt.Fprintln(out, line(r)); err != nil {
+			return err
+		}
+	}
+	for _, n := range t.Notes {
+		if _, err := fmt.Fprintf(out, "note: %s\n", n); err != nil {
+			return err
+		}
+	}
+	_, err := fmt.Fprintln(out)
+	return err
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	if err := t.Render(&sb); err != nil {
+		return fmt.Sprintf("report: render failed: %v", err)
+	}
+	return sb.String()
+}
+
+// WriteJSON emits the full table (title, header, rows, notes) as a JSON
+// object for programmatic consumers.
+func (t *Table) WriteJSON(out io.Writer) error {
+	type doc struct {
+		Title  string     `json:"title,omitempty"`
+		Header []string   `json:"header,omitempty"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes,omitempty"`
+	}
+	rows := t.Rows
+	if rows == nil {
+		rows = [][]string{}
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc{Title: t.Title, Header: t.Header, Rows: rows, Notes: t.Notes})
+}
+
+// WriteCSV emits the header and rows as CSV (title and notes omitted).
+func (t *Table) WriteCSV(out io.Writer) error {
+	w := csv.NewWriter(out)
+	if len(t.Header) > 0 {
+		if err := w.Write(t.Header); err != nil {
+			return err
+		}
+	}
+	for _, r := range t.Rows {
+		if err := w.Write(r); err != nil {
+			return err
+		}
+	}
+	w.Flush()
+	return w.Error()
+}
+
+// Percent renders a ratio in [0,1] as "93.1%".
+func Percent(x float64) string { return fmt.Sprintf("%.1f%%", 100*x) }
+
+// Bar renders a ratio in [0,1] as a text bar of the given width, e.g.
+// "████████░░" — used for quick visual comparison in CLI output.
+func Bar(x float64, width int) string {
+	if width <= 0 {
+		return ""
+	}
+	if x < 0 {
+		x = 0
+	}
+	if x > 1 {
+		x = 1
+	}
+	full := int(x*float64(width) + 0.5)
+	return strings.Repeat("█", full) + strings.Repeat("░", width-full)
+}

@@ -1,0 +1,145 @@
+package report
+
+import (
+	"encoding/json"
+	"strings"
+	"testing"
+)
+
+func TestRenderBasic(t *testing.T) {
+	tb := NewTable("Demo", "name", "value")
+	tb.AddRow("alpha", "1")
+	tb.AddRowf("beta", 0.123456)
+	tb.AddNote("seeded with %d", 42)
+	out := tb.String()
+	for _, want := range []string{"Demo", "====", "name", "alpha", "beta", "0.1235", "note: seeded with 42"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestRenderAlignment(t *testing.T) {
+	tb := NewTable("", "a", "long-header")
+	tb.AddRow("x", "y")
+	lines := strings.Split(strings.TrimSpace(tb.String()), "\n")
+	if len(lines) < 3 {
+		t.Fatalf("too few lines: %v", lines)
+	}
+	// Columns align: "long-header" starts at the same offset in both rows.
+	hdrIdx := strings.Index(lines[0], "long-header")
+	rowIdx := strings.Index(lines[2], "y")
+	if hdrIdx != rowIdx {
+		t.Fatalf("misaligned: header col at %d, row col at %d\n%s", hdrIdx, rowIdx, tb.String())
+	}
+}
+
+func TestRowsLongerThanHeader(t *testing.T) {
+	tb := NewTable("t", "only")
+	tb.AddRow("a", "b", "c")
+	out := tb.String()
+	if !strings.Contains(out, "c") {
+		t.Fatalf("extra cells dropped:\n%s", out)
+	}
+}
+
+func TestShortRowsPadded(t *testing.T) {
+	tb := NewTable("t", "a", "b")
+	tb.AddRow("x")
+	out := tb.String()
+	if !strings.Contains(out, "x") {
+		t.Fatalf("short row missing:\n%s", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tb := NewTable("ignored", "col1", "col2")
+	tb.AddRow("a", "1")
+	tb.AddRow("b,comma", "2")
+	var sb strings.Builder
+	if err := tb.WriteCSV(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if !strings.HasPrefix(got, "col1,col2\n") {
+		t.Fatalf("csv header wrong: %q", got)
+	}
+	if !strings.Contains(got, "\"b,comma\",2") {
+		t.Fatalf("csv quoting wrong: %q", got)
+	}
+	if strings.Contains(got, "ignored") {
+		t.Fatal("csv contains title")
+	}
+}
+
+func TestAddRowfTypes(t *testing.T) {
+	tb := NewTable("", "a", "b", "c")
+	tb.AddRowf(7, "s", 0.5)
+	if tb.Rows[0][0] != "7" || tb.Rows[0][1] != "s" || tb.Rows[0][2] != "0.5" {
+		t.Fatalf("AddRowf = %v", tb.Rows[0])
+	}
+}
+
+func TestPercent(t *testing.T) {
+	if Percent(0.931) != "93.1%" {
+		t.Fatalf("Percent = %q", Percent(0.931))
+	}
+	if Percent(1) != "100.0%" {
+		t.Fatalf("Percent(1) = %q", Percent(1))
+	}
+}
+
+func TestBar(t *testing.T) {
+	if got := Bar(0.5, 4); got != "██░░" {
+		t.Fatalf("Bar(0.5,4) = %q", got)
+	}
+	if got := Bar(-1, 3); got != "░░░" {
+		t.Fatalf("Bar(-1,3) = %q", got)
+	}
+	if got := Bar(2, 3); got != "███" {
+		t.Fatalf("Bar(2,3) = %q", got)
+	}
+	if Bar(0.5, 0) != "" {
+		t.Fatal("zero-width bar not empty")
+	}
+}
+
+func TestEmptyTable(t *testing.T) {
+	tb := &Table{}
+	out := tb.String()
+	if strings.Contains(out, "=") {
+		t.Fatalf("untitled table has title rule: %q", out)
+	}
+}
+
+func TestWriteJSON(t *testing.T) {
+	tb := NewTable("T", "a", "b")
+	tb.AddRow("1", "2")
+	tb.AddNote("n")
+	var sb strings.Builder
+	if err := tb.WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	var doc struct {
+		Title  string     `json:"title"`
+		Header []string   `json:"header"`
+		Rows   [][]string `json:"rows"`
+		Notes  []string   `json:"notes"`
+	}
+	if err := json.Unmarshal([]byte(sb.String()), &doc); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, sb.String())
+	}
+	if doc.Title != "T" || len(doc.Header) != 2 || len(doc.Rows) != 1 || doc.Rows[0][1] != "2" || doc.Notes[0] != "n" {
+		t.Fatalf("doc = %+v", doc)
+	}
+}
+
+func TestWriteJSONEmpty(t *testing.T) {
+	var sb strings.Builder
+	if err := (&Table{}).WriteJSON(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `"rows": []`) {
+		t.Fatalf("empty rows not emitted: %s", sb.String())
+	}
+}

@@ -1,0 +1,116 @@
+// Package stats provides the summary statistics the evaluation reports:
+// mean, min, max (the paper's bar heights and whisker ends), standard
+// deviation, and normal-approximation confidence intervals.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Summary condenses a sample of float64 observations.
+type Summary struct {
+	N      int
+	Mean   float64
+	Min    float64
+	Max    float64
+	StdDev float64 // sample standard deviation (n-1)
+}
+
+// Summarize computes a Summary. An empty sample yields the zero Summary.
+func Summarize(xs []float64) Summary {
+	if len(xs) == 0 {
+		return Summary{}
+	}
+	s := Summary{N: len(xs), Min: xs[0], Max: xs[0]}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+		if x < s.Min {
+			s.Min = x
+		}
+		if x > s.Max {
+			s.Max = x
+		}
+	}
+	s.Mean = sum / float64(s.N)
+	if s.N > 1 {
+		ss := 0.0
+		for _, x := range xs {
+			d := x - s.Mean
+			ss += d * d
+		}
+		s.StdDev = math.Sqrt(ss / float64(s.N-1))
+	}
+	return s
+}
+
+// CI95 returns the half-width of the normal-approximation 95% confidence
+// interval of the mean (1.96 · s/√n); 0 for samples smaller than 2.
+func (s Summary) CI95() float64 {
+	if s.N < 2 {
+		return 0
+	}
+	return 1.96 * s.StdDev / math.Sqrt(float64(s.N))
+}
+
+// String renders "mean=… min=… max=… n=…".
+func (s Summary) String() string {
+	return fmt.Sprintf("mean=%.4f min=%.4f max=%.4f sd=%.4f n=%d", s.Mean, s.Min, s.Max, s.StdDev, s.N)
+}
+
+// Percentile returns the p-th percentile (0..100) of the sample using
+// nearest-rank on a sorted copy. Empty samples return 0.
+func Percentile(xs []float64, p float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sorted := append([]float64(nil), xs...)
+	sort.Float64s(sorted)
+	if p <= 0 {
+		return sorted[0]
+	}
+	if p >= 100 {
+		return sorted[len(sorted)-1]
+	}
+	rank := int(math.Ceil(p/100*float64(len(sorted)))) - 1
+	if rank < 0 {
+		rank = 0
+	}
+	return sorted[rank]
+}
+
+// Histogram counts observations into equal-width bins over [lo, hi); the
+// final bin includes hi. Observations outside the range are clamped into
+// the first or last bin.
+func Histogram(xs []float64, lo, hi float64, bins int) []int {
+	if bins <= 0 || hi <= lo {
+		return nil
+	}
+	counts := make([]int, bins)
+	width := (hi - lo) / float64(bins)
+	for _, x := range xs {
+		b := int((x - lo) / width)
+		if b < 0 {
+			b = 0
+		}
+		if b >= bins {
+			b = bins - 1
+		}
+		counts[b]++
+	}
+	return counts
+}
+
+// MeanOf applies f to each element and returns the mean; 0 for empty input.
+func MeanOf[T any](items []T, f func(T) float64) float64 {
+	if len(items) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, it := range items {
+		sum += f(it)
+	}
+	return sum / float64(len(items))
+}

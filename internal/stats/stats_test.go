@@ -1,0 +1,137 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func approx(a, b, eps float64) bool { return math.Abs(a-b) <= eps }
+
+func TestSummarizeEmpty(t *testing.T) {
+	s := Summarize(nil)
+	if s != (Summary{}) {
+		t.Fatalf("empty summary = %+v", s)
+	}
+	if s.CI95() != 0 {
+		t.Fatal("CI95 of empty sample != 0")
+	}
+}
+
+func TestSummarizeSingle(t *testing.T) {
+	s := Summarize([]float64{3.5})
+	if s.N != 1 || s.Mean != 3.5 || s.Min != 3.5 || s.Max != 3.5 || s.StdDev != 0 {
+		t.Fatalf("single summary = %+v", s)
+	}
+}
+
+func TestSummarizeKnown(t *testing.T) {
+	s := Summarize([]float64{2, 4, 4, 4, 5, 5, 7, 9})
+	if s.Mean != 5 || s.Min != 2 || s.Max != 9 || s.N != 8 {
+		t.Fatalf("summary = %+v", s)
+	}
+	// Sample variance of this classic set is 32/7.
+	if !approx(s.StdDev, math.Sqrt(32.0/7.0), 1e-12) {
+		t.Fatalf("stddev = %v", s.StdDev)
+	}
+	if !approx(s.CI95(), 1.96*s.StdDev/math.Sqrt(8), 1e-12) {
+		t.Fatalf("CI95 = %v", s.CI95())
+	}
+}
+
+func TestSummaryString(t *testing.T) {
+	got := Summarize([]float64{1, 2}).String()
+	if got == "" || got[:5] != "mean=" {
+		t.Fatalf("String = %q", got)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []float64{5, 1, 3, 2, 4}
+	if Percentile(xs, 0) != 1 || Percentile(xs, 100) != 5 {
+		t.Fatal("extremes wrong")
+	}
+	if Percentile(xs, 50) != 3 {
+		t.Fatalf("median = %v", Percentile(xs, 50))
+	}
+	if Percentile(nil, 50) != 0 {
+		t.Fatal("empty percentile != 0")
+	}
+	// Input must not be reordered.
+	if xs[0] != 5 {
+		t.Fatal("Percentile mutated input")
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	xs := []float64{0, 0.1, 0.5, 0.9, 1.0, -1, 2}
+	h := Histogram(xs, 0, 1, 2)
+	// -1 clamps into bin 0; 1.0 and 2 clamp into bin 1.
+	if h[0] != 3 || h[1] != 4 {
+		t.Fatalf("hist = %v", h)
+	}
+	if Histogram(xs, 0, 1, 0) != nil || Histogram(xs, 1, 0, 3) != nil {
+		t.Fatal("degenerate histogram not nil")
+	}
+}
+
+func TestMeanOf(t *testing.T) {
+	type pair struct{ a, b int }
+	items := []pair{{1, 0}, {3, 0}}
+	if got := MeanOf(items, func(p pair) float64 { return float64(p.a) }); got != 2 {
+		t.Fatalf("MeanOf = %v", got)
+	}
+	if MeanOf(nil, func(p pair) float64 { return 0 }) != 0 {
+		t.Fatal("MeanOf empty != 0")
+	}
+}
+
+// Property: Min <= Mean <= Max and every observation lies within.
+func TestQuickSummaryBounds(t *testing.T) {
+	f := func(raw []float64) bool {
+		xs := make([]float64, 0, len(raw))
+		for _, x := range raw {
+			if !math.IsNaN(x) && !math.IsInf(x, 0) && math.Abs(x) < 1e6 {
+				xs = append(xs, x)
+			}
+		}
+		if len(xs) == 0 {
+			return true
+		}
+		s := Summarize(xs)
+		if s.Min > s.Mean+1e-9 || s.Mean > s.Max+1e-9 {
+			return false
+		}
+		for _, x := range xs {
+			if x < s.Min || x > s.Max {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: histogram bin counts sum to the sample size.
+func TestQuickHistogramConservation(t *testing.T) {
+	f := func(seed int64, n uint8, bins uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		xs := make([]float64, int(n))
+		for i := range xs {
+			xs[i] = rng.Float64()*3 - 1
+		}
+		b := int(bins)%20 + 1
+		h := Histogram(xs, 0, 1, b)
+		total := 0
+		for _, c := range h {
+			total += c
+		}
+		return total == len(xs)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}

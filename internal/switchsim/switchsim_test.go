@@ -1,0 +1,175 @@
+package switchsim
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+func TestSingleRequestGranted(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	m := &Model{}
+	res, met := m.Run(tree, []core.Request{{Src: 0, Dst: 63}})
+	if res.Granted != 1 {
+		t.Fatalf("granted %d", res.Granted)
+	}
+	if err := core.Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+	// H = 2: up 2 hops, turnaround, down 2 hops -> grant at cycle 4.
+	if len(met.GrantLatency) != 1 || met.GrantLatency[0] != 4 {
+		t.Fatalf("grant latency = %v", met.GrantLatency)
+	}
+	if met.Makespan < 4 {
+		t.Fatalf("makespan = %d", met.Makespan)
+	}
+}
+
+func TestSameSwitchInstantGrant(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	m := &Model{}
+	res, met := m.Run(tree, []core.Request{{Src: 0, Dst: 1}})
+	if res.Granted != 1 || met.GrantLatency[0] != 0 {
+		t.Fatalf("res %+v latency %v", res, met.GrantLatency)
+	}
+	if met.Events != 0 {
+		t.Fatalf("same-switch request consumed %d events", met.Events)
+	}
+}
+
+func TestDownConflictDetected(t *testing.T) {
+	// The Figure 4 scenario: two sources, one destination switch, greedy
+	// ports collide on the downward channel.
+	tree := topology.MustNew(2, 4, 4)
+	m := &Model{}
+	reqs := []core.Request{{Src: 0, Dst: 12}, {Src: 4, Dst: 13}}
+	res, _ := m.Run(tree, reqs)
+	if res.Granted != 1 {
+		t.Fatalf("granted %d want 1", res.Granted)
+	}
+	var failed *core.Outcome
+	for i := range res.Outcomes {
+		if !res.Outcomes[i].Granted {
+			failed = &res.Outcomes[i]
+		}
+	}
+	if failed == nil || !failed.FailDown {
+		t.Fatalf("expected a down-path failure, got %+v", failed)
+	}
+	if err := core.Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestResultsVerifyAcrossPatterns(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 3)
+	for _, pol := range []core.PortPolicy{core.FirstFit, core.RandomFit} {
+		for trial := 0; trial < 10; trial++ {
+			reqs := g.MustBatch(traffic.RandomPermutation)
+			m := &Model{Policy: pol, Seed: int64(trial)}
+			res, met := m.Run(tree, reqs)
+			if err := core.Verify(tree, res); err != nil {
+				t.Fatalf("policy %v trial %d: %v", pol, trial, err)
+			}
+			if len(met.GrantLatency) != res.Granted {
+				t.Fatalf("latencies %d != granted %d", len(met.GrantLatency), res.Granted)
+			}
+			// Every grant latency is bounded by 2*levels.
+			for _, lat := range met.GrantLatency {
+				if lat > 2*3 {
+					t.Fatalf("latency %d exceeds network diameter", lat)
+				}
+			}
+		}
+	}
+}
+
+func TestInjectionSpread(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 5)
+	reqs := g.MustBatch(traffic.RandomPermutation)
+	m := &Model{InjectionSpread: 32, Seed: 9}
+	res, met := m.Run(tree, reqs)
+	if err := core.Verify(tree, res); err != nil {
+		t.Fatal(err)
+	}
+	if met.Makespan < 4 {
+		t.Fatalf("makespan = %d", met.Makespan)
+	}
+}
+
+func TestDistributedMatchesSequentialStatistically(t *testing.T) {
+	// Cross-check (DESIGN.md §8): the event-driven distributed local
+	// scheduler and the sequential core.Local baseline land in the same
+	// band. The wave-parallel variant runs a few points higher because a
+	// failing circuit tears down its links *before* contemporaries commit
+	// at higher levels (level-synchronous progress), while the sequential
+	// baseline commits whole paths one request at a time; both remain far
+	// below Level-wise. Measured gap on this grid: ~0.09.
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 7)
+	const trials = 40
+	var simSum, seqSum float64
+	for trial := 0; trial < trials; trial++ {
+		reqs := g.MustBatch(traffic.RandomPermutation)
+		m := &Model{Policy: core.FirstFit, Seed: int64(trial)}
+		resSim, _ := m.Run(tree, reqs)
+		resSeq := core.NewLocalGreedy().Schedule(newState(tree), reqs)
+		simSum += resSim.Ratio()
+		seqSum += resSeq.Ratio()
+	}
+	simAvg, seqAvg := simSum/trials, seqSum/trials
+	if math.Abs(simAvg-seqAvg) > 0.15 {
+		t.Fatalf("distributed %.3f vs sequential %.3f differ too much", simAvg, seqAvg)
+	}
+	if simAvg < seqAvg-0.02 {
+		t.Fatalf("distributed %.3f unexpectedly below sequential %.3f", simAvg, seqAvg)
+	}
+}
+
+func TestLevelWiseBeatsSwitchSim(t *testing.T) {
+	// The headline comparison holds against the distributed local model
+	// too.
+	tree := topology.MustNew(3, 4, 4)
+	g := traffic.NewGenerator(64, 11)
+	const trials = 25
+	var lwSum, simSum float64
+	for trial := 0; trial < trials; trial++ {
+		reqs := g.MustBatch(traffic.RandomPermutation)
+		lw := core.NewLevelWise().Schedule(newState(tree), reqs)
+		m := &Model{Policy: core.RandomFit, Seed: int64(trial)}
+		resSim, _ := m.Run(tree, reqs)
+		lwSum += lw.Ratio()
+		simSum += resSim.Ratio()
+	}
+	if lwSum <= simSum {
+		t.Fatalf("level-wise %.3f not above switchsim %.3f", lwSum/trials, simSum/trials)
+	}
+}
+
+func TestName(t *testing.T) {
+	m := &Model{Policy: core.RandomFit}
+	res, _ := m.Run(topology.MustNew(2, 2, 2), nil)
+	if res.Scheduler != "switchsim/random" {
+		t.Fatalf("name = %q", res.Scheduler)
+	}
+}
+
+func BenchmarkSwitchSim512(b *testing.B) {
+	tree := topology.MustNew(3, 8, 8)
+	g := traffic.NewGenerator(512, 1)
+	reqs := g.MustBatch(traffic.RandomPermutation)
+	m := &Model{}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		m.Run(tree, reqs)
+	}
+}
+
+// newState builds a fresh link state (helper keeping test imports tidy).
+func newState(tree *topology.Tree) *linkstate.State { return linkstate.New(tree) }

@@ -1,0 +1,68 @@
+package topology
+
+import "repro/internal/digits"
+
+// Metrics summarizes the structural properties of a fat tree that the
+// interconnect literature reports: size, distances, diversity and
+// bisection capacity.
+type Metrics struct {
+	Nodes    int
+	Switches int
+	Links    int
+	// Diameter is the longest node-to-node inter-switch hop count: climb
+	// to the top and back down, 2(l-1) hops.
+	Diameter int
+	// AvgDistance is the exact mean inter-switch hop count 2·H(a,b) over
+	// all ordered node pairs with a != b.
+	AvgDistance float64
+	// MaxPathDiversity is the number of distinct paths between two nodes
+	// whose common ancestor is at the top: w^(l-1).
+	MaxPathDiversity int
+	// BisectionLinks counts the links cut by the natural bisection that
+	// splits the m top-level subtrees (the copies of FT(l-1) in the
+	// recursive construction) into two halves. Every top-level switch
+	// has exactly one child in each copy, so the cut removes floor(m/2)
+	// of each top switch's m child links — half the top-level links.
+	// Zero for a single-level tree.
+	BisectionLinks int
+	// FullBandwidth reports whether the tree is full-bisection (w == m):
+	// each level carries as much upward capacity as the nodes inject.
+	FullBandwidth bool
+}
+
+// ComputeMetrics derives the metrics for the tree. AvgDistance is exact,
+// computed from the ancestor-level distribution rather than by sampling.
+func (t *Tree) ComputeMetrics() Metrics {
+	s := t.spec
+	m := Metrics{
+		Nodes:            t.Nodes(),
+		Switches:         t.TotalSwitches(),
+		Links:            t.TotalLinks(),
+		Diameter:         2 * t.LinkLevels(),
+		MaxPathDiversity: digits.Pow(s.W, t.LinkLevels()),
+		FullBandwidth:    s.Symmetric(),
+	}
+	// Ancestor-level distribution: for a fixed node a, the nodes under
+	// a's level-k switch number m^(k+1), so the peers whose lowest common
+	// ancestor sits exactly at level k are m^(k+1) − m^k (minus a itself
+	// for k == 0). Each such pair is 2k inter-switch hops apart.
+	if t.Nodes() > 1 {
+		total, pairs := 0.0, 0.0
+		sub := 1 // m^k during iteration below starts at m^0
+		for k := 0; k <= t.LinkLevels(); k++ {
+			prev := sub
+			sub *= s.M // sub = m^(k+1): nodes under a level-k switch
+			cnt := sub - prev
+			if k == 0 {
+				cnt = sub - 1
+			}
+			total += float64(cnt) * float64(2*k)
+			pairs += float64(cnt)
+		}
+		m.AvgDistance = total / pairs
+	}
+	if t.LinkLevels() > 0 {
+		m.BisectionLinks = (s.M / 2) * s.SwitchesAt(s.L-1)
+	}
+	return m
+}

@@ -1,0 +1,90 @@
+package topology
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func TestMetricsKnownValues(t *testing.T) {
+	// FT(2,4): 16 nodes, diameter 2, diversity 4, bisection 8.
+	m := MustNew(2, 4, 4).ComputeMetrics()
+	if m.Nodes != 16 || m.Diameter != 2 || m.MaxPathDiversity != 4 {
+		t.Fatalf("FT(2,4) metrics: %+v", m)
+	}
+	if m.BisectionLinks != 8 {
+		t.Fatalf("FT(2,4) bisection = %d want 8 (half of 16 top links)", m.BisectionLinks)
+	}
+	if !m.FullBandwidth {
+		t.Fatal("symmetric tree not full bandwidth")
+	}
+
+	// FT(3,4): diameter 4, diversity 16, bisection (4/2)*16 = 32.
+	m3 := MustNew(3, 4, 4).ComputeMetrics()
+	if m3.Diameter != 4 || m3.MaxPathDiversity != 16 || m3.BisectionLinks != 32 {
+		t.Fatalf("FT(3,4) metrics: %+v", m3)
+	}
+}
+
+func TestMetricsSingleLevel(t *testing.T) {
+	m := MustNew(1, 4, 4).ComputeMetrics()
+	if m.Diameter != 0 || m.BisectionLinks != 0 || m.MaxPathDiversity != 1 {
+		t.Fatalf("FT(1,4) metrics: %+v", m)
+	}
+	// All pairs share the single switch: average distance 0.
+	if m.AvgDistance != 0 {
+		t.Fatalf("AvgDistance = %v", m.AvgDistance)
+	}
+}
+
+func TestMetricsSlimNotFullBandwidth(t *testing.T) {
+	m := MustNew(3, 4, 2).ComputeMetrics()
+	if m.FullBandwidth {
+		t.Fatal("slim tree reported full bandwidth")
+	}
+	if m.MaxPathDiversity != 4 { // w^2
+		t.Fatalf("diversity = %d", m.MaxPathDiversity)
+	}
+}
+
+func TestAvgDistanceMatchesExhaustive(t *testing.T) {
+	// Exact formula vs brute force over all ordered pairs.
+	for _, sh := range [][3]int{{2, 4, 4}, {3, 4, 4}, {3, 4, 2}, {4, 2, 2}} {
+		tr := MustNew(sh[0], sh[1], sh[2])
+		n := tr.Nodes()
+		total, pairs := 0.0, 0.0
+		for a := 0; a < n; a++ {
+			for b := 0; b < n; b++ {
+				if a == b {
+					continue
+				}
+				total += float64(2 * tr.AncestorLevel(a, b))
+				pairs++
+			}
+		}
+		want := total / pairs
+		got := tr.ComputeMetrics().AvgDistance
+		if math.Abs(got-want) > 1e-9 {
+			t.Fatalf("FT(%v): AvgDistance %v, exhaustive %v", sh, got, want)
+		}
+	}
+}
+
+func TestAvgDistanceSampledSanity(t *testing.T) {
+	// On a larger tree, sampling should agree within noise.
+	tr := MustNew(3, 8, 8)
+	rng := rand.New(rand.NewSource(3))
+	total := 0.0
+	const samples = 200000
+	for i := 0; i < samples; i++ {
+		a, b := rng.Intn(512), rng.Intn(512)
+		for b == a {
+			b = rng.Intn(512)
+		}
+		total += float64(2 * tr.AncestorLevel(a, b))
+	}
+	got := tr.ComputeMetrics().AvgDistance
+	if math.Abs(got-total/samples) > 0.02 {
+		t.Fatalf("AvgDistance %v vs sampled %v", got, total/samples)
+	}
+}

@@ -1,0 +1,48 @@
+package topology
+
+import "repro/internal/digits"
+
+// RecursiveUpTables builds the upward adjacency of the symmetric fat tree
+// FT(l, w) by literally following the paper's recursive construction
+// (Section 3, after Ohring): FT(l+1, w) is assembled from w copies of
+// FT(l, w) plus w^l additional top switches, with old top switch τ wired
+// to new switches (τ·w) mod w^l + i for i = 0..w-1 via upward port i.
+//
+// The result has the same layout as Tree.up: table[h][idx*w+p] is the
+// level-h+1 parent of level-h switch idx via port p. It is an independent
+// construction used by tests to cross-validate Tree (which is built from
+// the Theorem 1 digit shift).
+func RecursiveUpTables(l, w int) [][]int32 {
+	if l == 1 {
+		return nil
+	}
+	sub := RecursiveUpTables(l-1, w)
+	subPerLevel := digits.Pow(w, l-2) // switches per level in FT(l-1, w)
+	perLevel := digits.Pow(w, l-1)    // switches per level in FT(l, w)
+	tables := make([][]int32, l-1)
+
+	// Interior link levels: w disjoint copies of the sub-tree, copy k
+	// occupying index block [k*subPerLevel, (k+1)*subPerLevel) at every
+	// level.
+	for h := 0; h < l-2; h++ {
+		tables[h] = make([]int32, perLevel*w)
+		for k := 0; k < w; k++ {
+			off := int32(k * subPerLevel)
+			for i, parent := range sub[h] {
+				tables[h][k*len(sub[h])+i] = parent + off
+			}
+		}
+	}
+
+	// Top link level l-2: old top switch τ (global index across copies)
+	// connects to new top switches (τ·w) mod w^{l-1} + p.
+	top := make([]int32, perLevel*w)
+	for tau := 0; tau < perLevel; tau++ {
+		base := (tau * w) % perLevel
+		for p := 0; p < w; p++ {
+			top[tau*w+p] = int32(base + p)
+		}
+	}
+	tables[l-2] = top
+	return tables
+}

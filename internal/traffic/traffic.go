@@ -1,0 +1,226 @@
+// Package traffic generates the communication workloads used by the
+// evaluation: the paper's random permutations ("We generate a set of 100
+// random permutations for each test point") plus the standard structured
+// patterns of the parallel-interconnect literature (bit reversal,
+// transpose, shuffle, tornado, neighbor, hotspot, uniform random) used by
+// the extension experiments.
+//
+// Every generator is deterministic given its seed, so experiments are
+// exactly reproducible.
+package traffic
+
+import (
+	"fmt"
+	"math/bits"
+	"math/rand"
+
+	"repro/internal/core"
+)
+
+// Pattern names a workload shape.
+type Pattern int
+
+// Supported patterns.
+const (
+	// RandomPermutation draws a uniform random permutation π and issues
+	// one request i → π(i) per node — the paper's workload.
+	RandomPermutation Pattern = iota
+	// UniformRandom issues one request per node to an independently
+	// uniform destination (collisions allowed).
+	UniformRandom
+	// Hotspot sends a fraction of the traffic to one hot node and the
+	// rest uniformly.
+	Hotspot
+	// BitReversal sends node b_{k-1}…b_0 to node b_0…b_{k-1}
+	// (power-of-two node counts only).
+	BitReversal
+	// BitComplement sends node x to node ^x (power-of-two counts only).
+	BitComplement
+	// Transpose treats the node id as a 2D coordinate and swaps axes
+	// (perfect-square node counts only).
+	Transpose
+	// Shuffle rotates the node id bits left by one (power-of-two only).
+	Shuffle
+	// Tornado sends node i to (i + N/2 - 1) mod N.
+	Tornado
+	// Neighbor sends node i to i+1 mod N.
+	Neighbor
+)
+
+// String names the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case RandomPermutation:
+		return "random-permutation"
+	case UniformRandom:
+		return "uniform-random"
+	case Hotspot:
+		return "hotspot"
+	case BitReversal:
+		return "bit-reversal"
+	case BitComplement:
+		return "bit-complement"
+	case Transpose:
+		return "transpose"
+	case Shuffle:
+		return "shuffle"
+	case Tornado:
+		return "tornado"
+	case Neighbor:
+		return "neighbor"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// Generator produces request batches over n nodes.
+type Generator struct {
+	n   int
+	rng *rand.Rand
+
+	// HotspotNode and HotspotFraction configure the Hotspot pattern:
+	// each source sends to HotspotNode with probability HotspotFraction,
+	// else to a uniform destination. Defaults: node 0, fraction 0.2.
+	HotspotNode     int
+	HotspotFraction float64
+}
+
+// NewGenerator returns a Generator over n nodes seeded deterministically.
+func NewGenerator(n int, seed int64) *Generator {
+	return &Generator{
+		n:               n,
+		rng:             rand.New(rand.NewSource(seed)),
+		HotspotNode:     0,
+		HotspotFraction: 0.2,
+	}
+}
+
+// Nodes reports the node count.
+func (g *Generator) Nodes() int { return g.n }
+
+// Batch produces one batch of the given pattern: exactly one request per
+// source node. It returns an error for patterns whose structural
+// requirements (power of two, perfect square) the node count violates.
+func (g *Generator) Batch(p Pattern) ([]core.Request, error) {
+	switch p {
+	case RandomPermutation:
+		return g.permutation(), nil
+	case UniformRandom:
+		return g.uniform(), nil
+	case Hotspot:
+		return g.hotspot(), nil
+	case BitReversal:
+		return g.bitPattern(p)
+	case BitComplement:
+		return g.bitPattern(p)
+	case Shuffle:
+		return g.bitPattern(p)
+	case Transpose:
+		return g.transpose()
+	case Tornado:
+		return g.indexed(func(i int) int { return (i + g.n/2 - 1 + g.n) % g.n }), nil
+	case Neighbor:
+		return g.indexed(func(i int) int { return (i + 1) % g.n }), nil
+	default:
+		return nil, fmt.Errorf("traffic: unknown pattern %v", p)
+	}
+}
+
+// MustBatch is Batch that panics on error, for known-valid combinations.
+func (g *Generator) MustBatch(p Pattern) []core.Request {
+	b, err := g.Batch(p)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// Permutations produces count independent random permutations (the
+// paper's "set of 100 random permutations for each test point").
+func (g *Generator) Permutations(count int) [][]core.Request {
+	out := make([][]core.Request, count)
+	for i := range out {
+		out[i] = g.permutation()
+	}
+	return out
+}
+
+func (g *Generator) permutation() []core.Request {
+	perm := g.rng.Perm(g.n)
+	return g.indexed(func(i int) int { return perm[i] })
+}
+
+func (g *Generator) uniform() []core.Request {
+	return g.indexed(func(int) int { return g.rng.Intn(g.n) })
+}
+
+func (g *Generator) hotspot() []core.Request {
+	return g.indexed(func(int) int {
+		if g.rng.Float64() < g.HotspotFraction {
+			return g.HotspotNode
+		}
+		return g.rng.Intn(g.n)
+	})
+}
+
+func (g *Generator) bitPattern(p Pattern) ([]core.Request, error) {
+	if g.n&(g.n-1) != 0 || g.n == 0 {
+		return nil, fmt.Errorf("traffic: %v needs a power-of-two node count, have %d", p, g.n)
+	}
+	k := bits.TrailingZeros(uint(g.n))
+	f := func(i int) int {
+		switch p {
+		case BitReversal:
+			return int(bits.Reverse(uint(i)) >> (bits.UintSize - k))
+		case BitComplement:
+			return ^i & (g.n - 1)
+		default: // Shuffle
+			return ((i << 1) | (i >> (k - 1))) & (g.n - 1)
+		}
+	}
+	return g.indexed(f), nil
+}
+
+func (g *Generator) transpose() ([]core.Request, error) {
+	side := isqrt(g.n)
+	if side*side != g.n {
+		return nil, fmt.Errorf("traffic: transpose needs a square node count, have %d", g.n)
+	}
+	return g.indexed(func(i int) int {
+		r, c := i/side, i%side
+		return c*side + r
+	}), nil
+}
+
+func (g *Generator) indexed(dst func(int) int) []core.Request {
+	reqs := make([]core.Request, g.n)
+	for i := range reqs {
+		reqs[i] = core.Request{Src: i, Dst: dst(i)}
+	}
+	return reqs
+}
+
+func isqrt(n int) int {
+	if n < 0 {
+		return 0
+	}
+	r := 0
+	for (r+1)*(r+1) <= n {
+		r++
+	}
+	return r
+}
+
+// IsPermutation reports whether a batch is a permutation: one request per
+// source 0..n-1 in order and each destination hit exactly once.
+func IsPermutation(reqs []core.Request) bool {
+	n := len(reqs)
+	seen := make([]bool, n)
+	for i, r := range reqs {
+		if r.Src != i || r.Dst < 0 || r.Dst >= n || seen[r.Dst] {
+			return false
+		}
+		seen[r.Dst] = true
+	}
+	return true
+}

@@ -1,0 +1,280 @@
+package traffic
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/core"
+)
+
+func TestRandomPermutationIsPermutation(t *testing.T) {
+	g := NewGenerator(64, 1)
+	for trial := 0; trial < 20; trial++ {
+		b := g.MustBatch(RandomPermutation)
+		if !IsPermutation(b) {
+			t.Fatalf("trial %d: not a permutation", trial)
+		}
+	}
+}
+
+func TestPermutationsCountAndVariety(t *testing.T) {
+	g := NewGenerator(64, 2)
+	batches := g.Permutations(100)
+	if len(batches) != 100 {
+		t.Fatalf("got %d batches", len(batches))
+	}
+	// At least two batches must differ (overwhelmingly likely).
+	same := true
+	for i := range batches[0] {
+		if batches[0][i] != batches[1][i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("consecutive permutations identical")
+	}
+	for i, b := range batches {
+		if !IsPermutation(b) {
+			t.Fatalf("batch %d not a permutation", i)
+		}
+	}
+}
+
+func TestDeterministicSeeding(t *testing.T) {
+	a := NewGenerator(64, 42).MustBatch(RandomPermutation)
+	b := NewGenerator(64, 42).MustBatch(RandomPermutation)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("same seed produced different permutations")
+		}
+	}
+	c := NewGenerator(64, 43).MustBatch(RandomPermutation)
+	diff := false
+	for i := range a {
+		if a[i] != c[i] {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Fatal("different seeds produced identical permutations")
+	}
+}
+
+func TestUniformRandomShape(t *testing.T) {
+	g := NewGenerator(128, 3)
+	b := g.MustBatch(UniformRandom)
+	if len(b) != 128 {
+		t.Fatalf("len = %d", len(b))
+	}
+	for i, r := range b {
+		if r.Src != i || r.Dst < 0 || r.Dst >= 128 {
+			t.Fatalf("bad request %+v at %d", r, i)
+		}
+	}
+}
+
+func TestHotspotBias(t *testing.T) {
+	g := NewGenerator(256, 4)
+	g.HotspotNode = 7
+	g.HotspotFraction = 0.5
+	hits := 0
+	for trial := 0; trial < 10; trial++ {
+		for _, r := range g.MustBatch(Hotspot) {
+			if r.Dst == 7 {
+				hits++
+			}
+		}
+	}
+	total := 10 * 256
+	// Expected ~0.5 plus uniform collisions; demand well above uniform.
+	if hits < total/3 {
+		t.Fatalf("hotspot hit rate %d/%d too low", hits, total)
+	}
+}
+
+func TestBitReversal(t *testing.T) {
+	g := NewGenerator(8, 5)
+	b := g.MustBatch(BitReversal)
+	want := []int{0, 4, 2, 6, 1, 5, 3, 7}
+	for i, r := range b {
+		if r.Dst != want[i] {
+			t.Fatalf("rev(%d) = %d want %d", i, r.Dst, want[i])
+		}
+	}
+	if !IsPermutation(b) {
+		t.Fatal("bit reversal is not a permutation")
+	}
+}
+
+func TestBitComplement(t *testing.T) {
+	g := NewGenerator(16, 6)
+	b := g.MustBatch(BitComplement)
+	for i, r := range b {
+		if r.Dst != 15-i {
+			t.Fatalf("comp(%d) = %d", i, r.Dst)
+		}
+	}
+}
+
+func TestShuffle(t *testing.T) {
+	g := NewGenerator(8, 7)
+	b := g.MustBatch(Shuffle)
+	// Left-rotate 3-bit ids: 1 (001) -> 2 (010); 4 (100) -> 1 (001).
+	if b[1].Dst != 2 || b[4].Dst != 1 || b[7].Dst != 7 {
+		t.Fatalf("shuffle wrong: %v %v %v", b[1], b[4], b[7])
+	}
+	if !IsPermutation(b) {
+		t.Fatal("shuffle is not a permutation")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	g := NewGenerator(16, 8)
+	b, err := g.Batch(Transpose)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Node (r,c) = r*4+c goes to c*4+r.
+	if b[1].Dst != 4 || b[6].Dst != 9 || b[5].Dst != 5 {
+		t.Fatalf("transpose wrong: %v %v %v", b[1], b[6], b[5])
+	}
+	if !IsPermutation(b) {
+		t.Fatal("transpose is not a permutation")
+	}
+}
+
+func TestTornadoAndNeighbor(t *testing.T) {
+	g := NewGenerator(8, 9)
+	tor := g.MustBatch(Tornado)
+	if tor[0].Dst != 3 || tor[5].Dst != 0 {
+		t.Fatalf("tornado wrong: %v %v", tor[0], tor[5])
+	}
+	nb := g.MustBatch(Neighbor)
+	if nb[7].Dst != 0 || nb[0].Dst != 1 {
+		t.Fatalf("neighbor wrong: %v %v", nb[7], nb[0])
+	}
+	if !IsPermutation(tor) || !IsPermutation(nb) {
+		t.Fatal("tornado/neighbor not permutations")
+	}
+}
+
+func TestStructuralRequirements(t *testing.T) {
+	g := NewGenerator(81, 10) // 3^4: not a power of two, is a square
+	if _, err := g.Batch(BitReversal); err == nil {
+		t.Error("bit reversal accepted non-power-of-two")
+	}
+	if _, err := g.Batch(BitComplement); err == nil {
+		t.Error("bit complement accepted non-power-of-two")
+	}
+	if _, err := g.Batch(Shuffle); err == nil {
+		t.Error("shuffle accepted non-power-of-two")
+	}
+	if _, err := g.Batch(Transpose); err != nil {
+		t.Error("transpose rejected 81 (=9²)")
+	}
+	g2 := NewGenerator(8, 11)
+	if _, err := g2.Batch(Transpose); err == nil {
+		t.Error("transpose accepted 8")
+	}
+}
+
+func TestMustBatchPanics(t *testing.T) {
+	g := NewGenerator(6, 12)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("MustBatch did not panic")
+		}
+	}()
+	g.MustBatch(BitReversal)
+}
+
+func TestUnknownPattern(t *testing.T) {
+	g := NewGenerator(8, 13)
+	if _, err := g.Batch(Pattern(99)); err == nil {
+		t.Fatal("unknown pattern accepted")
+	}
+	if Pattern(99).String() != "Pattern(99)" {
+		t.Fatal("unknown pattern string")
+	}
+}
+
+func TestPatternStrings(t *testing.T) {
+	names := map[Pattern]string{
+		RandomPermutation: "random-permutation",
+		UniformRandom:     "uniform-random",
+		Hotspot:           "hotspot",
+		BitReversal:       "bit-reversal",
+		BitComplement:     "bit-complement",
+		Transpose:         "transpose",
+		Shuffle:           "shuffle",
+		Tornado:           "tornado",
+		Neighbor:          "neighbor",
+	}
+	for p, want := range names {
+		if p.String() != want {
+			t.Errorf("%d.String() = %q want %q", int(p), p.String(), want)
+		}
+	}
+}
+
+func TestIsPermutationRejects(t *testing.T) {
+	if IsPermutation([]core.Request{{Src: 1, Dst: 0}, {Src: 0, Dst: 1}}) {
+		t.Error("out-of-order sources accepted")
+	}
+	if IsPermutation([]core.Request{{Src: 0, Dst: 0}, {Src: 1, Dst: 0}}) {
+		t.Error("duplicate destination accepted")
+	}
+	if IsPermutation([]core.Request{{Src: 0, Dst: 5}}) {
+		t.Error("out-of-range destination accepted")
+	}
+	if !IsPermutation(nil) {
+		t.Error("empty batch should be a (trivial) permutation")
+	}
+}
+
+// Property: deterministic structured patterns are permutations for all
+// valid sizes.
+func TestQuickStructuredPermutations(t *testing.T) {
+	f := func(kRaw uint8) bool {
+		k := int(kRaw)%6 + 2 // 4..128 nodes
+		n := 1 << k
+		g := NewGenerator(n, int64(k))
+		for _, p := range []Pattern{BitReversal, BitComplement, Shuffle, Tornado, Neighbor} {
+			b, err := g.Batch(p)
+			if err != nil || !IsPermutation(b) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: uniform destinations stay in range for arbitrary sizes.
+func TestQuickUniformInRange(t *testing.T) {
+	f := func(nRaw uint8, seed int64) bool {
+		n := int(nRaw)%200 + 1
+		g := NewGenerator(n, seed)
+		for _, r := range g.MustBatch(UniformRandom) {
+			if r.Dst < 0 || r.Dst >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkPermutation4096(b *testing.B) {
+	g := NewGenerator(4096, 1)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.MustBatch(RandomPermutation)
+	}
+}

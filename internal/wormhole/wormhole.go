@@ -1,0 +1,594 @@
+// Package wormhole is a flit-level, cycle-based simulation of wormhole
+// packet switching on a fat tree — the conventional transport the paper
+// positions its circuit scheduling against ("the scheduling approaches
+// for fat tree interconnection networks are developed for store and
+// forward and wormhole routing").
+//
+// Model: input-buffered switches with optional virtual channels,
+// credit-based flow control (a flit advances only into free buffer
+// space), one flit per physical channel per cycle. A packet's header
+// allocates one virtual channel at every input buffer it will occupy
+// (adaptively choosing the upward port, forced downward) and holds it
+// until its tail leaves — classic wormhole with VC flow control. VCs
+// remove head-of-line blocking: a stalled worm no longer freezes every
+// packet queued behind it on the same physical link. Up*/down* routing
+// keeps the channel dependency graph acyclic, so a single VC is already
+// deadlock-free; extra VCs are purely a performance feature.
+//
+// The package supports both open-loop load–latency sweeps (Bernoulli
+// injection, extension E8) and closed bulk-transfer phases (every node
+// sends one long packet, extension E9's comparison with scheduled
+// circuits).
+package wormhole
+
+import (
+	"fmt"
+	"math/rand"
+
+	"repro/internal/stats"
+	"repro/internal/topology"
+)
+
+// UpPolicy selects the upward output port for a header flit.
+type UpPolicy int
+
+// Upward routing policies.
+const (
+	// AdaptiveFreeSpace picks the upward port whose downstream buffers
+	// have the most total free space (ties to the lowest index).
+	AdaptiveFreeSpace UpPolicy = iota
+	// DeterministicFirst always tries ports in index order.
+	DeterministicFirst
+	// RandomUp picks uniformly among candidate upward ports.
+	RandomUp
+)
+
+// String names the policy.
+func (p UpPolicy) String() string {
+	switch p {
+	case AdaptiveFreeSpace:
+		return "adaptive"
+	case DeterministicFirst:
+		return "deterministic"
+	case RandomUp:
+		return "random"
+	default:
+		return fmt.Sprintf("UpPolicy(%d)", int(p))
+	}
+}
+
+// Config parameterizes a simulation.
+type Config struct {
+	Tree *topology.Tree
+	// BufferDepth is the per-VC input buffer capacity in flits
+	// (default 4).
+	BufferDepth int
+	// PacketLen is the packet length in flits, header included
+	// (default 5).
+	PacketLen int
+	// VirtualChannels per input port (default 1).
+	VirtualChannels int
+	// StoreAndForward switches from wormhole to store-and-forward
+	// operation: a packet's flits leave a buffer only after the whole
+	// packet has arrived in it, so per-hop latency is the full packet
+	// serialization time instead of one flit. Requires BufferDepth >=
+	// PacketLen. This is the other conventional transport the paper
+	// names alongside wormhole.
+	StoreAndForward bool
+	Policy          UpPolicy
+	Seed            int64
+	// Rate is the open-loop injection probability per node per cycle
+	// (packets); ignored by RunBulk.
+	Rate float64
+	// Dest maps a source node to a destination; nil means uniform random
+	// (excluding self).
+	Dest func(src int, rng *rand.Rand) int
+	// Cycles and Warmup bound an open-loop run; packets generated before
+	// Warmup are excluded from latency statistics.
+	Cycles, Warmup int
+}
+
+func (c *Config) defaults() {
+	if c.BufferDepth == 0 {
+		c.BufferDepth = 4
+	}
+	if c.PacketLen == 0 {
+		c.PacketLen = 5
+	}
+	if c.VirtualChannels == 0 {
+		c.VirtualChannels = 1
+	}
+}
+
+// Metrics reports a run's outcome.
+type Metrics struct {
+	Injected   int // measured packets entering the network
+	Delivered  int // measured packets fully delivered
+	AvgLatency float64
+	P99Latency float64
+	// ThroughputFlits is delivered flits per node per cycle over the
+	// measured window.
+	ThroughputFlits float64
+	// Cycles is the simulated horizon (RunBulk: completion time).
+	Cycles int
+}
+
+// packet is one worm in flight.
+type packet struct {
+	src, dst  int
+	born      int
+	flitsSent int  // flits that have left the source queue
+	measured  bool // counts toward statistics
+	size      int
+}
+
+// flit is one buffer entry.
+type flit struct {
+	pkt  *packet
+	tail bool
+}
+
+// fifo is a bounded flit queue.
+type fifo struct {
+	buf  []flit
+	head int
+}
+
+func (f *fifo) len() int            { return len(f.buf) - f.head }
+func (f *fifo) space(depth int) int { return depth - f.len() }
+func (f *fifo) push(x flit)         { f.buf = append(f.buf, x) }
+func (f *fifo) peek() flit          { return f.buf[f.head] }
+func (f *fifo) pop() flit {
+	x := f.buf[f.head]
+	f.buf[f.head] = flit{}
+	f.head++
+	if f.head == len(f.buf) {
+		f.buf = f.buf[:0]
+		f.head = 0
+	}
+	return x
+}
+
+// inPort is one input port: V virtual channels, each a fifo with a
+// packet binding that lives from header allocation until the tail leaves.
+type inPort struct {
+	vcs   []fifo
+	bound []*packet
+	// tailIn marks VCs whose bound packet's tail flit has arrived —
+	// store-and-forward releases flits only once it is set.
+	tailIn []bool
+	rr     int // round-robin pointer over VCs
+}
+
+func (p *inPort) freeVC() int {
+	for v := range p.bound {
+		if p.bound[v] == nil {
+			return v
+		}
+	}
+	return -1
+}
+
+func (p *inPort) totalSpace(depth int) int {
+	total := 0
+	for v := range p.vcs {
+		total += p.vcs[v].space(depth)
+	}
+	return total
+}
+
+// sim is the live network state.
+type sim struct {
+	cfg  Config
+	tree *topology.Tree
+	rng  *rand.Rand
+
+	// fromChild[h][sw][c]: input port receiving up-going traffic from
+	// child c; fromParent[h][sw][p]: input port receiving down-going
+	// traffic from parent p.
+	fromChild  [][][]inPort
+	fromParent [][][]inPort
+
+	// outUsed marks output ports that already transferred a flit this
+	// cycle: outUpUsed[h][sw][p], outDownUsed[h][sw][c].
+	outUpUsed   [][][]bool
+	outDownUsed [][][]bool
+
+	// upOut[pkt] per (h, sw): the upward output a packet's header chose,
+	// reused by its body flits. Keyed per switch to stay O(1).
+	upChoice [][]map[*packet]int
+
+	srcQueue       []fifo // per node: flits waiting to enter the network
+	latencies      []float64
+	cycle          int
+	injected       int
+	delivered      int
+	deliveredFlits int
+}
+
+func newSim(cfg Config) *sim {
+	cfg.defaults()
+	t := cfg.Tree
+	s := &sim{cfg: cfg, tree: t, rng: rand.New(rand.NewSource(cfg.Seed))}
+	L := t.Levels()
+	mkPorts := func(n int) []inPort {
+		ports := make([]inPort, n)
+		for i := range ports {
+			ports[i].vcs = make([]fifo, cfg.VirtualChannels)
+			ports[i].bound = make([]*packet, cfg.VirtualChannels)
+			ports[i].tailIn = make([]bool, cfg.VirtualChannels)
+		}
+		return ports
+	}
+	s.fromChild = make([][][]inPort, L)
+	s.fromParent = make([][][]inPort, L)
+	s.outUpUsed = make([][][]bool, L)
+	s.outDownUsed = make([][][]bool, L)
+	s.upChoice = make([][]map[*packet]int, L)
+	for h := 0; h < L; h++ {
+		n := t.SwitchesAt(h)
+		s.fromChild[h] = make([][]inPort, n)
+		s.fromParent[h] = make([][]inPort, n)
+		s.outUpUsed[h] = make([][]bool, n)
+		s.outDownUsed[h] = make([][]bool, n)
+		s.upChoice[h] = make([]map[*packet]int, n)
+		for i := 0; i < n; i++ {
+			s.fromChild[h][i] = mkPorts(t.Children())
+			s.fromParent[h][i] = mkPorts(t.Parents())
+			s.outUpUsed[h][i] = make([]bool, t.Parents())
+			s.outDownUsed[h][i] = make([]bool, t.Children())
+			s.upChoice[h][i] = make(map[*packet]int)
+		}
+	}
+	s.srcQueue = make([]fifo, t.Nodes())
+	return s
+}
+
+// isAncestor reports whether level-h switch idx is an ancestor of node
+// dst.
+func (s *sim) isAncestor(h, idx, dst int) bool {
+	lab := s.tree.Spec().LabelOf(h, idx)
+	dstSw, _ := s.tree.NodeSwitch(dst)
+	dstLab := s.tree.Spec().LabelOf(0, dstSw)
+	for pos := h; pos <= s.tree.Levels()-2; pos++ {
+		if lab[pos] != dstLab[pos] {
+			return false
+		}
+	}
+	return true
+}
+
+// step advances the network one cycle: movement (down-going bottom-up,
+// up-going top-down — the receiving level always drains before the
+// sending one, so a flit moves at most one hop per cycle while freed
+// space chains in the same cycle), then injection.
+func (s *sim) step() {
+	t := s.tree
+	L := t.Levels()
+	for h := 0; h < L; h++ {
+		for sw := 0; sw < t.SwitchesAt(h); sw++ {
+			for i := range s.outUpUsed[h][sw] {
+				s.outUpUsed[h][sw][i] = false
+			}
+			for i := range s.outDownUsed[h][sw] {
+				s.outDownUsed[h][sw][i] = false
+			}
+		}
+	}
+	for h := 0; h < L; h++ {
+		for sw := 0; sw < t.SwitchesAt(h); sw++ {
+			for p := range s.fromParent[h][sw] {
+				s.movePort(h, sw, &s.fromParent[h][sw][p], false)
+			}
+		}
+	}
+	for h := L - 1; h >= 0; h-- {
+		for sw := 0; sw < t.SwitchesAt(h); sw++ {
+			for c := range s.fromChild[h][sw] {
+				s.movePort(h, sw, &s.fromChild[h][sw][c], true)
+			}
+		}
+	}
+	s.inject()
+	s.cycle++
+}
+
+// movePort advances at most one flit from one input port, arbitrating
+// round-robin over its virtual channels.
+func (s *sim) movePort(h, sw int, port *inPort, upGoing bool) {
+	v := len(port.vcs)
+	for k := 0; k < v; k++ {
+		vc := (port.rr + k) % v
+		if port.vcs[vc].len() == 0 {
+			continue
+		}
+		if s.cfg.StoreAndForward && !port.tailIn[vc] {
+			continue // store-and-forward: wait for the whole packet
+		}
+		if s.tryAdvance(h, sw, port, vc, upGoing) {
+			port.rr = (vc + 1) % v
+			return
+		}
+	}
+}
+
+// tryAdvance attempts to move the head flit of (port, vc) one hop.
+func (s *sim) tryAdvance(h, sw int, port *inPort, vc int, upGoing bool) bool {
+	t := s.tree
+	fl := port.vcs[vc].peek()
+	pkt := fl.pkt
+
+	if s.isAncestor(h, sw, pkt.dst) {
+		// Descend or eject.
+		if h == 0 {
+			dstSw, _ := t.NodeSwitch(pkt.dst)
+			if sw != dstSw {
+				panic("wormhole: level-0 ancestor is not the destination switch")
+			}
+			// Ejection: always accepted, one flit per input per cycle.
+			port.vcs[vc].pop()
+			if fl.tail {
+				port.bound[vc] = nil
+				port.tailIn[vc] = false
+				if pkt.measured {
+					s.delivered++
+					s.deliveredFlits += pkt.size
+					s.latencies = append(s.latencies, float64(s.cycle-pkt.born))
+				}
+			}
+			return true
+		}
+		dstSw, _ := t.NodeSwitch(pkt.dst)
+		dstLab := t.Spec().LabelOf(0, dstSw)
+		c := dstLab[h-1]
+		if s.outDownUsed[h][sw][c] {
+			return false
+		}
+		child := t.DownChild(h-1, sw, c)
+		back := t.DownChildUpPort(h-1, sw, c)
+		dest := &s.fromParent[h-1][child][back]
+		return s.transfer(port, vc, fl, dest, &s.outDownUsed[h][sw][c])
+	}
+
+	if !upGoing {
+		panic("wormhole: down-going flit strayed off the ancestor path")
+	}
+	// Climb: the header picks an upward output once per switch; body
+	// flits reuse it.
+	out, ok := s.upChoice[h][sw][pkt]
+	if !ok {
+		out = s.chooseUp(h, sw)
+		if out < 0 {
+			return false
+		}
+		s.upChoice[h][sw][pkt] = out
+	}
+	if s.outUpUsed[h][sw][out] {
+		return false
+	}
+	parent := t.UpParent(h, sw, out)
+	back := t.UpParentDownPort(h, sw, out)
+	dest := &s.fromChild[h+1][parent][back]
+	moved := s.transfer(port, vc, fl, dest, &s.outUpUsed[h][sw][out])
+	if moved && fl.tail {
+		delete(s.upChoice[h][sw], pkt)
+	}
+	return moved
+}
+
+// transfer moves the head flit of (src, vc) into the destination input
+// port if the packet holds (or can allocate) a VC there with space.
+// outUsed is set when the physical channel fires.
+func (s *sim) transfer(src *inPort, vc int, fl flit, dest *inPort, outUsed *bool) bool {
+	pkt := fl.pkt
+	// Find the packet's VC at the destination, or allocate one for the
+	// header.
+	dvc := -1
+	for v, b := range dest.bound {
+		if b == pkt {
+			dvc = v
+			break
+		}
+	}
+	if dvc == -1 {
+		dvc = dest.freeVC()
+		if dvc == -1 {
+			return false // no virtual channel available downstream
+		}
+		dest.bound[dvc] = pkt
+	}
+	if dest.vcs[dvc].space(s.cfg.BufferDepth) == 0 {
+		return false // no credit
+	}
+	src.vcs[vc].pop()
+	if fl.tail {
+		src.bound[vc] = nil
+		src.tailIn[vc] = false
+	}
+	dest.vcs[dvc].push(fl)
+	if fl.tail {
+		dest.tailIn[dvc] = true
+	}
+	*outUsed = true
+	return true
+}
+
+// chooseUp picks the upward output per the policy. Unlike a held circuit,
+// any port may be picked — the physical channel is time-multiplexed —
+// so candidates are all up ports; the policy only shapes load.
+func (s *sim) chooseUp(h, sw int) int {
+	t := s.tree
+	w := t.Parents()
+	switch s.cfg.Policy {
+	case RandomUp:
+		return s.rng.Intn(w)
+	case DeterministicFirst:
+		return 0
+	default: // AdaptiveFreeSpace
+		best, bestSpace := 0, -1
+		for p := 0; p < w; p++ {
+			parent := t.UpParent(h, sw, p)
+			back := t.UpParentDownPort(h, sw, p)
+			space := s.fromChild[h+1][parent][back].totalSpace(s.cfg.BufferDepth)
+			if space > bestSpace {
+				best, bestSpace = p, space
+			}
+		}
+		return best
+	}
+}
+
+// inject moves one flit per node per cycle from the source queue into
+// the level-0 switch input, allocating a VC for each new packet. The
+// node's link into the switch behaves like any other physical channel.
+func (s *sim) inject() {
+	t := s.tree
+	for n := 0; n < t.Nodes(); n++ {
+		q := &s.srcQueue[n]
+		if q.len() == 0 {
+			continue
+		}
+		fl := q.peek()
+		pkt := fl.pkt
+		sw, cport := t.NodeSwitch(n)
+		in := &s.fromChild[0][sw][cport]
+		dvc := -1
+		for v, b := range in.bound {
+			if b == pkt {
+				dvc = v
+				break
+			}
+		}
+		if dvc == -1 {
+			dvc = in.freeVC()
+			if dvc == -1 {
+				continue // all VCs held by other worms
+			}
+			in.bound[dvc] = pkt
+		}
+		if in.vcs[dvc].space(s.cfg.BufferDepth) == 0 {
+			continue // no credit
+		}
+		q.pop()
+		in.vcs[dvc].push(fl)
+		if fl.tail {
+			in.tailIn[dvc] = true
+		}
+		if pkt.flitsSent == 0 && pkt.measured {
+			s.injected++
+		}
+		pkt.flitsSent++
+	}
+}
+
+// checkSF validates the store-and-forward buffer requirement.
+func checkSF(cfg *Config) error {
+	if !cfg.StoreAndForward {
+		return nil
+	}
+	c := *cfg
+	c.defaults()
+	if c.BufferDepth < c.PacketLen {
+		return fmt.Errorf("wormhole: store-and-forward needs BufferDepth (%d) >= PacketLen (%d)", c.BufferDepth, c.PacketLen)
+	}
+	return nil
+}
+
+// enqueue places a new packet's flits on the source queue.
+func (s *sim) enqueue(src, dst int, measured bool) {
+	p := &packet{src: src, dst: dst, born: s.cycle, measured: measured, size: s.cfg.PacketLen}
+	for k := 0; k < p.size; k++ {
+		s.srcQueue[src].push(flit{pkt: p, tail: k == p.size-1})
+	}
+}
+
+// Run performs an open-loop simulation per the Config and returns the
+// metrics. It returns an error for invalid configurations.
+func Run(cfg Config) (Metrics, error) {
+	if cfg.Tree == nil {
+		return Metrics{}, fmt.Errorf("wormhole: nil tree")
+	}
+	if cfg.Cycles <= 0 || cfg.Warmup < 0 || cfg.Warmup >= cfg.Cycles {
+		return Metrics{}, fmt.Errorf("wormhole: bad horizon (cycles %d, warmup %d)", cfg.Cycles, cfg.Warmup)
+	}
+	if cfg.Rate < 0 || cfg.Rate > 1 {
+		return Metrics{}, fmt.Errorf("wormhole: rate %v outside [0,1]", cfg.Rate)
+	}
+	if cfg.VirtualChannels < 0 || cfg.BufferDepth < 0 || cfg.PacketLen < 0 {
+		return Metrics{}, fmt.Errorf("wormhole: negative buffer/packet/VC configuration")
+	}
+	if err := checkSF(&cfg); err != nil {
+		return Metrics{}, err
+	}
+	s := newSim(cfg)
+	dest := cfg.Dest
+	if dest == nil {
+		dest = func(src int, rng *rand.Rand) int {
+			for {
+				d := rng.Intn(s.tree.Nodes())
+				if d != src {
+					return d
+				}
+			}
+		}
+	}
+	for s.cycle < cfg.Cycles {
+		for n := 0; n < s.tree.Nodes(); n++ {
+			if s.rng.Float64() < cfg.Rate {
+				s.enqueue(n, dest(n, s.rng), s.cycle >= cfg.Warmup)
+			}
+		}
+		s.step()
+	}
+	return s.metrics(cfg.Cycles - cfg.Warmup), nil
+}
+
+// RunBulk performs a closed bulk-transfer phase: every node sends exactly
+// one packet of the configured length to dest(node), and the simulation
+// runs until everything is delivered (or maxCycles passes, which returns
+// an error — with deadlock-free routing this indicates an implausibly
+// small horizon).
+func RunBulk(cfg Config, maxCycles int) (Metrics, error) {
+	if cfg.Tree == nil {
+		return Metrics{}, fmt.Errorf("wormhole: nil tree")
+	}
+	if cfg.Dest == nil {
+		return Metrics{}, fmt.Errorf("wormhole: RunBulk needs a Dest function")
+	}
+	if err := checkSF(&cfg); err != nil {
+		return Metrics{}, err
+	}
+	s := newSim(cfg)
+	want := 0
+	for n := 0; n < s.tree.Nodes(); n++ {
+		d := cfg.Dest(n, s.rng)
+		if d == n {
+			continue // nothing to send
+		}
+		s.enqueue(n, d, true)
+		want++
+	}
+	for s.delivered < want {
+		if s.cycle >= maxCycles {
+			return Metrics{}, fmt.Errorf("wormhole: bulk phase not done after %d cycles (%d/%d)", maxCycles, s.delivered, want)
+		}
+		s.step()
+	}
+	return s.metrics(s.cycle), nil
+}
+
+func (s *sim) metrics(window int) Metrics {
+	m := Metrics{
+		Injected:  s.injected,
+		Delivered: s.delivered,
+		Cycles:    s.cycle,
+	}
+	if len(s.latencies) > 0 {
+		m.AvgLatency = stats.Summarize(s.latencies).Mean
+		m.P99Latency = stats.Percentile(s.latencies, 99)
+	}
+	if window > 0 {
+		m.ThroughputFlits = float64(s.deliveredFlits) / float64(s.tree.Nodes()) / float64(window)
+	}
+	return m
+}

@@ -1,0 +1,124 @@
+package repro
+
+import (
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/optimal"
+	"repro/internal/topology"
+	"repro/internal/traffic"
+)
+
+// FatTree is a fat-tree topology FT(l, m, w); see NewFatTree.
+type FatTree = topology.Tree
+
+// Request is one connection request between two processing nodes.
+type Request = core.Request
+
+// Result is a scheduled batch with per-request outcomes; Result.Ratio()
+// is the schedulability ratio.
+type Result = core.Result
+
+// Outcome records what the scheduler did with one request.
+type Outcome = core.Outcome
+
+// Scheduler routes request batches against a link state.
+type Scheduler = core.Scheduler
+
+// LinkState tracks per-channel availability; schedulers mutate it, so a
+// sequence of batches on one LinkState models incremental allocation.
+type LinkState = linkstate.State
+
+// Options tunes a scheduler (port policy, ordering, rollback, retries).
+type Options = core.Options
+
+// NewFatTree constructs FT(l, m, w): l switch levels, m children and w
+// parents per switch, m^l processing nodes. The paper's symmetric trees
+// use m == w.
+func NewFatTree(levels, children, parents int) (*FatTree, error) {
+	return topology.New(levels, children, parents)
+}
+
+// NewLinkState returns a fresh all-available link state for the tree.
+func NewLinkState(tree *FatTree) *LinkState { return linkstate.New(tree) }
+
+// NewLevelWise returns the paper's Level-wise global scheduler with its
+// published defaults (first-fit port selection, level-major traversal).
+func NewLevelWise() Scheduler { return core.NewLevelWise() }
+
+// NewLevelWiseWith returns a Level-wise scheduler with custom options.
+func NewLevelWiseWith(opts Options) Scheduler { return &core.LevelWise{Opts: opts} }
+
+// NewLocalRandom returns the conventional adaptive baseline: upward ports
+// chosen randomly from the locally available set (the scheme the paper's
+// Section 1 describes).
+func NewLocalRandom() Scheduler { return core.NewLocalRandom() }
+
+// NewLocalGreedy returns the greedy (first-fit) local baseline.
+func NewLocalGreedy() Scheduler { return core.NewLocalGreedy() }
+
+// NewOptimal returns the rearrangeable reference scheduler (recursive
+// edge coloring): 100% schedulability for permutations when w >= m.
+func NewOptimal() Scheduler { return optimal.New() }
+
+// Permutation generates a random permutation workload over the tree's
+// nodes, deterministically from the seed.
+func Permutation(tree *FatTree, seed int64) []Request {
+	return traffic.NewGenerator(tree.Nodes(), seed).MustBatch(traffic.RandomPermutation)
+}
+
+// Schedule routes one batch on a fresh network and verifies the result's
+// link-safety before returning it.
+func Schedule(tree *FatTree, s Scheduler, reqs []Request) (*Result, error) {
+	res := s.Schedule(linkstate.New(tree), reqs)
+	if err := core.Verify(tree, res); err != nil {
+		return nil, fmt.Errorf("repro: scheduler %q produced an inconsistent result: %w", s.Name(), err)
+	}
+	return res, nil
+}
+
+// Comparison is the outcome of one head-to-head batch.
+type Comparison struct {
+	Local  *Result
+	Global *Result
+}
+
+// Improvement returns the absolute schedulability-ratio gain of the
+// Level-wise scheduler over the local baseline on this batch.
+func (c Comparison) Improvement() float64 { return c.Global.Ratio() - c.Local.Ratio() }
+
+// Compare runs the paper's head-to-head — conventional local adaptive
+// scheduling versus the Level-wise global scheduler — on one batch.
+func Compare(tree *FatTree, reqs []Request) (Comparison, error) {
+	local, err := Schedule(tree, NewLocalRandom(), reqs)
+	if err != nil {
+		return Comparison{}, err
+	}
+	global, err := Schedule(tree, NewLevelWise(), reqs)
+	if err != nil {
+		return Comparison{}, err
+	}
+	return Comparison{Local: local, Global: global}, nil
+}
+
+// Verify replays a result against a fresh link state and reports the
+// first inconsistency (nil if the result is link-safe and well formed).
+func Verify(tree *FatTree, res *Result) error { return core.Verify(tree, res) }
+
+// MulticastRequest is a one-to-many connection request (extension E13).
+type MulticastRequest = core.MulticastRequest
+
+// MulticastResult is a scheduled multicast batch.
+type MulticastResult = core.MulticastResult
+
+// ScheduleMulticast routes one-to-many connections with the Level-wise
+// generalization (the per-level AND spans every branch's mirror switch)
+// on a fresh network, verifying the trees before returning.
+func ScheduleMulticast(tree *FatTree, reqs []MulticastRequest) (*MulticastResult, error) {
+	res := (&core.MulticastLevelWise{}).Schedule(linkstate.New(tree), reqs)
+	if err := core.VerifyMulticast(tree, res); err != nil {
+		return nil, fmt.Errorf("repro: multicast scheduling produced an inconsistent result: %w", err)
+	}
+	return res, nil
+}

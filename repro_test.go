@@ -1,0 +1,78 @@
+package repro
+
+import (
+	"testing"
+
+	"repro/internal/traffic"
+)
+
+func TestNewFatTree(t *testing.T) {
+	tree, err := NewFatTree(3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tree.Nodes() != 64 {
+		t.Fatalf("nodes = %d", tree.Nodes())
+	}
+	if _, err := NewFatTree(0, 4, 4); err == nil {
+		t.Fatal("bad tree accepted")
+	}
+}
+
+func TestPermutationAndSchedule(t *testing.T) {
+	tree, _ := NewFatTree(3, 4, 4)
+	reqs := Permutation(tree, 7)
+	if !traffic.IsPermutation(reqs) {
+		t.Fatal("not a permutation")
+	}
+	for _, s := range []Scheduler{NewLevelWise(), NewLocalRandom(), NewLocalGreedy(), NewOptimal()} {
+		res, err := Schedule(tree, s, reqs)
+		if err != nil {
+			t.Fatalf("%s: %v", s.Name(), err)
+		}
+		if res.Ratio() <= 0 || res.Ratio() > 1 {
+			t.Fatalf("%s: ratio %v", s.Name(), res.Ratio())
+		}
+	}
+}
+
+func TestCompare(t *testing.T) {
+	tree, _ := NewFatTree(3, 4, 4)
+	var sum float64
+	for seed := int64(0); seed < 10; seed++ {
+		cmp, err := Compare(tree, Permutation(tree, seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		sum += cmp.Improvement()
+	}
+	if sum <= 0 {
+		t.Fatalf("level-wise not better on average: %v", sum)
+	}
+}
+
+func TestLinkStatePersistsAcrossBatches(t *testing.T) {
+	tree, _ := NewFatTree(3, 4, 4)
+	st := NewLinkState(tree)
+	s := NewLevelWiseWith(Options{Rollback: true})
+	first := s.Schedule(st, Permutation(tree, 1))
+	second := s.Schedule(st, Permutation(tree, 2))
+	if second.Granted >= first.Granted {
+		t.Fatalf("second batch on a loaded network granted %d >= %d", second.Granted, first.Granted)
+	}
+	if err := Verify(tree, first); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOptionsExposed(t *testing.T) {
+	tree, _ := NewFatTree(2, 8, 8)
+	s := NewLevelWiseWith(Options{Rollback: true})
+	res, err := Schedule(tree, s, Permutation(tree, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Scheduler != "level-wise/rollback" {
+		t.Fatalf("scheduler = %q", res.Scheduler)
+	}
+}
