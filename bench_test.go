@@ -7,10 +7,17 @@ package repro
 // `go test -bench` output doubles as a miniature reproduction report.
 
 import (
+	"context"
+	"fmt"
 	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 )
 
 // benchPerms keeps one bench iteration around a second; cmd/ftbench runs
@@ -260,6 +267,52 @@ func BenchmarkScheduleLevelWise4096(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		st.Reset()
 		s.Schedule(st, reqs)
+	}
+}
+
+// BenchmarkFabricThroughput measures the serving layer's admission rate
+// on FT(3,8): 64 closed-loop clients mixing Connect/Release across epoch
+// flush thresholds. The admissions/s metric is the headline; epoch
+// batching must beat the epoch-size-1 configuration by ≥2× (baseline
+// recorded in BENCH_fabric.json).
+func BenchmarkFabricThroughput(b *testing.B) {
+	const clients = 64
+	tree, err := NewFatTree(3, 8, 8)
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, epoch := range []int{1, 16, 64} {
+		b.Run(fmt.Sprintf("epoch%d/clients%d", epoch, clients), func(b *testing.B) {
+			fab, err := fabric.New(fabric.Config{Tree: tree, BatchSize: epoch, MaxWait: 500 * time.Microsecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			var next atomic.Int64
+			var wg sync.WaitGroup
+			b.ResetTimer()
+			for c := 0; c < clients; c++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(id) + 1))
+					for next.Add(1) <= int64(b.N) {
+						h, err := fab.Connect(context.Background(), rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes()))
+						if err == nil {
+							if err := fab.Release(h); err != nil {
+								b.Error(err)
+								return
+							}
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			b.StopTimer()
+			b.ReportMetric(float64(b.N)/b.Elapsed().Seconds(), "admissions/s")
+			if err := fab.Close(context.Background()); err != nil {
+				b.Fatal(err)
+			}
+		})
 	}
 }
 

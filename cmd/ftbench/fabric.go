@@ -1,0 +1,103 @@
+package main
+
+// The -fabric mode turns ftbench into a closed-loop load generator for
+// the serving layer: N concurrent clients drive Connect/Release against
+// an in-process fabric manager and the offered admission rate is
+// measured, the serving-path analogue of extension E4's churn model
+// (random endpoints, connections held across subsequent operations).
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+// fabricBenchConfig parameterizes one closed-loop run.
+type fabricBenchConfig struct {
+	Levels, Children, Parents int
+	Clients                   int           // concurrent closed-loop clients
+	Batch                     int           // epoch flush threshold
+	MaxWait                   time.Duration // epoch flush timer
+	Open                      int           // circuits each client holds (FIFO churn)
+	Duration                  time.Duration
+	Seed                      int64
+}
+
+// fabricBench runs the closed-loop load generator and prints a summary.
+func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
+	if cfg.Clients <= 0 || cfg.Open <= 0 || cfg.Duration <= 0 {
+		return fmt.Errorf("fabric bench: need positive clients (%d), open (%d), duration (%s)",
+			cfg.Clients, cfg.Open, cfg.Duration)
+	}
+	tree, err := topology.New(cfg.Levels, cfg.Children, cfg.Parents)
+	if err != nil {
+		return err
+	}
+	fab, err := fabric.New(fabric.Config{Tree: tree, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait})
+	if err != nil {
+		return err
+	}
+
+	var admitted, denied atomic.Uint64
+	deadline := time.Now().Add(cfg.Duration)
+	var wg sync.WaitGroup
+	for c := 0; c < cfg.Clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
+			var held []*fabric.Handle
+			for time.Now().Before(deadline) {
+				// Churn: keep Open long-lived circuits, retiring the
+				// oldest before each new admission.
+				for len(held) >= cfg.Open {
+					if err := held[0].Release(); err != nil {
+						panic(err)
+					}
+					held = held[1:]
+				}
+				h, err := fab.Connect(context.Background(), rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes()))
+				switch {
+				case err == nil:
+					admitted.Add(1)
+					held = append(held, h)
+				case errors.Is(err, fabric.ErrUnroutable):
+					denied.Add(1)
+				default:
+					panic(err)
+				}
+			}
+			for _, h := range held {
+				if err := h.Release(); err != nil {
+					panic(err)
+				}
+			}
+		}(c)
+	}
+	start := time.Now()
+	wg.Wait()
+	elapsed := time.Since(start)
+	if err := fab.Close(context.Background()); err != nil {
+		return err
+	}
+
+	s := fab.Stats()
+	total := admitted.Load() + denied.Load()
+	fmt.Fprintf(out, "fabric %s  clients=%d epoch=%d maxwait=%s open=%d duration=%s\n",
+		tree, cfg.Clients, cfg.Batch, cfg.MaxWait, cfg.Open, cfg.Duration)
+	fmt.Fprintf(out, "  admissions/sec %.0f  (offered %d, granted %d, rejected %d, blocking %.2f%%)\n",
+		float64(total)/elapsed.Seconds(), s.Offered, s.Granted, s.Rejected,
+		100*float64(s.Rejected)/float64(max(1, s.Offered)))
+	fmt.Fprintf(out, "  epochs %d  size mean=%.1f p95=%.0f  latency ms p50=%.3f p95=%.3f p99=%.3f\n",
+		s.Epochs, s.EpochSize.Mean, s.EpochSize.P95,
+		s.EpochLatencyMS.P50, s.EpochLatencyMS.P95, s.EpochLatencyMS.P99)
+	return nil
+}

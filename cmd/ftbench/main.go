@@ -8,6 +8,11 @@
 //
 // With -csv, each figure/table is additionally written as a CSV file into
 // the given directory for external plotting.
+//
+// With -fabric, ftbench instead runs a closed-loop load generator against
+// the concurrent serving layer (internal/fabric) and reports
+// admissions/sec; the -fabric-* flags size the tree, the client pool, and
+// the epoch batching.
 package main
 
 import (
@@ -15,8 +20,10 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"time"
 
 	"repro/internal/experiments"
+	"repro/internal/fabric"
 	"repro/internal/report"
 )
 
@@ -28,7 +35,29 @@ func main() {
 	only := flag.String("only", "", "run only suite components whose id contains this (e.g. e12, a1, fig9, table1)")
 	csvDir := flag.String("csv", "", "directory to additionally write CSV files into")
 	jsonDir := flag.String("json", "", "directory to additionally write JSON files into")
+	fabricMode := flag.Bool("fabric", false, "run the closed-loop fabric load generator instead of the paper suite")
+	fabricLevels := flag.Int("fabric-levels", 3, "fabric bench: switch levels l")
+	fabricChildren := flag.Int("fabric-children", 8, "fabric bench: children per switch m")
+	fabricParents := flag.Int("fabric-parents", 8, "fabric bench: parents per switch w")
+	fabricClients := flag.Int("fabric-clients", 64, "fabric bench: concurrent closed-loop clients")
+	fabricBatch := flag.Int("fabric-batch", fabric.DefaultBatchSize, "fabric bench: epoch flush threshold (1 disables batching)")
+	fabricOpen := flag.Int("fabric-open", 4, "fabric bench: circuits each client holds open")
+	fabricMaxWait := flag.Duration("fabric-maxwait", 500*time.Microsecond, "fabric bench: epoch flush timer")
+	fabricDuration := flag.Duration("fabric-duration", 2*time.Second, "fabric bench: run length")
 	flag.Parse()
+
+	if *fabricMode {
+		err := fabricBench(os.Stdout, fabricBenchConfig{
+			Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
+			Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
+			MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *csvDir != "" {
 		if err := writeFiles(*csvDir, ".csv", *perms, *seed); err != nil {

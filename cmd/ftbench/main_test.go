@@ -5,6 +5,7 @@ import (
 	"path/filepath"
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestWriteFilesCSVAndJSON(t *testing.T) {
@@ -33,5 +34,29 @@ func TestWriteFilesCSVAndJSON(t *testing.T) {
 func TestWriteFilesBadDir(t *testing.T) {
 	if err := writeFiles("/dev/null/subdir", ".csv", 1, 1); err == nil {
 		t.Fatal("unwritable dir accepted")
+	}
+}
+
+func TestFabricBench(t *testing.T) {
+	var out strings.Builder
+	err := fabricBench(&out, fabricBenchConfig{
+		Levels: 3, Children: 4, Parents: 4,
+		Clients: 8, Batch: 8, Open: 2,
+		MaxWait: 200 * time.Microsecond, Duration: 100 * time.Millisecond, Seed: 1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "admissions/sec") {
+		t.Errorf("summary missing admissions/sec:\n%s", out.String())
+	}
+}
+
+func TestFabricBenchValidation(t *testing.T) {
+	if err := fabricBench(os.Stdout, fabricBenchConfig{Levels: 3, Children: 4, Parents: 4}); err == nil {
+		t.Error("zero clients accepted")
+	}
+	if err := fabricBench(os.Stdout, fabricBenchConfig{Levels: 0, Clients: 1, Open: 1, Duration: time.Millisecond}); err == nil {
+		t.Error("bad topology accepted")
 	}
 }

@@ -7,12 +7,16 @@
 //	        [-scheduler level-wise|local-random|local-greedy|optimal]
 //	        [-pattern random-permutation|uniform-random|hotspot|bit-reversal|
 //	                  bit-complement|transpose|shuffle|tornado|neighbor]
-//	        [-trials 1] [-seed 1] [-rollback] [-v]
+//	        [-trials 1] [-seed 1] [-rollback] [-v] [-json]
 //
 // With -v every request's outcome (path or failure level) is listed.
+// With -json the run summary is emitted as a single JSON object instead
+// of the human-readable report — the same machine-readable style as
+// ftserve's GET /stats, so batch and serving results can share tooling.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -38,12 +42,33 @@ func main() {
 	rollback := flag.Bool("rollback", false, "release a failed request's partial allocations")
 	verbose := flag.Bool("v", false, "print per-request outcomes")
 	trace := flag.Bool("trace", false, "print every denial with the availability vector that caused it")
+	jsonOut := flag.Bool("json", false, "emit the run summary as one JSON object")
 	flag.Parse()
 
-	if err := run(*levels, *children, *parents, *schedName, *patName, *trials, *seed, *rollback, *verbose, *trace); err != nil {
+	if err := run(*levels, *children, *parents, *schedName, *patName, *trials, *seed, *rollback, *verbose, *trace, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "ftsched: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// summary is the -json output: one object per run, aligned with the
+// counter vocabulary of ftserve's /stats (granted/rejected/utilization).
+type summary struct {
+	Scheduler   string        `json:"scheduler"`
+	Pattern     string        `json:"pattern"`
+	Tree        string        `json:"tree"`
+	Nodes       int           `json:"nodes"`
+	Levels      int           `json:"levels"`
+	Trials      int           `json:"trials"`
+	Seed        int64         `json:"seed"`
+	RatioMean   float64       `json:"ratio_mean"`
+	RatioMin    float64       `json:"ratio_min"`
+	RatioMax    float64       `json:"ratio_max"`
+	Granted     int           `json:"granted"`  // last batch
+	Rejected    int           `json:"rejected"` // last batch
+	Offered     int           `json:"offered"`  // last batch
+	Utilization float64       `json:"utilization"`
+	Ops         core.Counters `json:"ops"` // last batch operation counts
 }
 
 func makeScheduler(name string, rollback bool) (core.Scheduler, error) {
@@ -70,7 +95,7 @@ func findPattern(name string) (traffic.Pattern, error) {
 	return 0, fmt.Errorf("unknown pattern %q", name)
 }
 
-func run(levels, children, parents int, schedName, patName string, trials int, seed int64, rollback, verbose, trace bool) error {
+func run(levels, children, parents int, schedName, patName string, trials int, seed int64, rollback, verbose, trace, jsonOut bool) error {
 	tree, err := topology.New(levels, children, parents)
 	if err != nil {
 		return err
@@ -80,9 +105,13 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 		return err
 	}
 	if trace {
+		traceOut := os.Stdout
+		if jsonOut {
+			traceOut = os.Stderr // keep stdout a single JSON object
+		}
 		onDenial := func(e core.TraceEvent) {
 			if e.Port == -1 {
-				fmt.Printf("  trace: %s\n", e)
+				fmt.Fprintf(traceOut, "  trace: %s\n", e)
 			}
 		}
 		switch s := sched.(type) {
@@ -98,7 +127,9 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 	if err != nil {
 		return err
 	}
-	fmt.Println(tree)
+	if !jsonOut {
+		fmt.Println(tree)
+	}
 
 	gen := traffic.NewGenerator(tree.Nodes(), seed)
 	st := linkstate.New(tree)
@@ -119,6 +150,25 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 	}
 
 	s := stats.Summarize(ratios)
+	if jsonOut {
+		return json.NewEncoder(os.Stdout).Encode(summary{
+			Scheduler:   last.Scheduler,
+			Pattern:     pattern.String(),
+			Tree:        tree.String(),
+			Nodes:       tree.Nodes(),
+			Levels:      tree.Levels(),
+			Trials:      trials,
+			Seed:        seed,
+			RatioMean:   s.Mean,
+			RatioMin:    s.Min,
+			RatioMax:    s.Max,
+			Granted:     last.Granted,
+			Rejected:    last.Total - last.Granted,
+			Offered:     last.Total,
+			Utilization: st.Utilization(),
+			Ops:         last.Ops,
+		})
+	}
 	fmt.Printf("scheduler %s on %s x%d: schedulability %s (min %s, max %s)\n",
 		last.Scheduler, pattern, trials,
 		report.Percent(s.Mean), report.Percent(s.Min), report.Percent(s.Max))

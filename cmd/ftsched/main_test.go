@@ -1,6 +1,10 @@
 package main
 
-import "testing"
+import (
+	"encoding/json"
+	"os"
+	"testing"
+)
 
 func TestMakeScheduler(t *testing.T) {
 	for _, name := range []string{"level-wise", "local-random", "local-greedy", "optimal"} {
@@ -32,35 +36,65 @@ func TestFindPattern(t *testing.T) {
 }
 
 func TestRunEndToEnd(t *testing.T) {
-	if err := run(3, 4, 4, "level-wise", "random-permutation", 3, 1, false, true, true); err != nil {
+	if err := run(3, 4, 4, "level-wise", "random-permutation", 3, 1, false, true, true, false); err != nil {
 		t.Fatal(err)
 	}
-	if err := run(2, 16, 16, "optimal", "transpose", 1, 1, false, false, false); err != nil {
+	if err := run(2, 16, 16, "optimal", "transpose", 1, 1, false, false, false, false); err != nil {
 		t.Fatal(err)
 	}
 }
 
 func TestRunErrors(t *testing.T) {
-	if err := run(0, 4, 4, "level-wise", "random-permutation", 1, 1, false, false, false); err == nil {
+	if err := run(0, 4, 4, "level-wise", "random-permutation", 1, 1, false, false, false, false); err == nil {
 		t.Error("bad topology accepted")
 	}
-	if err := run(3, 4, 4, "nope", "random-permutation", 1, 1, false, false, false); err == nil {
+	if err := run(3, 4, 4, "nope", "random-permutation", 1, 1, false, false, false, false); err == nil {
 		t.Error("bad scheduler accepted")
 	}
-	if err := run(3, 4, 4, "level-wise", "nope", 1, 1, false, false, false); err == nil {
+	if err := run(3, 4, 4, "level-wise", "nope", 1, 1, false, false, false, false); err == nil {
 		t.Error("bad pattern accepted")
 	}
 	// Structural mismatch: transpose needs a square node count.
-	if err := run(3, 2, 2, "level-wise", "transpose", 1, 1, false, false, false); err == nil {
+	if err := run(3, 2, 2, "level-wise", "transpose", 1, 1, false, false, false, false); err == nil {
 		t.Error("transpose on 8 nodes accepted")
 	}
 }
 
+// TestRunJSON captures stdout and checks -json emits one decodable
+// object with the batch-vs-serving shared field vocabulary.
+func TestRunJSON(t *testing.T) {
+	old := os.Stdout
+	r, w, err := os.Pipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	os.Stdout = w
+	runErr := run(3, 4, 4, "level-wise", "random-permutation", 2, 1, true, false, false, true)
+	w.Close()
+	os.Stdout = old
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	var s summary
+	if err := json.NewDecoder(r).Decode(&s); err != nil {
+		t.Fatalf("stdout is not one JSON object: %v", err)
+	}
+	if s.Scheduler != "level-wise/rollback" || s.Nodes != 64 || s.Trials != 2 {
+		t.Errorf("summary %+v", s)
+	}
+	if s.Offered != s.Granted+s.Rejected {
+		t.Errorf("offered %d != granted %d + rejected %d", s.Offered, s.Granted, s.Rejected)
+	}
+	if s.RatioMean <= 0 || s.RatioMean > 1 {
+		t.Errorf("ratio mean %v", s.RatioMean)
+	}
+}
+
 func TestRunTraceUnsupported(t *testing.T) {
-	if err := run(2, 4, 4, "optimal", "random-permutation", 1, 1, false, false, true); err == nil {
+	if err := run(2, 4, 4, "optimal", "random-permutation", 1, 1, false, false, true, false); err == nil {
 		t.Error("trace on optimal accepted")
 	}
-	if err := run(2, 4, 4, "local-random", "random-permutation", 1, 1, false, false, true); err != nil {
+	if err := run(2, 4, 4, "local-random", "random-permutation", 1, 1, false, false, true, false); err != nil {
 		t.Errorf("trace on local failed: %v", err)
 	}
 }

@@ -1,0 +1,210 @@
+// Command ftserve runs the fabric manager as an HTTP daemon: the
+// centralized circuit-setup service the paper motivates, serving many
+// concurrent clients over a single fat tree's live link state.
+//
+// Usage:
+//
+//	ftserve [-addr :8080] [-levels 3] [-children 8] [-parents 8]
+//	        [-batch 32] [-maxwait 2ms] [-queue 1024] [-timeout 0]
+//
+// Endpoints (JSON over stdlib net/http):
+//
+//	POST /connect  {"src":0,"dst":37}   → 200 {"id":1,"src":0,"dst":37,"ports":[2,0,1]}
+//	                                      409 {"error":"unroutable","fail_level":1}
+//	POST /release  {"id":1}             → 200 {"id":1,"released":true}
+//	GET  /stats                         → 200 fabric counters + epoch distributions
+//
+// SIGINT/SIGTERM drain in-flight requests, flush the admission queue
+// through a final epoch, and exit.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+func main() {
+	addr := flag.String("addr", ":8080", "listen address")
+	levels := flag.Int("levels", 3, "switch levels l")
+	children := flag.Int("children", 8, "children per switch m")
+	parents := flag.Int("parents", 8, "parents per switch w")
+	batch := flag.Int("batch", fabric.DefaultBatchSize, "epoch flush threshold (1 disables batching)")
+	maxWait := flag.Duration("maxwait", fabric.DefaultMaxWait, "max batching delay before an epoch flushes")
+	queue := flag.Int("queue", fabric.DefaultQueueLimit, "admission queue bound (backpressure beyond)")
+	timeout := flag.Duration("timeout", 0, "admission timeout per request (0 = none)")
+	flag.Parse()
+
+	tree, err := topology.New(*levels, *children, *parents)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+		os.Exit(1)
+	}
+	fab, err := fabric.New(fabric.Config{
+		Tree:         tree,
+		BatchSize:    *batch,
+		MaxWait:      *maxWait,
+		QueueLimit:   *queue,
+		AdmitTimeout: *timeout,
+	})
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+		os.Exit(1)
+	}
+
+	srv := &http.Server{Addr: *addr, Handler: newServer(fab, tree).routes()}
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	go func() {
+		<-ctx.Done()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		if err := srv.Shutdown(shutdownCtx); err != nil {
+			log.Printf("ftserve: shutdown: %v", err)
+		}
+		if err := fab.Close(shutdownCtx); err != nil {
+			log.Printf("ftserve: fabric drain: %v", err)
+		}
+	}()
+	log.Printf("ftserve: serving %s on %s (batch %d, maxwait %s)", tree, *addr, *batch, *maxWait)
+	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+		os.Exit(1)
+	}
+}
+
+// server maps HTTP requests onto one fabric manager, translating granted
+// handles to numeric connection ids clients can release later.
+type server struct {
+	fab  *fabric.Manager
+	tree *topology.Tree
+
+	mu     sync.Mutex
+	nextID uint64
+	open   map[uint64]*fabric.Handle
+}
+
+func newServer(fab *fabric.Manager, tree *topology.Tree) *server {
+	return &server{fab: fab, tree: tree, open: make(map[uint64]*fabric.Handle)}
+}
+
+func (s *server) routes() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /connect", s.handleConnect)
+	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("GET /stats", s.handleStats)
+	return mux
+}
+
+type connectRequest struct {
+	Src int `json:"src"`
+	Dst int `json:"dst"`
+}
+
+type connectResponse struct {
+	ID    uint64 `json:"id"`
+	Src   int    `json:"src"`
+	Dst   int    `json:"dst"`
+	Ports []int  `json:"ports"`
+}
+
+type errorResponse struct {
+	Error     string `json:"error"`
+	FailLevel *int   `json:"fail_level,omitempty"`
+}
+
+func (s *server) handleConnect(w http.ResponseWriter, r *http.Request) {
+	var req connectRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	h, err := s.fab.Connect(r.Context(), req.Src, req.Dst)
+	if err != nil {
+		var ue *fabric.UnroutableError
+		switch {
+		case errors.As(err, &ue):
+			lvl := ue.FailLevel
+			writeJSON(w, http.StatusConflict, errorResponse{Error: "unroutable", FailLevel: &lvl})
+		case errors.Is(err, fabric.ErrAdmitTimeout), errors.Is(err, fabric.ErrClosed):
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
+			// Client went away; the response is best-effort.
+			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
+		default:
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		}
+		return
+	}
+	s.mu.Lock()
+	s.nextID++
+	id := s.nextID
+	s.open[id] = h
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, connectResponse{ID: id, Src: h.Src(), Dst: h.Dst(), Ports: h.Ports()})
+}
+
+type releaseRequest struct {
+	ID uint64 `json:"id"`
+}
+
+type releaseResponse struct {
+	ID       uint64 `json:"id"`
+	Released bool   `json:"released"`
+}
+
+func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
+	var req releaseRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	s.mu.Lock()
+	h, ok := s.open[req.ID]
+	delete(s.open, req.ID)
+	s.mu.Unlock()
+	if !ok {
+		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no open connection %d", req.ID)})
+		return
+	}
+	if err := s.fab.Release(h); err != nil {
+		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, releaseResponse{ID: req.ID, Released: true})
+}
+
+// statsResponse wraps the fabric snapshot with server-side context; the
+// embedded fabric.Stats shares its field layout with ftsched -json.
+type statsResponse struct {
+	Tree string `json:"tree"`
+	Open int    `json:"open"`
+	fabric.Stats
+}
+
+func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	open := len(s.open)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, statsResponse{Tree: s.tree.String(), Open: open, Stats: s.fab.Stats()})
+}
+
+func writeJSON(w http.ResponseWriter, status int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(status)
+	if err := json.NewEncoder(w).Encode(v); err != nil {
+		log.Printf("ftserve: encoding response: %v", err)
+	}
+}

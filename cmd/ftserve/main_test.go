@@ -1,0 +1,177 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/topology"
+)
+
+func newTestServer(t *testing.T, levels, children int, batch int) (*httptest.Server, *fabric.Manager) {
+	t.Helper()
+	tree := topology.MustNew(levels, children, children)
+	fab, err := fabric.New(fabric.Config{Tree: tree, BatchSize: batch, MaxWait: 200 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(fab, tree).routes())
+	t.Cleanup(func() {
+		ts.Close()
+		fab.Close(context.Background())
+	})
+	return ts, fab
+}
+
+func postJSON(t *testing.T, url string, body any, out any) int {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatalf("decoding %s response: %v", url, err)
+		}
+	}
+	return resp.StatusCode
+}
+
+func TestConnectReleaseStats(t *testing.T) {
+	ts, _ := newTestServer(t, 3, 4, 4)
+
+	var conn connectResponse
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: 33}, &conn); code != http.StatusOK {
+		t.Fatalf("connect status %d", code)
+	}
+	if conn.ID == 0 || len(conn.Ports) == 0 {
+		t.Fatalf("connect response %+v", conn)
+	}
+
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st statsResponse
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if st.Open != 1 || st.Granted != 1 || st.Active != 1 || st.Utilization <= 0 {
+		t.Errorf("stats after connect: %+v", st)
+	}
+
+	var rel releaseResponse
+	if code := postJSON(t, ts.URL+"/release", releaseRequest{ID: conn.ID}, &rel); code != http.StatusOK || !rel.Released {
+		t.Fatalf("release status %d resp %+v", code, rel)
+	}
+	if code := postJSON(t, ts.URL+"/release", releaseRequest{ID: conn.ID}, nil); code != http.StatusNotFound {
+		t.Errorf("double release status %d, want 404", code)
+	}
+}
+
+func TestConnectUnroutable(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 2, 1)
+
+	// Saturate the two upward channels of level-0 switch 1 (nodes 2, 3).
+	for i := 0; i < 2; i++ {
+		if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 2, Dst: 0}, nil); code != http.StatusOK {
+			t.Fatalf("connect %d status %d", i, code)
+		}
+	}
+	var er errorResponse
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 2, Dst: 0}, &er); code != http.StatusConflict {
+		t.Fatalf("saturated connect status %d, want 409", code)
+	}
+	if er.Error != "unroutable" || er.FailLevel == nil || *er.FailLevel != 0 {
+		t.Errorf("unroutable body %+v", er)
+	}
+}
+
+func TestBadRequests(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 4, 1)
+
+	resp, err := http.Post(ts.URL+"/connect", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed body status %d", resp.StatusCode)
+	}
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: -1, Dst: 2}, nil); code != http.StatusBadRequest {
+		t.Errorf("bad endpoints status %d", code)
+	}
+	resp, err = http.Get(ts.URL + "/connect")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusMethodNotAllowed {
+		t.Errorf("GET /connect status %d", resp.StatusCode)
+	}
+}
+
+func TestConcurrentHTTPClients(t *testing.T) {
+	ts, fab := newTestServer(t, 3, 8, 16)
+
+	const clients = 32
+	errs := make(chan error, clients)
+	for c := 0; c < clients; c++ {
+		go func(id int) {
+			for i := 0; i < 5; i++ {
+				var conn connectResponse
+				code := postJSON0(ts.URL+"/connect", connectRequest{Src: (id*7 + i) % 512, Dst: (id*13 + 3*i) % 512}, &conn)
+				if code == http.StatusOK {
+					if rc := postJSON0(ts.URL+"/release", releaseRequest{ID: conn.ID}, nil); rc != http.StatusOK {
+						errs <- fmt.Errorf("client %d: release status %d", id, rc)
+						return
+					}
+				} else if code != http.StatusConflict {
+					errs <- fmt.Errorf("client %d: connect status %d", id, code)
+					return
+				}
+			}
+			errs <- nil
+		}(c)
+	}
+	for c := 0; c < clients; c++ {
+		if err := <-errs; err != nil {
+			t.Error(err)
+		}
+	}
+	s := fab.Stats()
+	if s.Offered != s.Granted+s.Rejected+s.Cancelled {
+		t.Errorf("counter identity broken: %+v", s)
+	}
+	if s.Active != 0 {
+		t.Errorf("active %d after all releases", s.Active)
+	}
+}
+
+// postJSON0 is postJSON without the testing.T, usable from goroutines.
+func postJSON0(url string, body any, out any) int {
+	buf, _ := json.Marshal(body)
+	resp, err := http.Post(url, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0
+	}
+	defer resp.Body.Close()
+	if out != nil {
+		if json.NewDecoder(resp.Body).Decode(out) != nil {
+			return 0
+		}
+	}
+	return resp.StatusCode
+}

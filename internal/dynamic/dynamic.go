@@ -5,6 +5,12 @@
 // are admitted by a scheduler against the live link state; a connection
 // that cannot be routed at arrival is blocked and lost. The figure of
 // merit is the blocking probability under offered load (extension E4).
+//
+// This package is the single-threaded simulation of that scenario on
+// virtual time. Its serving-path counterpart is internal/fabric, which
+// admits the same churn workload from real concurrent clients (see
+// cmd/ftbench -fabric and examples/dynamic_connections); both retire
+// held circuits oldest-first and treat a blocked circuit as lost.
 package dynamic
 
 import (

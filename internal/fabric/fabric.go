@@ -1,0 +1,497 @@
+// Package fabric is the serving layer over the Level-wise scheduler: a
+// goroutine-safe fabric manager that owns the live link state of one fat
+// tree and admits long-lived connections for many concurrent clients —
+// the centralized circuit-setup service the paper motivates.
+//
+// Connect calls do not schedule individually. They are coalesced into
+// scheduling *epochs*: an epoch flushes when Config.BatchSize requests
+// are queued or when the oldest queued request has waited Config.MaxWait,
+// whichever comes first. Each epoch is granted atomically by one
+// scheduler pass over the live link state, so per-request admission cost
+// amortizes to the paper's O(l·log_l N) hot path and the (not
+// concurrency-safe) linkstate.State is only ever mutated under the
+// manager's lock.
+//
+// Robustness: the admission queue is bounded (Config.QueueLimit) and
+// exerts backpressure by blocking Connect until a slot frees; a queued
+// request leaves cleanly when its context is cancelled or the configured
+// admission timeout expires; Close stops intake, drains the queue through
+// a final epoch, and then stops the flusher.
+//
+// Observability: atomic counters (offered / granted / rejected /
+// cancelled / released / overflow), epoch-size and epoch-latency
+// distributions built on internal/stats, and a live utilization
+// snapshot, all through Stats. The optional Config.Trace hook observes
+// every state mutation in serialization order, which is how tests replay
+// the grant/release history against a fresh link state.
+package fabric
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// Defaults used by New when the corresponding Config field is zero.
+const (
+	DefaultBatchSize  = 32
+	DefaultMaxWait    = 2 * time.Millisecond
+	DefaultQueueLimit = 1024
+)
+
+// Sentinel errors returned by Connect and Release. Scheduler denials are
+// *UnroutableError values that match ErrUnroutable under errors.Is.
+var (
+	ErrClosed       = errors.New("fabric: manager closed")
+	ErrAdmitTimeout = errors.New("fabric: admission timed out")
+	ErrReleased     = errors.New("fabric: handle already released")
+	ErrUnroutable   = errors.New("fabric: unroutable")
+)
+
+// UnroutableError reports a scheduler denial: no conflict-free path
+// existed for the request in its epoch. FailLevel is the level of the
+// first unresolvable conflict (the empty Ulink AND Dlink conjunction).
+type UnroutableError struct {
+	Src, Dst  int
+	FailLevel int
+}
+
+// Error renders the denial.
+func (e *UnroutableError) Error() string {
+	return fmt.Sprintf("fabric: no route %d→%d (first conflict at level %d)", e.Src, e.Dst, e.FailLevel)
+}
+
+// Is matches the ErrUnroutable sentinel.
+func (e *UnroutableError) Is(target error) bool { return target == ErrUnroutable }
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Tree is the fat tree being managed. Required.
+	Tree *topology.Tree
+	// Scheduler admits each epoch against the live link state. Defaults
+	// to the Level-wise scheduler with rollback. Schedulers that retain a
+	// failed request's partial allocations are safe: the manager releases
+	// retained ports after every epoch, since a rejected connection holds
+	// nothing.
+	Scheduler core.Scheduler
+	// BatchSize is the epoch flush threshold (default DefaultBatchSize).
+	// 1 disables batching: every request is its own epoch.
+	BatchSize int
+	// MaxWait bounds how long the oldest queued request waits before its
+	// epoch flushes regardless of size (default DefaultMaxWait).
+	MaxWait time.Duration
+	// QueueLimit bounds the admission queue; Connect blocks (backpressure)
+	// while the queue is full. Default DefaultQueueLimit, raised to
+	// BatchSize if smaller so one full epoch always fits.
+	QueueLimit int
+	// AdmitTimeout, when positive, caps the total time a Connect call may
+	// spend waiting — for a queue slot and then for its epoch's verdict.
+	// Zero means wait indefinitely (until ctx cancels).
+	AdmitTimeout time.Duration
+	// Trace, when non-nil, receives one Event per link-state mutation
+	// (grant, release) and per queue drop (reject, cancel), invoked in
+	// exact serialization order under the manager lock. Keep it fast; the
+	// Ports slice aliases live storage and must be treated as read-only.
+	Trace func(Event)
+}
+
+// EventKind classifies a Trace event.
+type EventKind int
+
+// Trace event kinds.
+const (
+	EventGrant EventKind = iota
+	EventReject
+	EventRelease
+	EventCancel
+)
+
+// String names the kind.
+func (k EventKind) String() string {
+	switch k {
+	case EventGrant:
+		return "grant"
+	case EventReject:
+		return "reject"
+	case EventRelease:
+		return "release"
+	case EventCancel:
+		return "cancel"
+	default:
+		return fmt.Sprintf("EventKind(%d)", int(k))
+	}
+}
+
+// Event is one serialized admission-engine action.
+type Event struct {
+	Kind     EventKind
+	Src, Dst int
+	// Ports are the allocated upward ports (grant and release only).
+	Ports []int
+	// FailLevel is the first conflict level (reject only; -1 otherwise).
+	FailLevel int
+	// Epoch is the 1-based epoch sequence number (grant/reject only).
+	Epoch uint64
+}
+
+// ticket lifecycle states.
+const (
+	ticketWaiting int32 = iota
+	ticketClaimed       // taken by an epoch flush; a verdict will arrive
+	ticketCancelled
+)
+
+// ticket is one queued Connect call.
+type ticket struct {
+	req   core.Request
+	enq   time.Time
+	state atomic.Int32
+	resp  chan result // buffered(1): the flusher's send never blocks
+}
+
+type result struct {
+	h   *Handle
+	err error
+}
+
+// Handle is a granted connection. Release it through Manager.Release
+// (or its Release method) exactly once.
+type Handle struct {
+	m        *Manager
+	src, dst int
+	ports    []int
+	released atomic.Bool
+}
+
+// Src returns the source node.
+func (h *Handle) Src() int { return h.src }
+
+// Dst returns the destination node.
+func (h *Handle) Dst() int { return h.dst }
+
+// Ports returns a copy of the upward port choices, one per level below
+// the common ancestor (empty when both endpoints share a level-0 switch).
+func (h *Handle) Ports() []int { return append([]int(nil), h.ports...) }
+
+// Release returns the connection's channels to the fabric.
+func (h *Handle) Release() error { return h.m.Release(h) }
+
+// Manager is a goroutine-safe fabric manager. Create one with New; all
+// methods may be called from any goroutine.
+type Manager struct {
+	cfg   Config
+	sched core.Scheduler
+
+	slots   chan struct{} // queue-slot semaphore (backpressure)
+	kick    chan struct{} // wakes the flusher (buffered 1, coalescing)
+	closing chan struct{}
+	done    chan struct{} // flusher exited
+	closeMu sync.Once
+
+	mu      sync.Mutex // guards st, pending, oldest, closed
+	st      *linkstate.State
+	pending []*ticket
+	oldest  time.Time // enqueue time of pending[0]
+	closed  bool
+
+	offered, granted, rejected, cancelled atomic.Uint64
+	released, overflow, epochs            atomic.Uint64
+	active                                atomic.Int64
+
+	histMu    sync.Mutex
+	epochSize ring
+	epochLat  ring
+}
+
+// New validates the config, applies defaults, and starts the manager's
+// flusher goroutine. Stop it with Close.
+func New(cfg Config) (*Manager, error) {
+	if cfg.Tree == nil {
+		return nil, errors.New("fabric: nil tree")
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = DefaultBatchSize
+	}
+	if cfg.MaxWait <= 0 {
+		cfg.MaxWait = DefaultMaxWait
+	}
+	if cfg.QueueLimit <= 0 {
+		cfg.QueueLimit = DefaultQueueLimit
+	}
+	if cfg.QueueLimit < cfg.BatchSize {
+		cfg.QueueLimit = cfg.BatchSize
+	}
+	sched := cfg.Scheduler
+	if sched == nil {
+		sched = &core.LevelWise{Opts: core.Options{Rollback: true}}
+	}
+	m := &Manager{
+		cfg:       cfg,
+		sched:     sched,
+		slots:     make(chan struct{}, cfg.QueueLimit),
+		kick:      make(chan struct{}, 1),
+		closing:   make(chan struct{}),
+		done:      make(chan struct{}),
+		st:        linkstate.New(cfg.Tree),
+		epochSize: newRing(4096),
+		epochLat:  newRing(4096),
+	}
+	go m.flusher()
+	return m, nil
+}
+
+// Connect requests a circuit from src to dst. It blocks until the
+// request's epoch is scheduled and returns either a Handle or an error:
+// a *UnroutableError (matching ErrUnroutable) when no conflict-free path
+// existed, ctx.Err() when the context cancels first, ErrAdmitTimeout
+// when Config.AdmitTimeout expires first, or ErrClosed after Close.
+func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
+	n := m.cfg.Tree.Nodes()
+	if src < 0 || src >= n || dst < 0 || dst >= n {
+		return nil, fmt.Errorf("fabric: endpoints (%d, %d) outside [0, %d)", src, dst, n)
+	}
+	var deadline <-chan time.Time
+	if m.cfg.AdmitTimeout > 0 {
+		timer := time.NewTimer(m.cfg.AdmitTimeout)
+		defer timer.Stop()
+		deadline = timer.C
+	}
+	// Backpressure: a full queue blocks here until a slot frees.
+	select {
+	case m.slots <- struct{}{}:
+	case <-ctx.Done():
+		m.overflow.Add(1)
+		return nil, ctx.Err()
+	case <-deadline:
+		m.overflow.Add(1)
+		return nil, ErrAdmitTimeout
+	case <-m.closing:
+		m.overflow.Add(1)
+		return nil, ErrClosed
+	}
+	t := &ticket{
+		req:  core.Request{Src: src, Dst: dst},
+		enq:  time.Now(),
+		resp: make(chan result, 1),
+	}
+	m.mu.Lock()
+	if m.closed {
+		m.mu.Unlock()
+		<-m.slots
+		m.overflow.Add(1)
+		return nil, ErrClosed
+	}
+	if len(m.pending) == 0 {
+		m.oldest = t.enq
+	}
+	m.pending = append(m.pending, t)
+	m.offered.Add(1)
+	wake := len(m.pending) == 1 || len(m.pending) >= m.cfg.BatchSize
+	m.mu.Unlock()
+	if wake {
+		m.wake()
+	}
+
+	select {
+	case r := <-t.resp:
+		return r.h, r.err
+	case <-ctx.Done():
+		if t.state.CompareAndSwap(ticketWaiting, ticketCancelled) {
+			m.cancelled.Add(1)
+			return nil, ctx.Err()
+		}
+		r := <-t.resp // an epoch already claimed the ticket; honor its verdict
+		return r.h, r.err
+	case <-deadline:
+		if t.state.CompareAndSwap(ticketWaiting, ticketCancelled) {
+			m.cancelled.Add(1)
+			return nil, ErrAdmitTimeout
+		}
+		r := <-t.resp
+		return r.h, r.err
+	}
+}
+
+// Release returns a granted connection's channels to the fabric. It is
+// idempotent-unsafe by design: a second Release of the same handle
+// returns ErrReleased without touching the state. Release keeps working
+// after Close so clients can drain held circuits during shutdown.
+func (m *Manager) Release(h *Handle) error {
+	if h == nil {
+		return errors.New("fabric: nil handle")
+	}
+	if h.m != m {
+		return errors.New("fabric: handle belongs to a different manager")
+	}
+	if !h.released.CompareAndSwap(false, true) {
+		return ErrReleased
+	}
+	m.mu.Lock()
+	err := m.st.ReleasePath(h.src, h.dst, h.ports)
+	if err == nil && m.cfg.Trace != nil {
+		m.cfg.Trace(Event{Kind: EventRelease, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
+	}
+	m.mu.Unlock()
+	if err != nil {
+		return fmt.Errorf("fabric: release invariant violation: %w", err)
+	}
+	m.released.Add(1)
+	m.active.Add(-1)
+	return nil
+}
+
+// Close stops admission, drains queued requests through a final epoch,
+// and waits (bounded by ctx) for the flusher to exit. Held handles stay
+// valid and releasable after Close. Close is idempotent.
+func (m *Manager) Close(ctx context.Context) error {
+	m.closeMu.Do(func() {
+		m.mu.Lock()
+		m.closed = true
+		m.mu.Unlock()
+		close(m.closing)
+	})
+	select {
+	case <-m.done:
+		return nil
+	case <-ctx.Done():
+		return ctx.Err()
+	}
+}
+
+// wake nudges the flusher; the buffered channel coalesces bursts.
+func (m *Manager) wake() {
+	select {
+	case m.kick <- struct{}{}:
+	default:
+	}
+}
+
+// flusher is the single goroutine that runs epochs against the state.
+func (m *Manager) flusher() {
+	defer close(m.done)
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	for {
+		m.mu.Lock()
+		n := len(m.pending)
+		closed := m.closed
+		if n > 0 && (closed || n >= m.cfg.BatchSize || time.Since(m.oldest) >= m.cfg.MaxWait) {
+			m.flushLocked()
+			m.mu.Unlock()
+			continue
+		}
+		var wait time.Duration
+		if n > 0 {
+			wait = m.cfg.MaxWait - time.Since(m.oldest)
+		}
+		m.mu.Unlock()
+		if n == 0 {
+			if closed {
+				return
+			}
+			select {
+			case <-m.kick:
+			case <-m.closing:
+			}
+			continue
+		}
+		timer.Reset(wait)
+		select {
+		case <-m.kick:
+		case <-timer.C:
+		case <-m.closing:
+		}
+		if !timer.Stop() {
+			select {
+			case <-timer.C:
+			default:
+			}
+		}
+	}
+}
+
+// flushLocked runs one epoch over every queued ticket. Called with m.mu
+// held; the scheduler pass happens under the lock — that lock is the
+// serialization point that makes the shared linkstate.State safe.
+func (m *Manager) flushLocked() {
+	batch := m.pending
+	m.pending = nil
+	live := make([]*ticket, 0, len(batch))
+	for _, t := range batch {
+		if t.state.CompareAndSwap(ticketWaiting, ticketClaimed) {
+			live = append(live, t)
+		} else if m.cfg.Trace != nil {
+			// The canceller already counted it; record queue departure.
+			m.cfg.Trace(Event{Kind: EventCancel, Src: t.req.Src, Dst: t.req.Dst, FailLevel: -1})
+		}
+	}
+	for range batch {
+		<-m.slots // every departed ticket frees its queue slot
+	}
+	if len(live) == 0 {
+		return
+	}
+	reqs := make([]core.Request, len(live))
+	for i, t := range live {
+		reqs[i] = t.req
+	}
+	res := m.sched.Schedule(m.st, reqs)
+	epoch := m.epochs.Add(1)
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if o.Granted {
+			h := &Handle{m: m, src: o.Src, dst: o.Dst, ports: o.Ports}
+			m.granted.Add(1)
+			m.active.Add(1)
+			if m.cfg.Trace != nil {
+				m.cfg.Trace(Event{Kind: EventGrant, Src: o.Src, Dst: o.Dst, Ports: o.Ports, FailLevel: -1, Epoch: epoch})
+			}
+			live[i].resp <- result{h: h}
+			continue
+		}
+		// A scheduler without rollback retains a failed request's partial
+		// allocations in the outcome; a rejected connection holds nothing,
+		// so return those channels before anyone else schedules.
+		if len(o.Ports) > 0 {
+			m.releaseRetainedLocked(o)
+		}
+		m.rejected.Add(1)
+		if m.cfg.Trace != nil {
+			m.cfg.Trace(Event{Kind: EventReject, Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel, Epoch: epoch})
+		}
+		live[i].resp <- result{err: &UnroutableError{Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel}}
+	}
+	latMS := float64(time.Since(live[0].enq)) / float64(time.Millisecond)
+	m.histMu.Lock()
+	m.epochSize.add(float64(len(live)))
+	m.epochLat.add(latMS)
+	m.histMu.Unlock()
+}
+
+// releaseRetainedLocked drops the partial allocations of a rejected
+// request (mirrors internal/dynamic's handling of no-rollback schedulers).
+func (m *Manager) releaseRetainedLocked(o *core.Outcome) {
+	tree := m.cfg.Tree
+	sigma, _ := tree.NodeSwitch(o.Src)
+	delta, _ := tree.NodeSwitch(o.Dst)
+	for h, p := range o.Ports {
+		if err := m.st.Release(linkstate.Up, h, sigma, p); err != nil {
+			panic(fmt.Sprintf("fabric: retained release failed: %v", err))
+		}
+		if err := m.st.Release(linkstate.Down, h, delta, p); err != nil {
+			panic(fmt.Sprintf("fabric: retained release failed: %v", err))
+		}
+		sigma = tree.UpParent(h, sigma, p)
+		delta = tree.UpParent(h, delta, p)
+	}
+	o.Ports = o.Ports[:0]
+}

@@ -1,0 +1,114 @@
+package fabric
+
+import "repro/internal/stats"
+
+// ring is a fixed-capacity sample buffer keeping the most recent
+// observations; distributions in Stats summarize its contents.
+type ring struct {
+	buf  []float64
+	n    int // valid samples
+	next int // write cursor
+}
+
+func newRing(capacity int) ring { return ring{buf: make([]float64, capacity)} }
+
+func (r *ring) add(x float64) {
+	r.buf[r.next] = x
+	r.next = (r.next + 1) % len(r.buf)
+	if r.n < len(r.buf) {
+		r.n++
+	}
+}
+
+// samples returns the retained observations, oldest first.
+func (r *ring) samples() []float64 {
+	out := make([]float64, r.n)
+	if r.n < len(r.buf) {
+		copy(out, r.buf[:r.n])
+		return out
+	}
+	copy(out, r.buf[r.next:])
+	copy(out[len(r.buf)-r.next:], r.buf[:r.next])
+	return out
+}
+
+// Dist summarizes a sample distribution for Stats: the internal/stats
+// Summary plus percentiles and an 8-bin histogram over [Min, Max].
+type Dist struct {
+	N      int     `json:"n"`
+	Mean   float64 `json:"mean"`
+	Min    float64 `json:"min"`
+	Max    float64 `json:"max"`
+	StdDev float64 `json:"stddev"`
+	P50    float64 `json:"p50"`
+	P95    float64 `json:"p95"`
+	P99    float64 `json:"p99"`
+	Hist   []int   `json:"hist,omitempty"`
+}
+
+func distOf(xs []float64) Dist {
+	s := stats.Summarize(xs)
+	d := Dist{N: s.N, Mean: s.Mean, Min: s.Min, Max: s.Max, StdDev: s.StdDev}
+	if s.N > 0 {
+		d.P50 = stats.Percentile(xs, 50)
+		d.P95 = stats.Percentile(xs, 95)
+		d.P99 = stats.Percentile(xs, 99)
+	}
+	if s.N > 1 && s.Max > s.Min {
+		d.Hist = stats.Histogram(xs, s.Min, s.Max, 8)
+	}
+	return d
+}
+
+// Stats is a consistent observability snapshot of a Manager. The counter
+// invariant is Offered == Granted + Rejected + Cancelled once the queue
+// is drained; Overflow counts requests turned away before ever entering
+// the queue (backpressure timeout, context cancel while blocked, or
+// manager closed) and is outside that identity.
+type Stats struct {
+	Offered   uint64 `json:"offered"`
+	Granted   uint64 `json:"granted"`
+	Rejected  uint64 `json:"rejected"`
+	Cancelled uint64 `json:"cancelled"`
+	Released  uint64 `json:"released"`
+	Overflow  uint64 `json:"overflow"`
+	Epochs    uint64 `json:"epochs"`
+	// Active is the number of currently held (granted, unreleased)
+	// connections; QueueDepth the requests waiting for the next epoch.
+	Active     int64 `json:"active"`
+	QueueDepth int   `json:"queue_depth"`
+	// Utilization is occupied channels / total channels on the live state.
+	Utilization float64 `json:"utilization"`
+	// EpochSize and EpochLatencyMS summarize the last ≤4096 epochs; epoch
+	// latency is measured from the oldest member's enqueue to its verdict,
+	// so it includes the batching wait.
+	EpochSize      Dist `json:"epoch_size"`
+	EpochLatencyMS Dist `json:"epoch_latency_ms"`
+}
+
+// Stats returns a snapshot of the manager's counters, queue, epoch
+// distributions, and live link utilization.
+func (m *Manager) Stats() Stats {
+	m.mu.Lock()
+	util := m.st.Utilization()
+	depth := len(m.pending)
+	m.mu.Unlock()
+	m.histMu.Lock()
+	size := distOf(m.epochSize.samples())
+	lat := distOf(m.epochLat.samples())
+	m.histMu.Unlock()
+	return Stats{
+		Offered:        m.offered.Load(),
+		Granted:        m.granted.Load(),
+		Rejected:       m.rejected.Load(),
+		Cancelled:      m.cancelled.Load(),
+		Released:       m.released.Load(),
+		Overflow:       m.overflow.Load(),
+		Epochs:         m.epochs.Load(),
+		Active:         m.active.Load(),
+		QueueDepth:     depth,
+		Utilization:    util,
+		EpochSize:      size,
+		EpochLatencyMS: lat,
+	}
+}

@@ -8,6 +8,21 @@
 // physical link. Bit set means available (the paper's convention: "If
 // Ulink(h,τ)[i] equals one, [the] upward link connected via port i of
 // switch (h,τ) is available; otherwise, it is occupied").
+//
+// # Invariants
+//
+// Callers rely on three properties, covered by misuse_test.go:
+//
+//   - Allocate of an occupied channel and Release of a free channel fail
+//     without mutating anything — double allocation is always caught.
+//   - AllocatePath is atomic: on any conflict it releases the channels
+//     it claimed and returns with the state exactly as before the call.
+//   - Distinct States are fully independent (the scratch AND buffer is
+//     per-State), so parallel workers may each own one.
+//
+// A State is NOT safe for concurrent use. Concurrent callers must
+// serialize externally; internal/fabric does so by running every
+// scheduling epoch and every release under one manager lock.
 package linkstate
 
 import (
@@ -39,7 +54,9 @@ func (d Direction) String() string {
 }
 
 // State is the complete link-availability state of one fat tree. It is not
-// safe for concurrent mutation.
+// safe for concurrent mutation (or mutation concurrent with reads): batch
+// schedulers own a State outright, and the serving layer (internal/fabric)
+// guards its live State with the epoch lock.
 type State struct {
 	tree    *topology.Tree
 	ulink   []*bitvec.Matrix // per link level: rows = switches at level h

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/core"
+	"repro/internal/fabric"
 	"repro/internal/linkstate"
 	"repro/internal/optimal"
 	"repro/internal/topology"
@@ -105,6 +106,36 @@ func Compare(tree *FatTree, reqs []Request) (Comparison, error) {
 // Verify replays a result against a fresh link state and reports the
 // first inconsistency (nil if the result is link-safe and well formed).
 func Verify(tree *FatTree, res *Result) error { return core.Verify(tree, res) }
+
+// Fabric is the concurrent serving layer: a goroutine-safe manager that
+// owns a live LinkState and admits long-lived connections from many
+// clients, coalescing requests into atomically scheduled epochs. See
+// internal/fabric for the full contract.
+type Fabric = fabric.Manager
+
+// FabricConfig tunes a Fabric (epoch batch size, flush timer, queue
+// bound, admission timeout, scheduler).
+type FabricConfig = fabric.Config
+
+// FabricHandle is a granted connection; release it exactly once.
+type FabricHandle = fabric.Handle
+
+// ErrUnroutable is returned (wrapped, with the failing level attached)
+// by Fabric.Connect when no conflict-free path exists at admission time;
+// test with errors.Is. The circuit is lost, not queued — callers decide
+// whether to retry.
+var ErrUnroutable = fabric.ErrUnroutable
+
+// FabricStats is a Fabric observability snapshot (counters, epoch size
+// and latency distributions, live utilization).
+type FabricStats = fabric.Stats
+
+// NewFabric starts a fabric manager serving Connect/Release over the
+// tree. Stop it with Close, which drains the admission queue.
+func NewFabric(tree *FatTree, cfg FabricConfig) (*Fabric, error) {
+	cfg.Tree = tree
+	return fabric.New(cfg)
+}
 
 // MulticastRequest is a one-to-many connection request (extension E13).
 type MulticastRequest = core.MulticastRequest

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# Tier-1 gate: build everything, vet, and run the full test suite with
+# the race detector enabled. The race run is mandatory — internal/fabric
+# mutates one shared link state from many goroutines, and its tests (plus
+# the linkstate misuse tests) only prove their guarantees under -race.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+go build ./...
+go vet ./...
+go test -race ./...
