@@ -16,8 +16,10 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/core"
 	"repro/internal/experiments"
 	"repro/internal/fabric"
+	"repro/internal/parsched"
 )
 
 // benchPerms keeps one bench iteration around a second; cmd/ftbench runs
@@ -313,6 +315,54 @@ func BenchmarkFabricThroughput(b *testing.B) {
 				b.Fatal(err)
 			}
 		})
+	}
+}
+
+// BenchmarkParallelLevelWise compares the sequential zero-allocation
+// scheduler against the parallel engine (internal/parsched) in both
+// modes across worker counts and batch sizes; the requests/s metric is
+// the headline (baseline recorded in BENCH_parallel.json). Speedup
+// requires real cores: on a GOMAXPROCS=1 host the parallel variants
+// measure pure coordination overhead.
+func BenchmarkParallelLevelWise(b *testing.B) {
+	shapes := []struct{ l, m, w int }{{3, 8, 8}, {4, 4, 4}}
+	for _, sh := range shapes {
+		tree, err := NewFatTree(sh.l, sh.m, sh.w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, batch := range []int{256, 1024, 4096, 8192} {
+			rng := rand.New(rand.NewSource(1))
+			reqs := make([]core.Request, batch)
+			for i := range reqs {
+				reqs[i] = core.Request{Src: rng.Intn(tree.Nodes()), Dst: rng.Intn(tree.Nodes())}
+			}
+			prefix := fmt.Sprintf("FT%dx%dx%d/batch%d", sh.l, sh.m, sh.w, batch)
+			run := func(name string, schedule func(*LinkState, []core.Request)) {
+				b.Run(prefix+"/"+name, func(b *testing.B) {
+					st := NewLinkState(tree)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st.Reset()
+						schedule(st, reqs)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "requests/s")
+				})
+			}
+			opts := core.Options{Rollback: true}
+			// The sequential baseline reuses a Scratch, exactly as the
+			// fabric manager's hot path does.
+			lw, sc := &core.LevelWise{Opts: opts}, core.NewScratch()
+			run("sequential", func(st *LinkState, reqs []core.Request) { lw.ScheduleInto(st, reqs, sc) })
+			for _, workers := range []int{2, 4, 8} {
+				for _, mode := range []parsched.Mode{parsched.Deterministic, parsched.Racy} {
+					eng := parsched.New(parsched.Config{Workers: workers, Mode: mode, Opts: opts})
+					run(fmt.Sprintf("%s/w%d", mode, workers),
+						func(st *LinkState, reqs []core.Request) { eng.Schedule(st, reqs) })
+				}
+			}
+		}
 	}
 }
 

@@ -29,6 +29,9 @@ type fabricBenchConfig struct {
 	Open                      int           // circuits each client holds (FIFO churn)
 	Duration                  time.Duration
 	Seed                      int64
+	Parallel                  int  // epoch size at which scheduling goes parallel (0 = off)
+	Workers                   int  // parallel engine workers (0 = GOMAXPROCS)
+	Racy                      bool // lock-free racy mode instead of deterministic
 }
 
 // fabricBench runs the closed-loop load generator and prints a summary.
@@ -41,7 +44,10 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	fab, err := fabric.New(fabric.Config{Tree: tree, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait})
+	fab, err := fabric.New(fabric.Config{
+		Tree: tree, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
+		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
+	})
 	if err != nil {
 		return err
 	}
@@ -99,5 +105,10 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	fmt.Fprintf(out, "  epochs %d  size mean=%.1f p95=%.0f  latency ms p50=%.3f p95=%.3f p99=%.3f\n",
 		s.Epochs, s.EpochSize.Mean, s.EpochSize.P95,
 		s.EpochLatencyMS.P50, s.EpochLatencyMS.P95, s.EpochLatencyMS.P99)
+	if cfg.Parallel > 0 {
+		fmt.Fprintf(out, "  engine %s threshold=%d  epochs sequential=%d parallel=%d\n",
+			s.ParallelMode+fmt.Sprintf("/w%d", s.ParallelWorkers), s.ParallelThreshold,
+			s.SequentialEpochs, s.ParallelEpochs)
+	}
 	return nil
 }

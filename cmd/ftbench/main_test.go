@@ -52,6 +52,22 @@ func TestFabricBench(t *testing.T) {
 	}
 }
 
+func TestFabricBenchParallel(t *testing.T) {
+	var out strings.Builder
+	err := fabricBench(&out, fabricBenchConfig{
+		Levels: 3, Children: 4, Parents: 4,
+		Clients: 16, Batch: 16, Open: 2,
+		MaxWait: 200 * time.Microsecond, Duration: 100 * time.Millisecond, Seed: 1,
+		Parallel: 4, Workers: 4, Racy: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "engine racy/w4 threshold=4") {
+		t.Errorf("summary missing engine line:\n%s", out.String())
+	}
+}
+
 func TestFabricBenchValidation(t *testing.T) {
 	if err := fabricBench(os.Stdout, fabricBenchConfig{Levels: 3, Children: 4, Parents: 4}); err == nil {
 		t.Error("zero clients accepted")

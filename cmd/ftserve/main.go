@@ -6,6 +6,12 @@
 //
 //	ftserve [-addr :8080] [-levels 3] [-children 8] [-parents 8]
 //	        [-batch 32] [-maxwait 2ms] [-queue 1024] [-timeout 0]
+//	        [-parallel 0] [-workers 0] [-racy] [-pprof]
+//
+// -parallel N routes epochs of at least N live requests through the
+// parallel Level-wise engine (-workers goroutines; -racy selects the
+// lock-free CAS mode over the default deterministic mode). -pprof mounts
+// the net/http/pprof profiling handlers under /debug/pprof/.
 //
 // Endpoints (JSON over stdlib net/http):
 //
@@ -13,6 +19,8 @@
 //	                                      409 {"error":"unroutable","fail_level":1}
 //	POST /release  {"id":1}             → 200 {"id":1,"released":true}
 //	GET  /stats                         → 200 fabric counters + epoch distributions
+//	                                          + per-epoch engine choice
+//	GET  /healthz                       → 200 {"status":"ok",...} liveness probe
 //
 // SIGINT/SIGTERM drain in-flight requests, flush the admission queue
 // through a final epoch, and exit.
@@ -26,6 +34,7 @@ import (
 	"fmt"
 	"log"
 	"net/http"
+	"net/http/pprof"
 	"os"
 	"os/signal"
 	"sync"
@@ -45,6 +54,10 @@ func main() {
 	maxWait := flag.Duration("maxwait", fabric.DefaultMaxWait, "max batching delay before an epoch flushes")
 	queue := flag.Int("queue", fabric.DefaultQueueLimit, "admission queue bound (backpressure beyond)")
 	timeout := flag.Duration("timeout", 0, "admission timeout per request (0 = none)")
+	parallel := flag.Int("parallel", 0, "epoch size at which scheduling goes parallel (0 = always sequential)")
+	workers := flag.Int("workers", 0, "parallel engine worker goroutines (0 = GOMAXPROCS)")
+	racy := flag.Bool("racy", false, "use the lock-free racy engine mode instead of deterministic")
+	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
 	tree, err := topology.New(*levels, *children, *parents)
@@ -53,18 +66,23 @@ func main() {
 		os.Exit(1)
 	}
 	fab, err := fabric.New(fabric.Config{
-		Tree:         tree,
-		BatchSize:    *batch,
-		MaxWait:      *maxWait,
-		QueueLimit:   *queue,
-		AdmitTimeout: *timeout,
+		Tree:              tree,
+		BatchSize:         *batch,
+		MaxWait:           *maxWait,
+		QueueLimit:        *queue,
+		AdmitTimeout:      *timeout,
+		ParallelThreshold: *parallel,
+		ParallelWorkers:   *workers,
+		ParallelRacy:      *racy,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
 	}
 
-	srv := &http.Server{Addr: *addr, Handler: newServer(fab, tree).routes()}
+	sv := newServer(fab, tree)
+	sv.enablePprof = *pprofFlag
+	srv := &http.Server{Addr: *addr, Handler: sv.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
 	go func() {
@@ -90,6 +108,8 @@ func main() {
 type server struct {
 	fab  *fabric.Manager
 	tree *topology.Tree
+	// enablePprof mounts the net/http/pprof handlers in routes.
+	enablePprof bool
 
 	mu     sync.Mutex
 	nextID uint64
@@ -105,6 +125,16 @@ func (s *server) routes() http.Handler {
 	mux.HandleFunc("POST /connect", s.handleConnect)
 	mux.HandleFunc("POST /release", s.handleRelease)
 	mux.HandleFunc("GET /stats", s.handleStats)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	if s.enablePprof {
+		// The pprof handlers normally self-register on DefaultServeMux at
+		// import time; mount them explicitly since we serve a private mux.
+		mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	}
 	return mux
 }
 
@@ -199,6 +229,27 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	open := len(s.open)
 	s.mu.Unlock()
 	writeJSON(w, http.StatusOK, statsResponse{Tree: s.tree.String(), Open: open, Stats: s.fab.Stats()})
+}
+
+// healthzResponse is the liveness-probe body: always "ok" while the
+// process serves, with enough context to identify the instance.
+type healthzResponse struct {
+	Status     string `json:"status"`
+	Tree       string `json:"tree"`
+	Open       int    `json:"open"`
+	QueueDepth int    `json:"queue_depth"`
+}
+
+func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	open := len(s.open)
+	s.mu.Unlock()
+	writeJSON(w, http.StatusOK, healthzResponse{
+		Status:     "ok",
+		Tree:       s.tree.String(),
+		Open:       open,
+		QueueDepth: s.fab.Stats().QueueDepth,
+	})
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

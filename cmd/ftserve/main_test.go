@@ -160,6 +160,108 @@ func TestConcurrentHTTPClients(t *testing.T) {
 	}
 }
 
+func TestHealthz(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 4, 4)
+	resp, err := http.Get(ts.URL + "/healthz")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("healthz status %d", resp.StatusCode)
+	}
+	var hz healthzResponse
+	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
+		t.Fatal(err)
+	}
+	if hz.Status != "ok" || hz.Tree == "" {
+		t.Errorf("healthz body %+v", hz)
+	}
+}
+
+func TestPprofGated(t *testing.T) {
+	tree := topology.MustNew(2, 2, 2)
+	fab, err := fabric.New(fabric.Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer fab.Close(context.Background())
+
+	off := httptest.NewServer(newServer(fab, tree).routes())
+	defer off.Close()
+	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNotFound {
+		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
+	}
+
+	sv := newServer(fab, tree)
+	sv.enablePprof = true
+	on := httptest.NewServer(sv.routes())
+	defer on.Close()
+	for _, path := range []string{"/debug/pprof/", "/debug/pprof/cmdline", "/debug/pprof/symbol"} {
+		resp, err := http.Get(on.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK {
+			t.Errorf("GET %s with -pprof: status %d", path, resp.StatusCode)
+		}
+	}
+}
+
+// TestStatsReportsEngine drives a parallel-enabled manager through the
+// HTTP layer and checks the engine choice surfaces in GET /stats.
+func TestStatsReportsEngine(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	fab, err := fabric.New(fabric.Config{
+		Tree:              tree,
+		BatchSize:         1,
+		ParallelThreshold: 1,
+		ParallelWorkers:   2,
+		ParallelRacy:      true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(fab, tree).routes())
+	t.Cleanup(func() {
+		ts.Close()
+		fab.Close(context.Background())
+	})
+
+	// A single-request epoch still falls below the parallel engine's
+	// internal len(reqs) >= 2 bar, but threshold routing counts it.
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: tree.Nodes() - 1}, nil); code != http.StatusOK {
+		t.Fatalf("connect status %d", code)
+	}
+	resp, err := http.Get(ts.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if raw["parallel_mode"] != "racy" {
+		t.Errorf("parallel_mode = %v", raw["parallel_mode"])
+	}
+	if raw["parallel_threshold"] != float64(1) || raw["parallel_workers"] != float64(2) {
+		t.Errorf("parallel config echo: threshold=%v workers=%v", raw["parallel_threshold"], raw["parallel_workers"])
+	}
+	if pe, _ := raw["parallel_epochs"].(float64); pe < 1 {
+		t.Errorf("parallel_epochs = %v, want >= 1", raw["parallel_epochs"])
+	}
+	if le, _ := raw["last_epoch_engine"].(string); le == "" {
+		t.Errorf("last_epoch_engine missing: %v", raw["last_epoch_engine"])
+	}
+}
+
 // postJSON0 is postJSON without the testing.T, usable from goroutines.
 func postJSON0(url string, body any, out any) int {
 	buf, _ := json.Marshal(body)

@@ -1,0 +1,74 @@
+package bitvec
+
+import "sync/atomic"
+
+// Atomic operations for lock-free channel arbitration (internal/parsched).
+//
+// The paper's hardware arbitrates every switch of a level concurrently;
+// these primitives let N software workers do the same on a shared Vector
+// or Matrix: a CAS loop on the underlying uint64 word claims or returns a
+// single bit without locks, and AndAtomic snapshots two vectors with
+// atomic word loads so a worker's availability view is always composed of
+// consistently read words (the view may still be stale — CAS claiming is
+// what makes stale views harmless).
+//
+// Mixing atomic and plain operations on the same vector concurrently is
+// a data race; a scheduling phase must be all-atomic or externally
+// serialized.
+
+// TryClearAtomic atomically clears bit i if it is set, using a CAS loop
+// on the containing word. It reports whether this call cleared the bit —
+// exactly one of several concurrent claimants succeeds. It panics if i is
+// out of range.
+func (v Vector) TryClearAtomic(i int) bool {
+	v.check(i)
+	addr := &v.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask == 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old&^mask) {
+			return true
+		}
+	}
+}
+
+// TrySetAtomic atomically sets bit i if it is clear (the inverse of
+// TryClearAtomic). It reports whether this call set the bit. It panics if
+// i is out of range.
+func (v Vector) TrySetAtomic(i int) bool {
+	v.check(i)
+	addr := &v.words[i/wordBits]
+	mask := uint64(1) << uint(i%wordBits)
+	for {
+		old := atomic.LoadUint64(addr)
+		if old&mask != 0 {
+			return false
+		}
+		if atomic.CompareAndSwapUint64(addr, old, old|mask) {
+			return true
+		}
+	}
+}
+
+// AndAtomic stores the bitwise AND of a and b into v, reading a's and b's
+// words with atomic loads. v must be owned by the caller (it is written
+// with plain stores); a and b may be concurrently mutated by the atomic
+// bit operations. All three must have the same width.
+func (v Vector) AndAtomic(a, b Vector) {
+	if a.width != v.width || b.width != v.width {
+		panic("bitvec: AndAtomic width mismatch")
+	}
+	for i := range v.words {
+		v.words[i] = atomic.LoadUint64(&a.words[i]) & atomic.LoadUint64(&b.words[i])
+	}
+}
+
+// GetAtomic reports whether bit i is set, reading the containing word
+// atomically. It panics if i is out of range.
+func (v Vector) GetAtomic(i int) bool {
+	v.check(i)
+	return atomic.LoadUint64(&v.words[i/wordBits])&(1<<uint(i%wordBits)) != 0
+}

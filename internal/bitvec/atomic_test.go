@@ -1,0 +1,112 @@
+package bitvec
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestTryClearSetAtomic(t *testing.T) {
+	v := NewFull(130) // three words
+	for _, i := range []int{0, 63, 64, 129} {
+		if !v.TryClearAtomic(i) {
+			t.Fatalf("TryClearAtomic(%d) on set bit = false", i)
+		}
+		if v.Get(i) {
+			t.Fatalf("bit %d still set after TryClearAtomic", i)
+		}
+		if v.TryClearAtomic(i) {
+			t.Fatalf("TryClearAtomic(%d) on clear bit = true", i)
+		}
+		if !v.TrySetAtomic(i) {
+			t.Fatalf("TrySetAtomic(%d) on clear bit = false", i)
+		}
+		if v.TrySetAtomic(i) {
+			t.Fatalf("TrySetAtomic(%d) on set bit = true", i)
+		}
+	}
+	if got := v.Count(); got != 130 {
+		t.Fatalf("Count = %d after clear/set round trips, want 130", got)
+	}
+}
+
+// TestTryClearAtomicExclusive races 8 workers claiming every bit of one
+// vector; each bit must be claimed exactly once. Run under -race this also
+// proves the CAS loop is race-detector clean.
+func TestTryClearAtomicExclusive(t *testing.T) {
+	const width, workers = 257, 8
+	v := NewFull(width)
+	wins := make([][]int, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < width; i++ {
+				if v.TryClearAtomic(i) {
+					wins[w] = append(wins[w], i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	claimed := make([]int, width)
+	total := 0
+	for _, ws := range wins {
+		for _, i := range ws {
+			claimed[i]++
+			total++
+		}
+	}
+	if total != width {
+		t.Fatalf("claimed %d bits total, want %d", total, width)
+	}
+	for i, c := range claimed {
+		if c != 1 {
+			t.Fatalf("bit %d claimed %d times", i, c)
+		}
+	}
+	if !v.None() {
+		t.Fatalf("vector not empty after full claim: %s", v.String())
+	}
+}
+
+// TestAndAtomicConcurrent ANDs into worker-owned scratch while other
+// goroutines mutate the operands atomically; the result must always be a
+// subset of full width and the test must be race-clean.
+func TestAndAtomicConcurrent(t *testing.T) {
+	const width = 96
+	a, b := NewFull(width), NewFull(width)
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; ; i = (i + 1) % width {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			if !a.TryClearAtomic(i) {
+				a.TrySetAtomic(i)
+			}
+		}
+	}()
+	scratch := New(width)
+	for n := 0; n < 2000; n++ {
+		scratch.AndAtomic(a, b)
+		if scratch.Count() > width {
+			t.Fatalf("AndAtomic produced %d bits, width %d", scratch.Count(), width)
+		}
+	}
+	close(stop)
+	wg.Wait()
+}
+
+func TestGetAtomic(t *testing.T) {
+	v := New(70)
+	v.Set(69)
+	if !v.GetAtomic(69) || v.GetAtomic(0) {
+		t.Fatalf("GetAtomic mismatch: bit69=%v bit0=%v", v.GetAtomic(69), v.GetAtomic(0))
+	}
+}

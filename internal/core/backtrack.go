@@ -3,6 +3,7 @@ package core
 import (
 	"fmt"
 
+	"repro/internal/bitvec"
 	"repro/internal/linkstate"
 )
 
@@ -30,7 +31,8 @@ func (s *BacktrackLevelWise) Name() string {
 // hold nothing (the search unwinds its allocations).
 func (s *BacktrackLevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 	tree := st.Tree()
-	outs := newOutcomes(tree, reqs)
+	outs := NewOutcomes(tree, reqs)
+	avail := bitvec.New(tree.Parents())
 	var ops Counters
 	for i := range outs {
 		o := &outs[i]
@@ -38,13 +40,15 @@ func (s *BacktrackLevelWise) Schedule(st *linkstate.State, reqs []Request) *Resu
 			o.Granted = true
 			continue
 		}
-		s.search(st, o, &ops)
+		s.search(st, o, &ops, avail)
 	}
 	return finish(s.Name(), outs, ops)
 }
 
-// search runs the bounded DFS for one request.
-func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counters) {
+// search runs the bounded DFS for one request. avail is the batch's
+// scratch availability vector (AvailBothInto keeps it valid across the
+// allocation probes below, unlike the State's shared AvailBoth buffer).
+func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counters, avail bitvec.Vector) {
 	tree := st.Tree()
 	w := tree.Parents()
 	// Per-level state: switch pair entering each level and the next port
@@ -70,7 +74,7 @@ func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counte
 			o.Granted = true
 			return
 		}
-		avail := st.AvailBoth(h, sigmas[h], deltas[h])
+		st.AvailBothInto(avail, h, sigmas[h], deltas[h])
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++

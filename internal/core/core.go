@@ -236,9 +236,16 @@ type Scheduler interface {
 	Schedule(st *linkstate.State, reqs []Request) *Result
 }
 
-// order returns processing indices for the batch.
-func orderIndices(tree *topology.Tree, reqs []Request, o Order, rng *rand.Rand) []int {
-	idx := make([]int, len(reqs))
+// OrderIndices returns processing indices for the batch under the given
+// order. It is exported for internal/parsched, whose deterministic mode
+// must sequence requests exactly as the sequential schedulers do.
+func OrderIndices(tree *topology.Tree, reqs []Request, o Order, rng *rand.Rand) []int {
+	return orderIndicesInto(make([]int, len(reqs)), tree, reqs, o, rng)
+}
+
+// orderIndicesInto fills idx (len(reqs)) with processing indices without
+// allocating, except for the sort bookkeeping of DeepestFirst.
+func orderIndicesInto(idx []int, tree *topology.Tree, reqs []Request, o Order, rng *rand.Rand) []int {
 	for i := range idx {
 		idx[i] = i
 	}
@@ -255,7 +262,9 @@ func orderIndices(tree *topology.Tree, reqs []Request, o Order, rng *rand.Rand) 
 	return idx
 }
 
-func newOutcomes(tree *topology.Tree, reqs []Request) []Outcome {
+// NewOutcomes returns the initial outcome records for a batch (exported
+// for internal/parsched).
+func NewOutcomes(tree *topology.Tree, reqs []Request) []Outcome {
 	outs := make([]Outcome, len(reqs))
 	for i, r := range reqs {
 		outs[i] = Outcome{

@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math/rand"
 
+	"repro/internal/bitvec"
 	"repro/internal/linkstate"
 )
 
@@ -44,22 +45,40 @@ type lwState struct {
 // Schedule routes the batch, mutating st. Requests whose endpoints share a
 // level-0 switch (H == 0) are granted without consuming links.
 func (s *LevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
+	return s.ScheduleInto(st, reqs, NewScratch())
+}
+
+// ScheduleInto is Schedule with every working buffer taken from sc, so a
+// caller that reuses one Scratch across batches pays zero allocations per
+// request (see BenchmarkLevelWiseAllocs). The returned Result aliases sc
+// and is invalidated by sc's next use.
+func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratch) *Result {
 	tree := st.Tree()
-	rng := s.Opts.rng()
-	outs := newOutcomes(tree, reqs)
-	order := orderIndices(tree, reqs, s.Opts.Order, rng)
+	// The default fixed-seed source is only materialized when an option
+	// actually consumes randomness; creating it unconditionally would be
+	// the hot path's sole per-batch allocation.
+	rng := s.Opts.Rand
+	if rng == nil && (s.Opts.Policy == RandomFit || s.Opts.Order == ShuffledOrder) {
+		rng = rand.New(rand.NewSource(1))
+	}
+	if sc.name == "" {
+		sc.name = s.Name()
+	}
+	outs := sc.prepOutcomes(tree, reqs)
+	order := orderIndicesInto(sc.prepOrder(len(reqs)), tree, reqs, s.Opts.Order, rng)
+	avail := sc.prepAvail(tree)
 	var ops Counters
 
 	if s.Opts.Traversal == RequestMajor {
 		for _, i := range order {
-			s.scheduleOne(st, &outs[i], &ops, rng)
+			s.scheduleOne(st, &outs[i], &ops, rng, avail)
 		}
-		return finish(s.Name(), outs, ops)
+		return sc.finishInto(sc.name, outs, ops)
 	}
 
 	// Level-major: the paper's pseudo-code. All requests advance through
 	// level h before any touches level h+1.
-	states := make([]lwState, len(reqs))
+	states := sc.prepStates(len(reqs))
 	maxH := 0
 	for i := range outs {
 		sigma, _ := tree.NodeSwitch(outs[i].Src)
@@ -78,7 +97,7 @@ func (s *LevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 			if !ls.alive || h >= o.H {
 				continue
 			}
-			avail := st.AvailBoth(h, ls.sigma, ls.delta)
+			st.AvailBothInto(avail, h, ls.sigma, ls.delta)
 			ops.VectorReads += 2
 			ops.VectorANDs++
 			ops.Steps++
@@ -89,7 +108,7 @@ func (s *LevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 				if !ok {
 					port = -1
 				}
-				s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
+				s.Opts.Trace(TraceEvent{Scheduler: sc.name, Src: o.Src, Dst: o.Dst, Level: h,
 					Phase: "combined", Sigma: ls.sigma, Delta: ls.delta, Avail: avail.String(), Port: port})
 			}
 			if !ok {
@@ -112,12 +131,13 @@ func (s *LevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 			}
 		}
 	}
-	return finish(s.Name(), outs, ops)
+	return sc.finishInto(sc.name, outs, ops)
 }
 
 // scheduleOne routes a single request through all its levels
 // (request-major traversal — the order the hardware pipeline realizes).
-func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, rng *rand.Rand) {
+// avail is the caller's scratch availability vector.
+func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, rng *rand.Rand, avail bitvec.Vector) {
 	tree := st.Tree()
 	if o.H == 0 {
 		o.Granted = true
@@ -126,7 +146,7 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 	sigma, _ := tree.NodeSwitch(o.Src)
 	delta, _ := tree.NodeSwitch(o.Dst)
 	for h := 0; h < o.H; h++ {
-		avail := st.AvailBoth(h, sigma, delta)
+		st.AvailBothInto(avail, h, sigma, delta)
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++

@@ -38,8 +38,8 @@ func (s *Local) Name() string {
 func (s *Local) Schedule(st *linkstate.State, reqs []Request) *Result {
 	tree := st.Tree()
 	rng := s.Opts.rng()
-	outs := newOutcomes(tree, reqs)
-	order := orderIndices(tree, reqs, s.Opts.Order, rng)
+	outs := NewOutcomes(tree, reqs)
+	order := OrderIndices(tree, reqs, s.Opts.Order, rng)
 	var ops Counters
 	for _, i := range order {
 		o := &outs[i]

@@ -1,0 +1,100 @@
+package core
+
+import (
+	"repro/internal/bitvec"
+	"repro/internal/topology"
+)
+
+// Scratch holds every buffer the Level-wise scheduler needs to route one
+// batch: the outcome records, the processing order, the per-request sweep
+// state, one availability vector, and a single ports arena sized Σ H_i
+// that is carved into per-outcome sub-slices. A caller that retains a
+// Scratch across batches (internal/fabric keeps one per manager) makes
+// LevelWise.ScheduleInto allocation-free per request: every buffer is
+// reused once it has grown to the workload's high-water mark.
+//
+// The Result returned by ScheduleInto — including every Outcome.Ports
+// sub-slice — aliases the Scratch and is invalidated by the next
+// ScheduleInto call with the same Scratch; callers that keep grants
+// beyond the batch must copy the ports out first. A Scratch is not safe
+// for concurrent use and should stay with one scheduler (it caches the
+// scheduler's name).
+type Scratch struct {
+	res      Result
+	outcomes []Outcome
+	states   []lwState
+	order    []int
+	arena    []int // backing store for every outcome's Ports
+	avail    bitvec.Vector
+	name     string
+}
+
+// NewScratch returns an empty Scratch; buffers grow on first use.
+func NewScratch() *Scratch { return &Scratch{} }
+
+// prepOutcomes fills the outcome records for reqs and carves the ports
+// arena into zero-length, capacity-H sub-slices so that the scheduler's
+// appends never allocate.
+func (sc *Scratch) prepOutcomes(tree *topology.Tree, reqs []Request) []Outcome {
+	if cap(sc.outcomes) < len(reqs) {
+		sc.outcomes = make([]Outcome, len(reqs))
+	}
+	outs := sc.outcomes[:len(reqs)]
+	totalH := 0
+	for i, r := range reqs {
+		h := tree.AncestorLevel(r.Src, r.Dst)
+		outs[i] = Outcome{Request: r, H: h, FailLevel: -1}
+		totalH += h
+	}
+	if cap(sc.arena) < totalH {
+		sc.arena = make([]int, totalH)
+	}
+	off := 0
+	for i := range outs {
+		h := outs[i].H
+		outs[i].Ports = sc.arena[off:off : off+h]
+		off += h
+	}
+	sc.outcomes = outs
+	return outs
+}
+
+// prepStates returns the per-request sweep-state buffer sized for n
+// requests.
+func (sc *Scratch) prepStates(n int) []lwState {
+	if cap(sc.states) < n {
+		sc.states = make([]lwState, n)
+	}
+	sc.states = sc.states[:n]
+	return sc.states
+}
+
+// prepOrder returns the order buffer sized for n requests.
+func (sc *Scratch) prepOrder(n int) []int {
+	if cap(sc.order) < n {
+		sc.order = make([]int, n)
+	}
+	sc.order = sc.order[:n]
+	return sc.order
+}
+
+// prepAvail returns the availability scratch vector for the tree's port
+// width.
+func (sc *Scratch) prepAvail(tree *topology.Tree) bitvec.Vector {
+	if sc.avail.Width() != tree.Parents() {
+		sc.avail = bitvec.New(tree.Parents())
+	}
+	return sc.avail
+}
+
+// finishInto assembles the batch Result in the Scratch (reusing its
+// Result header) exactly as finish does with a fresh one.
+func (sc *Scratch) finishInto(name string, outs []Outcome, ops Counters) *Result {
+	sc.res = Result{Scheduler: name, Outcomes: outs, Total: len(outs), Ops: ops}
+	for i := range outs {
+		if outs[i].Granted {
+			sc.res.Granted++
+		}
+	}
+	return &sc.res
+}

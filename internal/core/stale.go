@@ -45,7 +45,7 @@ func (s *StaleLevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 		panic("core: StaleLevelWise.Window must be >= 1")
 	}
 	tree := st.Tree()
-	outs := newOutcomes(tree, reqs)
+	outs := NewOutcomes(tree, reqs)
 	var ops Counters
 
 	view := linkstate.New(tree)

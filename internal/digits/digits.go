@@ -243,11 +243,24 @@ func (s Spec) AncestorLevel(src, dst Label) int {
 }
 
 // NodeAncestorLevel returns AncestorLevel for the level-0 switches of two
-// nodes.
+// nodes. It unpacks the two dense switch indices digit by digit instead of
+// materializing Labels, keeping schedulers' per-request hot path
+// allocation-free.
 func (s Spec) NodeAncestorLevel(a, b int) int {
-	la, _ := s.NodeSwitch(a)
-	lb, _ := s.NodeSwitch(b)
-	return s.AncestorLevel(la, lb)
+	if a < 0 || a >= s.Nodes() || b < 0 || b >= s.Nodes() {
+		panic(fmt.Sprintf("digits: nodes (%d,%d) out of range [0,%d)", a, b, s.Nodes()))
+	}
+	ia, ib := a/s.M, b/s.M
+	level := 0
+	for pos := 0; pos <= s.L-2; pos++ {
+		r := s.Radix(0, pos)
+		if ia%r != ib%r {
+			level = pos + 1
+		}
+		ia /= r
+		ib /= r
+	}
+	return level
 }
 
 func ipow(base, exp int) int {

@@ -12,6 +12,14 @@
 // concurrency-safe) linkstate.State is only ever mutated under the
 // manager's lock.
 //
+// Large epochs can optionally be scheduled by the parallel Level-wise
+// engine (internal/parsched): Config.ParallelThreshold routes any epoch
+// with at least that many live requests through worker goroutines that
+// claim channels with the lock-free atomic linkstate operations, while
+// smaller epochs keep the zero-allocation sequential path. Grant and
+// reject notifications are staged under the lock and delivered after it
+// is released, so client wakeups never extend the critical section.
+//
 // Robustness: the admission queue is bounded (Config.QueueLimit) and
 // exerts backpressure by blocking Connect until a slot frees; a queued
 // request leaves cleanly when its context is cancelled or the configured
@@ -36,6 +44,7 @@ import (
 
 	"repro/internal/core"
 	"repro/internal/linkstate"
+	"repro/internal/parsched"
 	"repro/internal/topology"
 )
 
@@ -98,8 +107,22 @@ type Config struct {
 	// Trace, when non-nil, receives one Event per link-state mutation
 	// (grant, release) and per queue drop (reject, cancel), invoked in
 	// exact serialization order under the manager lock. Keep it fast; the
-	// Ports slice aliases live storage and must be treated as read-only.
+	// Ports slice aliases live storage (for grants, the scheduler's reused
+	// ports arena) — treat it as read-only and copy it before retaining.
 	Trace func(Event)
+	// ParallelThreshold routes epochs of at least this many live requests
+	// through the parallel Level-wise engine (internal/parsched); smaller
+	// epochs keep the zero-allocation sequential path, whose fixed cost is
+	// lower. 0 disables parallel scheduling entirely. Requires the default
+	// scheduler (Config.Scheduler nil or a *core.LevelWise).
+	ParallelThreshold int
+	// ParallelWorkers sizes the parallel engine (default GOMAXPROCS).
+	ParallelWorkers int
+	// ParallelRacy selects the lock-free CAS engine mode: highest
+	// throughput, but the grant set of an epoch may differ run to run
+	// (always conflict-free). The default deterministic mode returns
+	// bit-identical results to sequential scheduling.
+	ParallelRacy bool
 }
 
 // EventKind classifies a Trace event.
@@ -161,6 +184,14 @@ type result struct {
 	err error
 }
 
+// delivery is one verdict staged under the manager lock and sent to its
+// waiting Connect call after the lock is dropped, so channel sends (and
+// the goroutine wakeups they trigger) never extend the critical section.
+type delivery struct {
+	t *ticket
+	r result
+}
+
 // Handle is a granted connection. Release it through Manager.Release
 // (or its Release method) exactly once.
 type Handle struct {
@@ -188,6 +219,12 @@ func (h *Handle) Release() error { return h.m.Release(h) }
 type Manager struct {
 	cfg   Config
 	sched core.Scheduler
+	// par, when non-nil, handles epochs of >= parThreshold live requests;
+	// smaller epochs take the zero-allocation sequential path through
+	// scratch. Both are used only by the flusher, under mu.
+	par          *parsched.Engine
+	parThreshold int
+	scratch      *core.Scratch
 
 	slots   chan struct{} // queue-slot semaphore (backpressure)
 	kick    chan struct{} // wakes the flusher (buffered 1, coalescing)
@@ -195,14 +232,22 @@ type Manager struct {
 	done    chan struct{} // flusher exited
 	closeMu sync.Once
 
-	mu      sync.Mutex // guards st, pending, oldest, closed
-	st      *linkstate.State
-	pending []*ticket
-	oldest  time.Time // enqueue time of pending[0]
-	closed  bool
+	mu         sync.Mutex // guards st, pending, oldest, closed, lastEngine
+	st         *linkstate.State
+	pending    []*ticket
+	oldest     time.Time // enqueue time of pending[0]
+	closed     bool
+	lastEngine string // scheduler that ran the most recent epoch
+
+	// Flusher-owned epoch buffers, reused across flushes so steady-state
+	// epochs allocate only the Handles they grant.
+	livebuf []*ticket
+	reqbuf  []core.Request
+	delbuf  []delivery
 
 	offered, granted, rejected, cancelled atomic.Uint64
 	released, overflow, epochs            atomic.Uint64
+	seqEpochs, parEpochs                  atomic.Uint64
 	active                                atomic.Int64
 
 	histMu    sync.Mutex
@@ -232,16 +277,31 @@ func New(cfg Config) (*Manager, error) {
 	if sched == nil {
 		sched = &core.LevelWise{Opts: core.Options{Rollback: true}}
 	}
+	var par *parsched.Engine
+	if cfg.ParallelThreshold > 0 {
+		lw, ok := sched.(*core.LevelWise)
+		if !ok {
+			return nil, errors.New("fabric: ParallelThreshold requires the default Level-wise scheduler")
+		}
+		mode := parsched.Deterministic
+		if cfg.ParallelRacy {
+			mode = parsched.Racy
+		}
+		par = parsched.New(parsched.Config{Workers: cfg.ParallelWorkers, Mode: mode, Opts: lw.Opts})
+	}
 	m := &Manager{
-		cfg:       cfg,
-		sched:     sched,
-		slots:     make(chan struct{}, cfg.QueueLimit),
-		kick:      make(chan struct{}, 1),
-		closing:   make(chan struct{}),
-		done:      make(chan struct{}),
-		st:        linkstate.New(cfg.Tree),
-		epochSize: newRing(4096),
-		epochLat:  newRing(4096),
+		cfg:          cfg,
+		sched:        sched,
+		par:          par,
+		parThreshold: cfg.ParallelThreshold,
+		scratch:      core.NewScratch(),
+		slots:        make(chan struct{}, cfg.QueueLimit),
+		kick:         make(chan struct{}, 1),
+		closing:      make(chan struct{}),
+		done:         make(chan struct{}),
+		st:           linkstate.New(cfg.Tree),
+		epochSize:    newRing(4096),
+		epochLat:     newRing(4096),
 	}
 	go m.flusher()
 	return m, nil
@@ -385,8 +445,9 @@ func (m *Manager) flusher() {
 		n := len(m.pending)
 		closed := m.closed
 		if n > 0 && (closed || n >= m.cfg.BatchSize || time.Since(m.oldest) >= m.cfg.MaxWait) {
-			m.flushLocked()
+			dels := m.flushLocked()
 			m.mu.Unlock()
+			m.deliver(dels)
 			continue
 		}
 		var wait time.Duration
@@ -419,13 +480,18 @@ func (m *Manager) flusher() {
 	}
 }
 
-// flushLocked runs one epoch over every queued ticket. Called with m.mu
-// held; the scheduler pass happens under the lock — that lock is the
-// serialization point that makes the shared linkstate.State safe.
-func (m *Manager) flushLocked() {
+// flushLocked runs one epoch over every queued ticket and stages the
+// verdicts. Called with m.mu held; the scheduler pass happens under the
+// lock — that lock is the serialization point that makes the shared
+// linkstate.State safe. Epochs of at least Config.ParallelThreshold live
+// requests run on the parallel engine (its workers claim channels through
+// the atomic linkstate operations); smaller epochs take the
+// allocation-free sequential path through the manager's reusable Scratch.
+// The returned deliveries (aliasing m.delbuf) must be sent by the caller
+// after unlocking.
+func (m *Manager) flushLocked() []delivery {
 	batch := m.pending
-	m.pending = nil
-	live := make([]*ticket, 0, len(batch))
+	live := m.livebuf[:0]
 	for _, t := range batch {
 		if t.state.CompareAndSwap(ticketWaiting, ticketClaimed) {
 			live = append(live, t)
@@ -437,25 +503,50 @@ func (m *Manager) flushLocked() {
 	for range batch {
 		<-m.slots // every departed ticket frees its queue slot
 	}
+	// Recycle the queue's backing array: tickets travel on via live and
+	// the staged deliveries, never through batch, so Connect may append
+	// into it again as soon as the lock drops.
+	m.pending = batch[:0]
+	m.livebuf = live
 	if len(live) == 0 {
-		return
+		return nil
 	}
-	reqs := make([]core.Request, len(live))
-	for i, t := range live {
-		reqs[i] = t.req
+	reqs := m.reqbuf[:0]
+	for _, t := range live {
+		reqs = append(reqs, t.req)
 	}
-	res := m.sched.Schedule(m.st, reqs)
+	m.reqbuf = reqs
+
+	var res *core.Result
+	switch {
+	case m.par != nil && len(reqs) >= m.parThreshold:
+		res = m.par.Schedule(m.st, reqs)
+		m.lastEngine = m.par.Name()
+		m.parEpochs.Add(1)
+	default:
+		if lw, ok := m.sched.(*core.LevelWise); ok {
+			res = lw.ScheduleInto(m.st, reqs, m.scratch)
+		} else {
+			res = m.sched.Schedule(m.st, reqs)
+		}
+		m.lastEngine = res.Scheduler
+		m.seqEpochs.Add(1)
+	}
+
 	epoch := m.epochs.Add(1)
+	dels := m.delbuf[:0]
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
 		if o.Granted {
-			h := &Handle{m: m, src: o.Src, dst: o.Dst, ports: o.Ports}
+			// The outcome's Ports alias the scheduler's reusable arena; the
+			// Handle owns its ports for the connection's lifetime, so copy.
+			h := &Handle{m: m, src: o.Src, dst: o.Dst, ports: append([]int(nil), o.Ports...)}
 			m.granted.Add(1)
 			m.active.Add(1)
 			if m.cfg.Trace != nil {
 				m.cfg.Trace(Event{Kind: EventGrant, Src: o.Src, Dst: o.Dst, Ports: o.Ports, FailLevel: -1, Epoch: epoch})
 			}
-			live[i].resp <- result{h: h}
+			dels = append(dels, delivery{t: live[i], r: result{h: h}})
 			continue
 		}
 		// A scheduler without rollback retains a failed request's partial
@@ -468,13 +559,32 @@ func (m *Manager) flushLocked() {
 		if m.cfg.Trace != nil {
 			m.cfg.Trace(Event{Kind: EventReject, Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel, Epoch: epoch})
 		}
-		live[i].resp <- result{err: &UnroutableError{Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel}}
+		dels = append(dels, delivery{t: live[i], r: result{err: &UnroutableError{Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel}}})
 	}
+	m.delbuf = dels
 	latMS := float64(time.Since(live[0].enq)) / float64(time.Millisecond)
 	m.histMu.Lock()
 	m.epochSize.add(float64(len(live)))
 	m.epochLat.add(latMS)
 	m.histMu.Unlock()
+	// Drop ticket references from the reused buffer; the deliveries carry
+	// them the rest of the way.
+	for i := range live {
+		live[i] = nil
+	}
+	m.livebuf = live[:0]
+	return dels
+}
+
+// deliver sends staged verdicts to their waiting Connect calls, outside
+// the manager lock; the buffered resp channels make every send
+// non-blocking. Entries are cleared so the reused buffer does not retain
+// tickets past the epoch.
+func (m *Manager) deliver(dels []delivery) {
+	for i := range dels {
+		dels[i].t.resp <- dels[i].r
+		dels[i] = delivery{}
+	}
 }
 
 // releaseRetainedLocked drops the partial allocations of a rejected

@@ -1,0 +1,198 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/topology"
+)
+
+// burst fires n concurrent Connect calls with random endpoints, releases
+// every grant, and returns once all verdicts are in.
+func burst(t *testing.T, m *Manager, tree *topology.Tree, n int, seed int64) {
+	t.Helper()
+	var wg sync.WaitGroup
+	for c := 0; c < n; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(id)))
+			h, err := m.Connect(context.Background(), rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes()))
+			if err != nil {
+				if !errors.Is(err, ErrUnroutable) {
+					t.Errorf("client %d: %v", id, err)
+				}
+				return
+			}
+			if err := h.Release(); err != nil {
+				t.Errorf("client %d: release: %v", id, err)
+			}
+		}(c)
+	}
+	wg.Wait()
+}
+
+// TestParallelThresholdRouting checks that epochs at or above
+// ParallelThreshold run on the parallel engine, epochs below it stay
+// sequential, both are counted, and the journal replay proves link safety
+// across the mix.
+func TestParallelThresholdRouting(t *testing.T) {
+	tree := topology.MustNew(3, 8, 8)
+	var j journal
+	m, err := New(Config{
+		Tree:              tree,
+		BatchSize:         64,
+		MaxWait:           20 * time.Millisecond,
+		ParallelThreshold: 4,
+		ParallelWorkers:   4,
+		Trace:             j.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A 64-client burst fills whole epochs well past the threshold.
+	burst(t, m, tree, 64, 1)
+	s := m.Stats()
+	if s.ParallelEpochs == 0 {
+		t.Fatalf("no epoch went parallel: %+v", s)
+	}
+	if s.LastEpochEngine != "parallel-level-wise/deterministic/w4" {
+		t.Errorf("LastEpochEngine = %q", s.LastEpochEngine)
+	}
+
+	// A lone request is an epoch of one: below threshold, sequential.
+	h, err := m.Connect(context.Background(), 0, tree.Nodes()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	s = m.Stats()
+	if s.SequentialEpochs == 0 {
+		t.Errorf("lone request did not run sequentially: %+v", s)
+	}
+	if s.LastEpochEngine != "level-wise/rollback" {
+		t.Errorf("LastEpochEngine after lone request = %q", s.LastEpochEngine)
+	}
+	if s.SequentialEpochs+s.ParallelEpochs != s.Epochs {
+		t.Errorf("epoch split %d+%d != %d", s.SequentialEpochs, s.ParallelEpochs, s.Epochs)
+	}
+	if s.ParallelThreshold != 4 || s.ParallelWorkers != 4 || s.ParallelMode != "deterministic" {
+		t.Errorf("config echo wrong: %+v", s)
+	}
+
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	events := j.events
+	j.mu.Unlock()
+	replay(t, tree, events)
+}
+
+// TestParallelRacyManager drives the lock-free engine through the manager
+// under load (and under -race in CI) and replays the journal.
+func TestParallelRacyManager(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	var j journal
+	m, err := New(Config{
+		Tree:              tree,
+		BatchSize:         32,
+		MaxWait:           10 * time.Millisecond,
+		ParallelThreshold: 2,
+		ParallelWorkers:   8,
+		ParallelRacy:      true,
+		Trace:             j.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		burst(t, m, tree, 48, int64(round)*100)
+	}
+	s := m.Stats()
+	if s.ParallelEpochs == 0 {
+		t.Fatalf("no epoch went parallel: %+v", s)
+	}
+	if s.ParallelMode != "racy" {
+		t.Errorf("ParallelMode = %q", s.ParallelMode)
+	}
+	if s.Active != 0 || s.Utilization != 0 {
+		t.Errorf("drained manager still holds links: %+v", s)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	events := j.events
+	j.mu.Unlock()
+	replay(t, tree, events)
+}
+
+// TestParallelRequiresDefaultScheduler: the parallel engine mirrors the
+// Level-wise options, so a custom scheduler plus a threshold is a config
+// error, while an explicit *core.LevelWise is accepted.
+func TestParallelRequiresDefaultScheduler(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	_, err := New(Config{Tree: tree, Scheduler: &core.BacktrackLevelWise{}, ParallelThreshold: 8})
+	if err == nil {
+		t.Fatal("backtracking scheduler with ParallelThreshold accepted")
+	}
+	m, err := New(Config{
+		Tree:              tree,
+		Scheduler:         &core.LevelWise{Opts: core.Options{Rollback: true}},
+		ParallelThreshold: 8,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestHandlePortsOwned: a handle's ports must survive later epochs even
+// though outcomes alias the manager's reusable scheduling arena.
+func TestHandlePortsOwned(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	m, err := New(Config{Tree: tree, BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	h1, err := m.Connect(context.Background(), 0, tree.Nodes()-1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	before := h1.Ports()
+	// Subsequent epochs reuse the scratch arena h1's outcome lived in.
+	for i := 0; i < 8; i++ {
+		h, err := m.Connect(context.Background(), i%tree.Nodes(), (i*7+3)%tree.Nodes())
+		if err != nil && !errors.Is(err, ErrUnroutable) {
+			t.Fatal(err)
+		}
+		if err == nil {
+			if err := h.Release(); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+	after := h1.Ports()
+	for i := range before {
+		if before[i] != after[i] {
+			t.Fatalf("handle ports mutated by later epochs: %v -> %v", before, after)
+		}
+	}
+	if err := h1.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,6 +1,9 @@
 package fabric
 
-import "repro/internal/stats"
+import (
+	"repro/internal/parsched"
+	"repro/internal/stats"
+)
 
 // ring is a fixed-capacity sample buffer keeping the most recent
 // observations; distributions in Stats summarize its contents.
@@ -84,6 +87,17 @@ type Stats struct {
 	// so it includes the batching wait.
 	EpochSize      Dist `json:"epoch_size"`
 	EpochLatencyMS Dist `json:"epoch_latency_ms"`
+	// Engine-choice observability: SequentialEpochs + ParallelEpochs ==
+	// Epochs; LastEpochEngine names the scheduler that ran the most recent
+	// epoch. ParallelThreshold/ParallelWorkers/ParallelMode echo the
+	// configuration (workers and mode are empty/zero when the parallel
+	// engine is disabled).
+	SequentialEpochs  uint64 `json:"sequential_epochs"`
+	ParallelEpochs    uint64 `json:"parallel_epochs"`
+	ParallelThreshold int    `json:"parallel_threshold"`
+	ParallelWorkers   int    `json:"parallel_workers,omitempty"`
+	ParallelMode      string `json:"parallel_mode,omitempty"`
+	LastEpochEngine   string `json:"last_epoch_engine,omitempty"`
 }
 
 // Stats returns a snapshot of the manager's counters, queue, epoch
@@ -92,6 +106,7 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	util := m.st.Utilization()
 	depth := len(m.pending)
+	lastEngine := m.lastEngine
 	m.mu.Unlock()
 	m.histMu.Lock()
 	size := distOf(m.epochSize.samples())
@@ -110,5 +125,26 @@ func (m *Manager) Stats() Stats {
 		Utilization:    util,
 		EpochSize:      size,
 		EpochLatencyMS: lat,
+
+		SequentialEpochs:  m.seqEpochs.Load(),
+		ParallelEpochs:    m.parEpochs.Load(),
+		ParallelThreshold: m.parThreshold,
+		ParallelWorkers:   parWorkers(m.par),
+		ParallelMode:      parMode(m.par),
+		LastEpochEngine:   lastEngine,
 	}
+}
+
+func parWorkers(e *parsched.Engine) int {
+	if e == nil {
+		return 0
+	}
+	return e.Workers()
+}
+
+func parMode(e *parsched.Engine) string {
+	if e == nil {
+		return ""
+	}
+	return e.Mode().String()
 }

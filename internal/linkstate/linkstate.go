@@ -20,9 +20,13 @@
 //   - Distinct States are fully independent (the scratch AND buffer is
 //     per-State), so parallel workers may each own one.
 //
-// A State is NOT safe for concurrent use. Concurrent callers must
-// serialize externally; internal/fabric does so by running every
-// scheduling epoch and every release under one manager lock.
+// A State is NOT safe for concurrent use of its plain methods.
+// Concurrent callers must either serialize externally — internal/fabric
+// runs every scheduling epoch and every release under one manager lock —
+// or restrict themselves to the atomic subset (TryAllocate,
+// AtomicRelease, AvailBothAtomicInto), which lock-free workers in
+// internal/parsched may race freely against each other. Mixing the two
+// families concurrently is a data race.
 package linkstate
 
 import (
@@ -147,13 +151,33 @@ func (s *State) ULink(h, idx int) bitvec.Vector { return s.ulink[h].Row(idx) }
 // (same aliasing caveat as ULink).
 func (s *State) DLink(h, idx int) bitvec.Vector { return s.dlink[h].Row(idx) }
 
-// AvailBoth writes Ulink(h,src) AND Dlink(h,dst) — the paper's level-h
-// available-port vector for a request whose source-side switch is src and
-// destination-side mirror switch is dst — into an internal scratch vector
-// and returns it. The result is invalidated by the next AvailBoth call.
+// AvailBothInto writes Ulink(h,src) AND Dlink(h,mir) — the paper's
+// level-h available-port vector for a request whose source-side switch is
+// src and destination-side mirror switch is mir — into dst, which the
+// caller owns and which must have width Tree().Parents(). Use this (not
+// AvailBoth) whenever the result must survive a later availability query,
+// and for per-worker scratch in parallel schedulers.
+func (s *State) AvailBothInto(dst bitvec.Vector, h, src, mir int) {
+	dst.And(s.ulink[h].Row(src), s.dlink[h].Row(mir))
+}
+
+// AvailBoth is a convenience wrapper around AvailBothInto that uses the
+// State's single internal scratch vector. The returned vector is
+// invalidated by the next AvailBoth call on this State — callers that
+// retain the result across queries must use AvailBothInto with their own
+// vector instead.
 func (s *State) AvailBoth(h, src, dst int) bitvec.Vector {
-	s.scratch.And(s.ulink[h].Row(src), s.dlink[h].Row(dst))
+	s.AvailBothInto(s.scratch, h, src, dst)
 	return s.scratch
+}
+
+// AvailBothAtomicInto is AvailBothInto with atomic word loads of the two
+// operand rows, for lock-free workers racing TryAllocate/AtomicRelease
+// calls. dst is caller-owned scratch; the availability view it receives
+// may be stale by the time the worker acts on it, which is safe because
+// TryAllocate re-checks under CAS.
+func (s *State) AvailBothAtomicInto(dst bitvec.Vector, h, src, mir int) {
+	dst.AndAtomic(s.ulink[h].Row(src), s.dlink[h].Row(mir))
 }
 
 // Available reports whether the given channel is free.
@@ -177,6 +201,25 @@ func (s *State) Allocate(d Direction, h, idx, port int) error {
 	}
 	row.Clear(port)
 	return nil
+}
+
+// TryAllocate atomically claims the channel with a CAS loop, returning
+// whether this call claimed it. Unlike Allocate it is safe to race
+// against other TryAllocate/AtomicRelease/AvailBothAtomicInto calls on
+// the same State: of N concurrent claimants of one channel exactly one
+// wins. It must not race plain Allocate/Release/AvailBoth calls.
+func (s *State) TryAllocate(d Direction, h, idx, port int) bool {
+	return s.matrix(d)[h].Row(idx).TryClearAtomic(port)
+}
+
+// AtomicRelease atomically returns a channel claimed via TryAllocate. It
+// panics if the channel is not occupied: lock-free schedulers only ever
+// release channels they themselves claimed, so a free channel here is an
+// invariant violation, not a runtime condition.
+func (s *State) AtomicRelease(d Direction, h, idx, port int) {
+	if !s.matrix(d)[h].Row(idx).TrySetAtomic(port) {
+		panic(fmt.Sprintf("linkstate: atomic release of free %s channel at level %d switch %d port %d", d, h, idx, port))
+	}
 }
 
 // Release marks the channel available. It returns an error if the channel

@@ -157,10 +157,14 @@ func (t *Tree) DownChildUpPort(h, idx, c int) int {
 }
 
 // NodeSwitch returns the level-0 switch index of node n and the child port
-// it occupies.
+// it occupies. The dense level-0 index is n/m directly (Index is the
+// inverse of LabelOf), so no Label is materialized — this sits on every
+// scheduler's per-request hot path.
 func (t *Tree) NodeSwitch(n int) (switchIdx, port int) {
-	lab, p := t.spec.NodeSwitch(n)
-	return t.spec.Index(0, lab), p
+	if n < 0 || n >= t.Nodes() {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.Nodes()))
+	}
+	return n / t.spec.M, n % t.spec.M
 }
 
 // AncestorLevel returns the lowest-common-ancestor level H of the level-0

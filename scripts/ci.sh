@@ -1,11 +1,17 @@
 #!/usr/bin/env bash
 # Tier-1 gate: build everything, vet, and run the full test suite with
 # the race detector enabled. The race run is mandatory — internal/fabric
-# mutates one shared link state from many goroutines, and its tests (plus
-# the linkstate misuse tests) only prove their guarantees under -race.
+# and internal/parsched mutate one shared link state from many
+# goroutines, and their tests (plus the linkstate misuse tests) only
+# prove their guarantees under -race.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
 go test -race ./...
+
+# Bench smoke: compile and run every benchmark for exactly one iteration
+# so bit-rot in the bench harnesses (including the parallel-engine and
+# zero-allocation benches) fails CI without costing bench-grade runtime.
+go test -run '^$' -bench . -benchtime 1x ./...
