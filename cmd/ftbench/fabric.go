@@ -29,9 +29,10 @@ type fabricBenchConfig struct {
 	Open                      int           // circuits each client holds (FIFO churn)
 	Duration                  time.Duration
 	Seed                      int64
-	Parallel                  int  // epoch size at which scheduling goes parallel (0 = off)
-	Workers                   int  // parallel engine workers (0 = GOMAXPROCS)
-	Racy                      bool // lock-free racy mode instead of deterministic
+	Scheduler                 string // admission engine spec ("" = fabric default)
+	Parallel                  int    // epoch size at which scheduling goes parallel (0 = off)
+	Workers                   int    // parallel engine workers (0 = GOMAXPROCS)
+	Racy                      bool   // lock-free racy mode instead of deterministic
 }
 
 // fabricBench runs the closed-loop load generator and prints a summary.
@@ -45,7 +46,7 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 		return err
 	}
 	fab, err := fabric.New(fabric.Config{
-		Tree: tree, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
+		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
 	})
 	if err != nil {

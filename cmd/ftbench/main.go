@@ -44,6 +44,7 @@ func main() {
 	fabricOpen := flag.Int("fabric-open", 4, "fabric bench: circuits each client holds open")
 	fabricMaxWait := flag.Duration("fabric-maxwait", 500*time.Microsecond, "fabric bench: epoch flush timer")
 	fabricDuration := flag.Duration("fabric-duration", 2*time.Second, "fabric bench: run length")
+	fabricSched := flag.String("fabric-scheduler", "", "fabric bench: admission engine spec (internal/sched registry grammar; \"\" = fabric default)")
 	fabricParallel := flag.Int("fabric-parallel", 0, "fabric bench: epoch size at which scheduling goes parallel (0 = always sequential)")
 	fabricWorkers := flag.Int("fabric-workers", 0, "fabric bench: parallel engine workers (0 = GOMAXPROCS)")
 	fabricRacy := flag.Bool("fabric-racy", false, "fabric bench: lock-free racy engine mode instead of deterministic")
@@ -54,7 +55,8 @@ func main() {
 			Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
 			Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
 			MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
-			Parallel: *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
+			Scheduler: *fabricSched,
+			Parallel:  *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)

@@ -4,28 +4,33 @@
 // Usage:
 //
 //	ftsched [-levels 3] [-children 4] [-parents 4]
-//	        [-scheduler level-wise|local-random|local-greedy|optimal]
+//	        [-scheduler <spec>] [-list]
 //	        [-pattern random-permutation|uniform-random|hotspot|bit-reversal|
 //	                  bit-complement|transpose|shuffle|tornado|neighbor]
 //	        [-trials 1] [-seed 1] [-rollback] [-v] [-json]
 //
-// With -v every request's outcome (path or failure level) is listed.
-// With -json the run summary is emitted as a single JSON object instead
-// of the human-readable report — the same machine-readable style as
-// ftserve's GET /stats, so batch and serving results can share tooling.
+// Scheduler specs follow internal/sched's grammar
+// ("family,key=value,flag" — e.g. "level-wise,policy=random,rollback",
+// "backtrack,depth=4", "parallel,mode=racy,workers=8"); -list prints
+// every registered engine with its parameters and exits. With -v every
+// request's outcome (path or failure level) is listed. With -json the
+// run summary is emitted as a single JSON object instead of the
+// human-readable report — the same machine-readable style as ftserve's
+// GET /stats, so batch and serving results can share tooling.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/linkstate"
-	"repro/internal/optimal"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -35,19 +40,42 @@ func main() {
 	levels := flag.Int("levels", 3, "switch levels l")
 	children := flag.Int("children", 4, "children per switch m")
 	parents := flag.Int("parents", 4, "parents per switch w")
-	schedName := flag.String("scheduler", "level-wise", "level-wise | local-random | local-greedy | optimal")
+	schedSpec := flag.String("scheduler", "level-wise", "scheduler spec (see -list)")
+	list := flag.Bool("list", false, "print the registered scheduler engines and exit")
 	patName := flag.String("pattern", "random-permutation", "workload pattern")
 	trials := flag.Int("trials", 1, "independent workloads to schedule")
 	seed := flag.Int64("seed", 1, "workload seed")
-	rollback := flag.Bool("rollback", false, "release a failed request's partial allocations")
+	rollback := flag.Bool("rollback", false, "shorthand for appending ,rollback to the scheduler spec")
 	verbose := flag.Bool("v", false, "print per-request outcomes")
 	trace := flag.Bool("trace", false, "print every denial with the availability vector that caused it")
 	jsonOut := flag.Bool("json", false, "emit the run summary as one JSON object")
 	flag.Parse()
 
-	if err := run(*levels, *children, *parents, *schedName, *patName, *trials, *seed, *rollback, *verbose, *trace, *jsonOut); err != nil {
+	if *list {
+		listEngines(os.Stdout)
+		return
+	}
+	if err := run(*levels, *children, *parents, *schedSpec, *patName, *trials, *seed, *rollback, *verbose, *trace, *jsonOut); err != nil {
 		fmt.Fprintf(os.Stderr, "ftsched: %v\n", err)
 		os.Exit(1)
+	}
+}
+
+// listEngines prints the registry's menu: one line per family with its
+// summary, then its parameters — sourced from internal/sched so this
+// text can never drift from what Parse accepts.
+func listEngines(w io.Writer) {
+	fmt.Fprintln(w, "scheduler specs: family[,key=value|flag]...")
+	for _, info := range sched.List() {
+		name := info.Family
+		if len(info.Aliases) > 0 {
+			name += " (alias " + strings.Join(info.Aliases, ", ") + ")"
+		}
+		fmt.Fprintf(w, "\n  %-14s %s\n", name, info.Summary)
+		for _, p := range info.Params {
+			fmt.Fprintf(w, "      %-10s %s\n", p.Key, p.Doc)
+		}
+		fmt.Fprintf(w, "      example: %s\n", info.Example)
 	}
 }
 
@@ -71,19 +99,22 @@ type summary struct {
 	Ops         core.Counters `json:"ops"` // last batch operation counts
 }
 
-func makeScheduler(name string, rollback bool) (core.Scheduler, error) {
-	switch name {
-	case "level-wise":
-		return &core.LevelWise{Opts: core.Options{Rollback: rollback}}, nil
-	case "local-random":
-		return core.NewLocalRandom(), nil
-	case "local-greedy":
-		return core.NewLocalGreedy(), nil
-	case "optimal":
-		return optimal.New(), nil
-	default:
-		return nil, fmt.Errorf("unknown scheduler %q", name)
+// makeScheduler resolves a spec through the registry. The -rollback
+// shorthand appends the flag unless the spec already carries it.
+func makeScheduler(spec string, rollback bool) (sched.Engine, error) {
+	if rollback && !hasToken(spec, "rollback") {
+		spec += ",rollback"
 	}
+	return sched.Parse(spec)
+}
+
+func hasToken(spec, want string) bool {
+	for _, tok := range strings.Split(spec, ",") {
+		if strings.TrimSpace(tok) == want {
+			return true
+		}
+	}
+	return false
 }
 
 func findPattern(name string) (traffic.Pattern, error) {
@@ -95,12 +126,12 @@ func findPattern(name string) (traffic.Pattern, error) {
 	return 0, fmt.Errorf("unknown pattern %q", name)
 }
 
-func run(levels, children, parents int, schedName, patName string, trials int, seed int64, rollback, verbose, trace, jsonOut bool) error {
+func run(levels, children, parents int, schedSpec, patName string, trials int, seed int64, rollback, verbose, trace, jsonOut bool) error {
 	tree, err := topology.New(levels, children, parents)
 	if err != nil {
 		return err
 	}
-	sched, err := makeScheduler(schedName, rollback)
+	eng, err := makeScheduler(schedSpec, rollback)
 	if err != nil {
 		return err
 	}
@@ -114,13 +145,13 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 				fmt.Fprintf(traceOut, "  trace: %s\n", e)
 			}
 		}
-		switch s := sched.(type) {
+		switch s := eng.Unwrap().(type) {
 		case *core.LevelWise:
 			s.Opts.Trace = onDenial
 		case *core.Local:
 			s.Opts.Trace = onDenial
 		default:
-			return fmt.Errorf("-trace is not supported by scheduler %q", schedName)
+			return fmt.Errorf("-trace is not supported by scheduler %q", schedSpec)
 		}
 	}
 	pattern, err := findPattern(patName)
@@ -133,6 +164,7 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 
 	gen := traffic.NewGenerator(tree.Nodes(), seed)
 	st := linkstate.New(tree)
+	sc := core.NewScratch()
 	ratios := make([]float64, 0, trials)
 	var last *core.Result
 	for trial := 0; trial < trials; trial++ {
@@ -141,7 +173,7 @@ func run(levels, children, parents int, schedName, patName string, trials int, s
 			return err
 		}
 		st.Reset()
-		res := sched.Schedule(st, batch)
+		res := eng.ScheduleInto(st, batch, sc)
 		if err := core.Verify(tree, res); err != nil {
 			return err
 		}

@@ -1,13 +1,21 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"os"
+	"strings"
 	"testing"
 )
 
 func TestMakeScheduler(t *testing.T) {
-	for _, name := range []string{"level-wise", "local-random", "local-greedy", "optimal"} {
+	// Pre-registry names keep working through the spec aliases, and the
+	// full grammar is available.
+	for _, name := range []string{
+		"level-wise", "local-random", "local-greedy", "optimal",
+		"level-wise,policy=random,order=shuffle,rollback",
+		"backtrack,depth=4", "stale,window=8", "parallel,mode=racy,workers=2",
+	} {
 		s, err := makeScheduler(name, false)
 		if err != nil || s == nil {
 			t.Errorf("makeScheduler(%q) = %v, %v", name, s, err)
@@ -16,12 +24,32 @@ func TestMakeScheduler(t *testing.T) {
 	if _, err := makeScheduler("nope", false); err == nil {
 		t.Error("unknown scheduler accepted")
 	}
+	// Near-miss errors carry a suggestion from the registry.
+	if _, err := makeScheduler("levle-wise", false); err == nil ||
+		!strings.Contains(err.Error(), "did you mean level-wise") {
+		t.Errorf("near-miss spec error = %v, want a level-wise suggestion", err)
+	}
 	s, err := makeScheduler("level-wise", true)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Name() != "level-wise/rollback" {
 		t.Errorf("rollback option not applied: %q", s.Name())
+	}
+	// -rollback must not duplicate a flag the spec already carries.
+	if s, err = makeScheduler("level-wise,rollback", true); err != nil || s.Name() != "level-wise/rollback" {
+		t.Errorf("rollback dedup: %v, %v", s, err)
+	}
+}
+
+func TestListEngines(t *testing.T) {
+	var buf bytes.Buffer
+	listEngines(&buf)
+	out := buf.String()
+	for _, want := range []string{"level-wise", "local", "backtrack", "stale", "optimal", "parallel", "example:"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("-list output missing %q:\n%s", want, out)
+		}
 	}
 }
 

@@ -6,12 +6,15 @@
 //
 //	ftserve [-addr :8080] [-levels 3] [-children 8] [-parents 8]
 //	        [-batch 32] [-maxwait 2ms] [-queue 1024] [-timeout 0]
-//	        [-parallel 0] [-workers 0] [-racy] [-pprof]
+//	        [-scheduler level-wise,rollback] [-pprof]
 //
-// -parallel N routes epochs of at least N live requests through the
-// parallel Level-wise engine (-workers goroutines; -racy selects the
-// lock-free CAS mode over the default deterministic mode). -pprof mounts
-// the net/http/pprof profiling handlers under /debug/pprof/.
+// -scheduler names the admission engine in internal/sched's registry
+// grammar ("family,key=value,flag"): sequential engines such as
+// "level-wise,rollback" or "backtrack,depth=2", and the parallel engine
+// via "parallel,mode=racy,workers=8" (which replaces the former
+// -parallel/-workers/-racy flags). The registered engines are printed at
+// startup. -pprof mounts the net/http/pprof profiling handlers under
+// /debug/pprof/.
 //
 // Endpoints (JSON over stdlib net/http):
 //
@@ -42,6 +45,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -54,9 +58,7 @@ func main() {
 	maxWait := flag.Duration("maxwait", fabric.DefaultMaxWait, "max batching delay before an epoch flushes")
 	queue := flag.Int("queue", fabric.DefaultQueueLimit, "admission queue bound (backpressure beyond)")
 	timeout := flag.Duration("timeout", 0, "admission timeout per request (0 = none)")
-	parallel := flag.Int("parallel", 0, "epoch size at which scheduling goes parallel (0 = always sequential)")
-	workers := flag.Int("workers", 0, "parallel engine worker goroutines (0 = GOMAXPROCS)")
-	racy := flag.Bool("racy", false, "use the lock-free racy engine mode instead of deterministic")
+	schedSpec := flag.String("scheduler", "level-wise,rollback", "admission engine spec (internal/sched registry grammar)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
@@ -65,15 +67,21 @@ func main() {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
 	}
+	eng, err := sched.Parse(*schedSpec)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
+		os.Exit(1)
+	}
+	for _, info := range sched.List() {
+		log.Printf("ftserve: engine %-10s %s (example: %s)", info.Family, info.Summary, info.Example)
+	}
 	fab, err := fabric.New(fabric.Config{
-		Tree:              tree,
-		BatchSize:         *batch,
-		MaxWait:           *maxWait,
-		QueueLimit:        *queue,
-		AdmitTimeout:      *timeout,
-		ParallelThreshold: *parallel,
-		ParallelWorkers:   *workers,
-		ParallelRacy:      *racy,
+		Tree:          tree,
+		SchedulerSpec: *schedSpec,
+		BatchSize:     *batch,
+		MaxWait:       *maxWait,
+		QueueLimit:    *queue,
+		AdmitTimeout:  *timeout,
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
@@ -96,7 +104,7 @@ func main() {
 			log.Printf("ftserve: fabric drain: %v", err)
 		}
 	}()
-	log.Printf("ftserve: serving %s on %s (batch %d, maxwait %s)", tree, *addr, *batch, *maxWait)
+	log.Printf("ftserve: serving %s on %s (engine %s, batch %d, maxwait %s)", tree, *addr, eng.Name(), *batch, *maxWait)
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)

@@ -44,17 +44,29 @@ func main() {
 	}
 }
 
+// routerModes is ftworm's documented mini-registry of upward routing
+// policies — the cmd-level analogue of internal/sched's engine registry.
+// -router values resolve against this table, so unknown names are
+// reported with the full menu rather than failing a bare string switch.
+var routerModes = []struct {
+	name   string
+	policy wormhole.UpPolicy
+	doc    string
+}{
+	{"adaptive", wormhole.AdaptiveFreeSpace, "upward port with the most downstream free buffer space"},
+	{"deterministic", wormhole.DeterministicFirst, "always the lowest-index upward port"},
+	{"random", wormhole.RandomUp, "uniform random among the upward ports"},
+}
+
 func parsePolicy(name string) (wormhole.UpPolicy, error) {
-	switch name {
-	case "adaptive":
-		return wormhole.AdaptiveFreeSpace, nil
-	case "deterministic":
-		return wormhole.DeterministicFirst, nil
-	case "random":
-		return wormhole.RandomUp, nil
-	default:
-		return 0, fmt.Errorf("unknown router %q", name)
+	names := make([]string, len(routerModes))
+	for i, m := range routerModes {
+		if m.name == name {
+			return m.policy, nil
+		}
+		names[i] = m.name + " (" + m.doc + ")"
 	}
+	return 0, fmt.Errorf("unknown router %q; registered modes:\n  %s", name, strings.Join(names, "\n  "))
 }
 
 func parseRates(spec string) ([]float64, error) {

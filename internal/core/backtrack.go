@@ -51,30 +51,25 @@ func (s *BacktrackLevelWise) Schedule(st *linkstate.State, reqs []Request) *Resu
 func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counters, avail bitvec.Vector) {
 	tree := st.Tree()
 	w := tree.Parents()
-	// Per-level state: switch pair entering each level and the next port
-	// to try there.
-	sigmas := make([]int, o.H+1)
-	deltas := make([]int, o.H+1)
+	// The cursor tracks the switch pair entering the current level; a
+	// backtrack rewinds it by replaying the surviving port prefix.
+	// nextPort remembers where each level's port scan resumes.
+	var cur RouteCursor
+	cur.Start(tree, o.Src, o.Dst)
 	nextPort := make([]int, o.H)
-	sigmas[0], _ = tree.NodeSwitch(o.Src)
-	deltas[0], _ = tree.NodeSwitch(o.Dst)
 	backs := 0
-	h := 0
 	deny := func(failAt int) {
-		for lvl := len(o.Ports) - 1; lvl >= 0; lvl-- {
-			mustRelease(st, linkstate.Up, lvl, sigmas[lvl], o.Ports[lvl])
-			mustRelease(st, linkstate.Down, lvl, deltas[lvl], o.Ports[lvl])
-			ops.Releases += 2
-		}
+		ReleaseRoute(st, o.Src, o.Dst, o.Ports, ops)
 		o.Ports = o.Ports[:0]
 		o.FailLevel = failAt
 	}
 	for {
+		h := cur.Level()
 		if h == o.H {
 			o.Granted = true
 			return
 		}
-		st.AvailBothInto(avail, h, sigmas[h], deltas[h])
+		st.AvailBothInto(avail, h, cur.Sigma(), cur.Delta())
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++
@@ -87,16 +82,14 @@ func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counte
 		}
 		if found >= 0 {
 			ops.PortPicks++
-			mustAllocate(st, linkstate.Up, h, sigmas[h], found)
-			mustAllocate(st, linkstate.Down, h, deltas[h], found)
+			mustAllocate(st, linkstate.Up, h, cur.Sigma(), found)
+			mustAllocate(st, linkstate.Down, h, cur.Delta(), found)
 			ops.Allocs += 2
 			o.Ports = append(o.Ports, found)
 			nextPort[h] = found + 1
-			sigmas[h+1] = tree.UpParent(h, sigmas[h], found)
-			deltas[h+1] = tree.UpParent(h, deltas[h], found)
-			h++
-			if h < o.H {
-				nextPort[h] = 0
+			cur.Advance(found)
+			if h+1 < o.H {
+				nextPort[h+1] = 0
 			}
 			continue
 		}
@@ -106,10 +99,13 @@ func (s *BacktrackLevelWise) search(st *linkstate.State, o *Outcome, ops *Counte
 			return
 		}
 		backs++
-		h--
-		mustRelease(st, linkstate.Up, h, sigmas[h], o.Ports[h])
-		mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
+		// Rewind the cursor one level by replaying the port prefix, then
+		// release the channels the abandoned step held.
+		cur.Start(tree, o.Src, o.Dst)
+		cur.Walk(o.Ports[:h-1], nil)
+		mustRelease(st, linkstate.Up, h-1, cur.Sigma(), o.Ports[h-1])
+		mustRelease(st, linkstate.Down, h-1, cur.Delta(), o.Ports[h-1])
 		ops.Releases += 2
-		o.Ports = o.Ports[:len(o.Ports)-1]
+		o.Ports = o.Ports[:h-1]
 	}
 }

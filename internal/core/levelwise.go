@@ -38,8 +38,8 @@ func (s *LevelWise) Name() string {
 
 // request-in-flight bookkeeping for the level-major sweep.
 type lwState struct {
-	sigma, delta int  // current source-side and mirror switch indices
-	alive        bool // still schedulable
+	cur   RouteCursor // current (σ_h, δ_h) switch pair
+	alive bool        // still schedulable
 }
 
 // Schedule routes the batch, mutating st. Requests whose endpoints share a
@@ -81,9 +81,8 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 	states := sc.prepStates(len(reqs))
 	maxH := 0
 	for i := range outs {
-		sigma, _ := tree.NodeSwitch(outs[i].Src)
-		delta, _ := tree.NodeSwitch(outs[i].Dst)
-		states[i] = lwState{sigma: sigma, delta: delta, alive: true}
+		states[i].cur.Start(tree, outs[i].Src, outs[i].Dst)
+		states[i].alive = true
 		if outs[i].H == 0 {
 			outs[i].Granted = true
 			states[i].alive = false
@@ -97,11 +96,11 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 			if !ls.alive || h >= o.H {
 				continue
 			}
-			st.AvailBothInto(avail, h, ls.sigma, ls.delta)
+			st.AvailBothInto(avail, h, ls.cur.Sigma(), ls.cur.Delta())
 			ops.VectorReads += 2
 			ops.VectorANDs++
 			ops.Steps++
-			p, ok := pickPort(st, s.Opts.Policy, rng, h, ls.sigma, avail)
+			p, ok := pickPort(st, s.Opts.Policy, rng, h, ls.cur.Sigma(), avail)
 			ops.PortPicks++
 			if s.Opts.Trace != nil {
 				port := p
@@ -109,7 +108,7 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 					port = -1
 				}
 				s.Opts.Trace(TraceEvent{Scheduler: sc.name, Src: o.Src, Dst: o.Dst, Level: h,
-					Phase: "combined", Sigma: ls.sigma, Delta: ls.delta, Avail: avail.String(), Port: port})
+					Phase: "combined", Sigma: ls.cur.Sigma(), Delta: ls.cur.Delta(), Avail: avail.String(), Port: port})
 			}
 			if !ok {
 				ls.alive = false
@@ -119,12 +118,11 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 				}
 				continue
 			}
-			mustAllocate(st, linkstate.Up, h, ls.sigma, p)
-			mustAllocate(st, linkstate.Down, h, ls.delta, p)
+			mustAllocate(st, linkstate.Up, h, ls.cur.Sigma(), p)
+			mustAllocate(st, linkstate.Down, h, ls.cur.Delta(), p)
 			ops.Allocs += 2
 			o.Ports = append(o.Ports, p)
-			ls.sigma = tree.UpParent(h, ls.sigma, p)
-			ls.delta = tree.UpParent(h, ls.delta, p)
+			ls.cur.Advance(p)
 			if len(o.Ports) == o.H {
 				o.Granted = true
 				ls.alive = false
@@ -143,14 +141,14 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 		o.Granted = true
 		return
 	}
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
+	var cur RouteCursor
+	cur.Start(tree, o.Src, o.Dst)
 	for h := 0; h < o.H; h++ {
-		st.AvailBothInto(avail, h, sigma, delta)
+		st.AvailBothInto(avail, h, cur.Sigma(), cur.Delta())
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++
-		p, ok := pickPort(st, s.Opts.Policy, rng, h, sigma, avail)
+		p, ok := pickPort(st, s.Opts.Policy, rng, h, cur.Sigma(), avail)
 		ops.PortPicks++
 		if s.Opts.Trace != nil {
 			port := p
@@ -158,7 +156,7 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 				port = -1
 			}
 			s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
-				Phase: "combined", Sigma: sigma, Delta: delta, Avail: avail.String(), Port: port})
+				Phase: "combined", Sigma: cur.Sigma(), Delta: cur.Delta(), Avail: avail.String(), Port: port})
 		}
 		if !ok {
 			o.FailLevel = h
@@ -167,12 +165,11 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 			}
 			return
 		}
-		mustAllocate(st, linkstate.Up, h, sigma, p)
-		mustAllocate(st, linkstate.Down, h, delta, p)
+		mustAllocate(st, linkstate.Up, h, cur.Sigma(), p)
+		mustAllocate(st, linkstate.Down, h, cur.Delta(), p)
 		ops.Allocs += 2
 		o.Ports = append(o.Ports, p)
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
+		cur.Advance(p)
 	}
 	o.Granted = true
 }
@@ -180,16 +177,7 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 // rollback releases the channels a failed request allocated at levels
 // below its failure level.
 func (s *LevelWise) rollback(st *linkstate.State, o *Outcome, ops *Counters) {
-	tree := st.Tree()
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
-	for h, p := range o.Ports {
-		mustRelease(st, linkstate.Up, h, sigma, p)
-		mustRelease(st, linkstate.Down, h, delta, p)
-		ops.Releases += 2
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
-	}
+	ReleaseRoute(st, o.Src, o.Dst, o.Ports, ops)
 	o.Ports = o.Ports[:0]
 }
 

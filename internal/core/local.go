@@ -71,15 +71,19 @@ func (s *Local) Schedule(st *linkstate.State, reqs []Request) *Result {
 // holds nothing) and false is returned.
 func (s *Local) tryOne(st *linkstate.State, o *Outcome, policy PortPolicy, rng *rand.Rand, ops *Counters) bool {
 	tree := st.Tree()
-	sigma, _ := tree.NodeSwitch(o.Src)
 
-	// Climb: choose from the locally visible upward links only.
-	upSwitches := make([]int, 0, o.H)
+	// Climb: choose from the locally visible upward links only. The
+	// cursor advances both sides in lockstep, so the mirror switch each
+	// level forces (needed for the top-down descent) is recorded as the
+	// climb passes it.
+	var cur RouteCursor
+	cur.Start(tree, o.Src, o.Dst)
+	deltas := make([]int, o.H) // mirror switch at each level
 	for h := 0; h < o.H; h++ {
-		avail := st.ULink(h, sigma)
+		avail := st.ULink(h, cur.Sigma())
 		ops.VectorReads++
 		ops.Steps++
-		p, ok := pickPort(st, policy, rng, h, sigma, avail)
+		p, ok := pickPort(st, policy, rng, h, cur.Sigma(), avail)
 		ops.PortPicks++
 		if s.Opts.Trace != nil {
 			port := p
@@ -87,28 +91,22 @@ func (s *Local) tryOne(st *linkstate.State, o *Outcome, policy PortPolicy, rng *
 				port = -1
 			}
 			s.Opts.Trace(TraceEvent{Scheduler: s.Name(), Src: o.Src, Dst: o.Dst, Level: h,
-				Phase: "up", Sigma: sigma, Delta: -1, Avail: avail.String(), Port: port})
+				Phase: "up", Sigma: cur.Sigma(), Delta: -1, Avail: avail.String(), Port: port})
 		}
 		if !ok {
 			o.FailLevel = h
-			s.teardown(st, o, upSwitches, -1, ops)
+			s.teardown(st, o, -1, ops)
 			return false
 		}
-		mustAllocate(st, linkstate.Up, h, sigma, p)
+		mustAllocate(st, linkstate.Up, h, cur.Sigma(), p)
 		ops.Allocs++
 		o.Ports = append(o.Ports, p)
-		upSwitches = append(upSwitches, sigma)
-		sigma = tree.UpParent(h, sigma, p)
+		deltas[h] = cur.Delta()
+		cur.Advance(p)
 	}
 
 	// Descend: the path is forced (Theorem 2 — same port index at the
 	// mirror switches). Walk top-down, as the physical circuit would.
-	deltas := make([]int, o.H) // mirror switch at each level
-	delta, _ := tree.NodeSwitch(o.Dst)
-	for h := 0; h < o.H; h++ {
-		deltas[h] = delta
-		delta = tree.UpParent(h, delta, o.Ports[h])
-	}
 	for h := o.H - 1; h >= 0; h-- {
 		ops.VectorReads++
 		ops.Steps++
@@ -123,7 +121,7 @@ func (s *Local) tryOne(st *linkstate.State, o *Outcome, policy PortPolicy, rng *
 		if !st.Available(linkstate.Down, h, deltas[h], o.Ports[h]) {
 			o.FailLevel = h
 			o.FailDown = true
-			s.teardown(st, o, upSwitches, h, ops)
+			s.teardown(st, o, h, ops)
 			return false
 		}
 		mustAllocate(st, linkstate.Down, h, deltas[h], o.Ports[h])
@@ -133,26 +131,21 @@ func (s *Local) tryOne(st *linkstate.State, o *Outcome, policy PortPolicy, rng *
 	return true
 }
 
-// teardown releases an attempt's claims: all upward channels, and the
-// downward channels at levels above failDown (the descent allocates from
-// the top level downward). failDown == -1 means the descent never started.
-func (s *Local) teardown(st *linkstate.State, o *Outcome, upSwitches []int, failDown int, ops *Counters) {
-	for h := len(upSwitches) - 1; h >= 0; h-- {
-		mustRelease(st, linkstate.Up, h, upSwitches[h], o.Ports[h])
+// teardown releases an attempt's claims by replaying its climb with a
+// route cursor: every upward channel the attempt took, and the downward
+// channels at levels above failDown (the descent allocates from the top
+// level downward, so levels at or below the failure were never claimed).
+// failDown == -1 means the descent never started.
+func (s *Local) teardown(st *linkstate.State, o *Outcome, failDown int, ops *Counters) {
+	var c RouteCursor
+	c.Start(st.Tree(), o.Src, o.Dst)
+	c.Walk(o.Ports, func(h, sigma, delta, p int) {
+		mustRelease(st, linkstate.Up, h, sigma, p)
 		ops.Releases++
-	}
-	if failDown >= 0 {
-		tree := st.Tree()
-		delta, _ := tree.NodeSwitch(o.Dst)
-		deltas := make([]int, o.H)
-		for h := 0; h < o.H; h++ {
-			deltas[h] = delta
-			delta = tree.UpParent(h, delta, o.Ports[h])
-		}
-		for h := o.H - 1; h > failDown; h-- {
-			mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
+		if failDown >= 0 && h > failDown {
+			mustRelease(st, linkstate.Down, h, delta, p)
 			ops.Releases++
 		}
-	}
+	})
 	o.Ports = o.Ports[:0]
 }

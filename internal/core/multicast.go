@@ -78,9 +78,11 @@ func (s *MulticastLocal) Name() string { return "multicast/local" }
 // far. Branch b (destination d) needs the level-h channel only when
 // h < AncestorLevel(src, d).
 type mcBranch struct {
-	dst   int
-	h     int // ancestor level for this destination
-	delta int // current mirror switch index
+	dst int
+	h   int // ancestor level for this destination
+	// cur tracks this branch's mirror walk; only its delta side climbs
+	// (AdvanceDelta) — the shared source spine is tracked separately.
+	cur RouteCursor
 }
 
 func newBranches(tree *topology.Tree, req MulticastRequest) ([]mcBranch, int) {
@@ -96,8 +98,9 @@ func newBranches(tree *topology.Tree, req MulticastRequest) ([]mcBranch, int) {
 		if h == 0 {
 			continue // same switch: served by the crossbar
 		}
-		sw, _ := tree.NodeSwitch(d)
-		branches = append(branches, mcBranch{dst: d, h: h, delta: sw})
+		b := mcBranch{dst: d, h: h}
+		b.cur.Start(tree, req.Src, d)
+		branches = append(branches, b)
 		if h > maxH {
 			maxH = h
 		}
@@ -111,7 +114,7 @@ func distinctMirrors(branches []mcBranch, h int) []int {
 	set := map[int]bool{}
 	for _, b := range branches {
 		if h < b.h {
-			set[b.delta] = true
+			set[b.cur.Delta()] = true
 		}
 	}
 	out := make([]int, 0, len(set))
@@ -131,12 +134,13 @@ func (s *MulticastLevelWise) Schedule(st *linkstate.State, reqs []MulticastReque
 		o := MulticastOutcome{MulticastRequest: req, FailLevel: -1}
 		branches, maxH := newBranches(tree, req)
 		o.H = maxH
-		sigma, _ := tree.NodeSwitch(req.Src)
+		var spine RouteCursor
+		spine.Start(tree, req.Src, req.Src)
 		var claims []mcClaim
 		ok := true
 		for h := 0; h < maxH; h++ {
 			mirrors := distinctMirrors(branches, h)
-			avail.CopyFrom(st.ULink(h, sigma))
+			avail.CopyFrom(st.ULink(h, spine.Sigma()))
 			for _, d := range mirrors {
 				avail.AndWith(st.DLink(h, d))
 			}
@@ -146,17 +150,17 @@ func (s *MulticastLevelWise) Schedule(st *linkstate.State, reqs []MulticastReque
 				o.FailLevel = h
 				break
 			}
-			mustAllocate(st, linkstate.Up, h, sigma, p)
-			claims = append(claims, mcClaim{linkstate.Up, h, sigma, p})
+			mustAllocate(st, linkstate.Up, h, spine.Sigma(), p)
+			claims = append(claims, mcClaim{linkstate.Up, h, spine.Sigma(), p})
 			for _, d := range mirrors {
 				mustAllocate(st, linkstate.Down, h, d, p)
 				claims = append(claims, mcClaim{linkstate.Down, h, d, p})
 			}
 			o.Ports = append(o.Ports, p)
-			sigma = tree.UpParent(h, sigma, p)
+			spine.Advance(p)
 			for i := range branches {
 				if h < branches[i].h {
-					branches[i].delta = tree.UpParent(h, branches[i].delta, p)
+					branches[i].cur.AdvanceDelta(p)
 				}
 			}
 		}
@@ -183,36 +187,37 @@ func (s *MulticastLocal) Schedule(st *linkstate.State, reqs []MulticastRequest) 
 		o := MulticastOutcome{MulticastRequest: req, FailLevel: -1}
 		branches, maxH := newBranches(tree, req)
 		o.H = maxH
-		sigma, _ := tree.NodeSwitch(req.Src)
+		var spine RouteCursor
+		spine.Start(tree, req.Src, req.Src)
 		var claims []mcClaim
 		ok := true
 		// Climb using local information only.
 		for h := 0; h < maxH && ok; h++ {
-			p, found := st.ULink(h, sigma).FirstSet()
+			p, found := st.ULink(h, spine.Sigma()).FirstSet()
 			if !found {
 				ok = false
 				o.FailLevel = h
 				break
 			}
-			mustAllocate(st, linkstate.Up, h, sigma, p)
-			claims = append(claims, mcClaim{linkstate.Up, h, sigma, p})
+			mustAllocate(st, linkstate.Up, h, spine.Sigma(), p)
+			claims = append(claims, mcClaim{linkstate.Up, h, spine.Sigma(), p})
 			o.Ports = append(o.Ports, p)
-			sigma = tree.UpParent(h, sigma, p)
+			spine.Advance(p)
 		}
 		// Claim the forced downward tree.
 		if ok {
 			for i := range branches {
-				delta := branches[i].delta
+				c := branches[i].cur // value copy: each branch replays independently
 				for h := 0; h < branches[i].h && ok; h++ {
 					p := o.Ports[h]
-					if st.Available(linkstate.Down, h, delta, p) {
-						mustAllocate(st, linkstate.Down, h, delta, p)
-						claims = append(claims, mcClaim{linkstate.Down, h, delta, p})
-					} else if !claimedByUs(claims, h, delta, p) {
+					if st.Available(linkstate.Down, h, c.Delta(), p) {
+						mustAllocate(st, linkstate.Down, h, c.Delta(), p)
+						claims = append(claims, mcClaim{linkstate.Down, h, c.Delta(), p})
+					} else if !claimedByUs(claims, h, c.Delta(), p) {
 						ok = false
 						o.FailLevel = h
 					}
-					delta = tree.UpParent(h, delta, p)
+					c.AdvanceDelta(p)
 				}
 				if !ok {
 					break
@@ -269,10 +274,11 @@ func VerifyMulticast(tree *topology.Tree, res *MulticastResult) error {
 		if len(o.Ports) != maxH {
 			return fmt.Errorf("core: multicast %d granted with %d ports, needs %d", i, len(o.Ports), maxH)
 		}
-		sigma, _ := tree.NodeSwitch(o.Src)
+		var spine RouteCursor
+		spine.Start(tree, o.Src, o.Src)
 		for h := 0; h < maxH; h++ {
 			p := o.Ports[h]
-			if err := st.Allocate(linkstate.Up, h, sigma, p); err != nil {
+			if err := st.Allocate(linkstate.Up, h, spine.Sigma(), p); err != nil {
 				return fmt.Errorf("core: multicast %d: %v", i, err)
 			}
 			for _, d := range distinctMirrors(branches, h) {
@@ -280,27 +286,22 @@ func VerifyMulticast(tree *topology.Tree, res *MulticastResult) error {
 					return fmt.Errorf("core: multicast %d: %v", i, err)
 				}
 			}
-			sigma = tree.UpParent(h, sigma, p)
+			spine.Advance(p)
 			for bi := range branches {
 				if h < branches[bi].h {
-					branches[bi].delta = tree.UpParent(h, branches[bi].delta, p)
+					branches[bi].cur.AdvanceDelta(p)
 				}
 			}
 		}
-		// Every destination is reachable: replaying each branch's mirror
-		// walk with the shared ports must land on its switch... which it
-		// does by construction (Theorem 2 per destination); assert the
-		// ancestor is common.
+		// Every destination is reachable: a cursor started at (src, dst)
+		// climbs both sides in lockstep with the shared ports, so after
+		// b.h levels σ and δ must coincide at the common ancestor
+		// (Theorem 2 per destination).
 		for _, b := range branches {
-			cur, _ := tree.NodeSwitch(b.dst)
-			for h := 0; h < b.h; h++ {
-				cur = tree.UpParent(h, cur, o.Ports[h])
-			}
-			top, _ := tree.NodeSwitch(o.Src)
-			for h := 0; h < b.h; h++ {
-				top = tree.UpParent(h, top, o.Ports[h])
-			}
-			if cur != top {
+			var bc RouteCursor
+			bc.Start(tree, o.Src, b.dst)
+			bc.Walk(o.Ports[:b.h], nil)
+			if bc.Sigma() != bc.Delta() {
 				return fmt.Errorf("core: multicast %d: branch to %d does not meet the source at level %d", i, b.dst, b.h)
 			}
 		}

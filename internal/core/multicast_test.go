@@ -145,7 +145,7 @@ func TestMulticastRollbackCleansState(t *testing.T) {
 			want += 1 + len(distinctMirrors(cur, h))
 			for i := range cur {
 				if h < cur[i].h {
-					cur[i].delta = tree.UpParent(h, cur[i].delta, o.Ports[h])
+					cur[i].cur.AdvanceDelta(o.Ports[h])
 				}
 			}
 		}

@@ -52,7 +52,7 @@ func (sc *Scratch) prepOutcomes(tree *topology.Tree, reqs []Request) []Outcome {
 	off := 0
 	for i := range outs {
 		h := outs[i].H
-		outs[i].Ports = sc.arena[off:off : off+h]
+		outs[i].Ports = sc.arena[off : off : off+h]
 		off += h
 	}
 	sc.outcomes = outs

@@ -66,25 +66,18 @@ func (s *StaleLevelWise) Schedule(st *linkstate.State, reqs []Request) *Result {
 }
 
 func (s *StaleLevelWise) tryOne(st, view *linkstate.State, o *Outcome, ops *Counters) {
-	tree := st.Tree()
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
-	sigmas := make([]int, 0, o.H)
-	deltas := make([]int, 0, o.H)
+	var cur RouteCursor
+	cur.Start(st.Tree(), o.Src, o.Dst)
 	fail := func(level int, down bool) {
 		o.FailLevel = level
 		o.FailDown = down
-		for h := len(o.Ports) - 1; h >= 0; h-- {
-			mustRelease(st, linkstate.Up, h, sigmas[h], o.Ports[h])
-			mustRelease(st, linkstate.Down, h, deltas[h], o.Ports[h])
-			ops.Releases += 2
-		}
+		ReleaseRoute(st, o.Src, o.Dst, o.Ports, ops)
 		o.Ports = o.Ports[:0]
 	}
 	for h := 0; h < o.H; h++ {
 		// Decision: fresh local Ulink AND stale Dlink view.
-		availU := st.ULink(h, sigma)
-		availD := view.DLink(h, delta)
+		availU := st.ULink(h, cur.Sigma())
+		availD := view.DLink(h, cur.Delta())
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++
@@ -103,18 +96,15 @@ func (s *StaleLevelWise) tryOne(st, view *linkstate.State, o *Outcome, ops *Coun
 		// Commit against reality: the up channel is fresh and must be
 		// free; the down channel may have been taken since the last
 		// refresh.
-		if !st.Available(linkstate.Down, h, delta, p) {
+		if !st.Available(linkstate.Down, h, cur.Delta(), p) {
 			fail(h, true)
 			return
 		}
-		mustAllocate(st, linkstate.Up, h, sigma, p)
-		mustAllocate(st, linkstate.Down, h, delta, p)
+		mustAllocate(st, linkstate.Up, h, cur.Sigma(), p)
+		mustAllocate(st, linkstate.Down, h, cur.Delta(), p)
 		ops.Allocs += 2
 		o.Ports = append(o.Ports, p)
-		sigmas = append(sigmas, sigma)
-		deltas = append(deltas, delta)
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
+		cur.Advance(p)
 	}
 	o.Granted = true
 }

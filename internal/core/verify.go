@@ -39,17 +39,23 @@ func Verify(tree *topology.Tree, res *Result) error {
 			}
 		}
 		// Replay all held channels level by level (partial for failures).
-		sigma, _ := tree.NodeSwitch(o.Src)
-		delta, _ := tree.NodeSwitch(o.Dst)
-		for h, p := range o.Ports {
+		var cur RouteCursor
+		cur.Start(tree, o.Src, o.Dst)
+		var replayErr error
+		cur.Walk(o.Ports, func(h, sigma, delta, p int) {
+			if replayErr != nil {
+				return
+			}
 			if err := st.Allocate(linkstate.Up, h, sigma, p); err != nil {
-				return fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
+				replayErr = fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
+				return
 			}
 			if err := st.Allocate(linkstate.Down, h, delta, p); err != nil {
-				return fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
+				replayErr = fmt.Errorf("core: outcome %d conflicts with an earlier allocation: %v", i, err)
 			}
-			sigma = tree.UpParent(h, sigma, p)
-			delta = tree.UpParent(h, delta, p)
+		})
+		if replayErr != nil {
+			return replayErr
 		}
 	}
 	counted := 0

@@ -113,19 +113,7 @@ func Run(cfg Config) (Stats, error) {
 	// releaseRetained drops the partial allocations of a blocked arrival
 	// (schedulers without rollback keep them in the outcome).
 	releaseRetained := func(o core.Outcome) {
-		tree := cfg.Tree
-		sigma, _ := tree.NodeSwitch(o.Src)
-		delta, _ := tree.NodeSwitch(o.Dst)
-		for h, p := range o.Ports {
-			if err := st.Release(linkstate.Up, h, sigma, p); err != nil {
-				panic(fmt.Sprintf("dynamic: retained release failed: %v", err))
-			}
-			if err := st.Release(linkstate.Down, h, delta, p); err != nil {
-				panic(fmt.Sprintf("dynamic: retained release failed: %v", err))
-			}
-			sigma = tree.UpParent(h, sigma, p)
-			delta = tree.UpParent(h, delta, p)
-		}
+		core.ReleaseRoute(st, o.Src, o.Dst, o.Ports, nil)
 	}
 
 	var arrive func()

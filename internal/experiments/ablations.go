@@ -2,7 +2,6 @@ package experiments
 
 import (
 	"fmt"
-	"math/rand"
 
 	"repro/internal/core"
 	"repro/internal/linkstate"
@@ -29,6 +28,9 @@ var ablationGrid = [][2]int{{2, 16}, {3, 8}, {4, 5}}
 func runVariants(perms int, seed int64, variants []SchedulerSpec) ([]AblationCell, error) {
 	if perms == 0 {
 		perms = DefaultPermutations
+	}
+	if err := validateSpecs(variants); err != nil {
+		return nil, err
 	}
 	var cells []AblationCell
 	for _, g := range ablationGrid {
@@ -64,13 +66,10 @@ func runVariants(perms int, seed int64, variants []SchedulerSpec) ([]AblationCel
 // AblationPortPolicy (A1) compares Level-wise port-selection policies:
 // the paper's first-fit against random and least-loaded lookahead.
 func AblationPortPolicy(perms int, seed int64) ([]AblationCell, error) {
-	mk := func(p core.PortPolicy) func() core.Scheduler {
-		return func() core.Scheduler { return &core.LevelWise{Opts: core.Options{Policy: p}} }
-	}
 	return runVariants(perms, seed, []SchedulerSpec{
-		{Label: "first-fit", Make: mk(core.FirstFit)},
-		{Label: "random", Make: mk(core.RandomFit)},
-		{Label: "least-loaded", Make: mk(core.LeastLoaded)},
+		{Label: "first-fit", Spec: "level-wise,policy=first-fit"},
+		{Label: "random", Spec: "level-wise,policy=random"},
+		{Label: "least-loaded", Spec: "level-wise,policy=least-loaded"},
 	})
 }
 
@@ -82,30 +81,21 @@ func AblationPortPolicy(perms int, seed int64) ([]AblationCell, error) {
 // The request-major traversal (the hardware's order) can exploit the
 // released capacity, so all four combinations are measured.
 func AblationRollback(perms int, seed int64) ([]AblationCell, error) {
-	mk := func(tr core.Traversal, rb bool) func() core.Scheduler {
-		return func() core.Scheduler {
-			return &core.LevelWise{Opts: core.Options{Traversal: tr, Rollback: rb}}
-		}
-	}
 	return runVariants(perms, seed, []SchedulerSpec{
-		{Label: "level-major, no-rollback (paper)", Make: mk(core.LevelMajor, false)},
-		{Label: "level-major, rollback", Make: mk(core.LevelMajor, true)},
-		{Label: "request-major, no-rollback", Make: mk(core.RequestMajor, false)},
-		{Label: "request-major, rollback", Make: mk(core.RequestMajor, true)},
+		{Label: "level-major, no-rollback (paper)", Spec: "level-wise"},
+		{Label: "level-major, rollback", Spec: "level-wise,rollback"},
+		{Label: "request-major, no-rollback", Spec: "level-wise,traversal=request-major"},
+		{Label: "request-major, rollback", Spec: "level-wise,traversal=request-major,rollback"},
 	})
 }
 
 // AblationOrdering (A3) compares request processing orders.
 func AblationOrdering(perms int, seed int64) ([]AblationCell, error) {
-	mk := func(o core.Order) func() core.Scheduler {
-		return func() core.Scheduler {
-			return &core.LevelWise{Opts: core.Options{Order: o, Rand: rand.New(rand.NewSource(seed))}}
-		}
-	}
+	mk := func(order string) string { return fmt.Sprintf("level-wise,order=%s,seed=%d", order, seed) }
 	return runVariants(perms, seed, []SchedulerSpec{
-		{Label: "natural (paper)", Make: mk(core.NaturalOrder)},
-		{Label: "shuffled", Make: mk(core.ShuffledOrder)},
-		{Label: "deepest-first", Make: mk(core.DeepestFirst)},
+		{Label: "natural (paper)", Spec: mk("natural")},
+		{Label: "shuffled", Spec: mk("shuffle")},
+		{Label: "deepest-first", Spec: mk("deepest-first")},
 	})
 }
 

@@ -41,17 +41,17 @@ func ExtAnalytic(perms int, seed int64) ([]AnalyticCell, error) {
 		for _, spec := range []struct {
 			label string
 			model analytic.Scheduler
-			mk    func() core.Scheduler
+			mk    SchedulerSpec
 		}{
-			{"Local", analytic.LocalRandom, func() core.Scheduler { return core.NewLocalRandom() }},
-			{"Global", analytic.LevelWise, func() core.Scheduler { return core.NewLevelWise() }},
+			{"Local", analytic.LocalRandom, SchedulerSpec{Label: "Local", Spec: "local-random"}},
+			{"Global", analytic.LevelWise, SchedulerSpec{Label: "Global", Spec: "level-wise"}},
 		} {
 			gen := traffic.NewGenerator(tree.Nodes(), seed+int64(g.w))
 			st := linkstate.New(tree)
 			ratios := make([]float64, 0, perms)
 			for trial := 0; trial < perms; trial++ {
 				st.Reset()
-				r := spec.mk().Schedule(st, gen.MustBatch(traffic.RandomPermutation))
+				r := spec.mk.Make().Schedule(st, gen.MustBatch(traffic.RandomPermutation))
 				if err := core.Verify(tree, r); err != nil {
 					return nil, fmt.Errorf("experiments: analytic %s FT(%d,%d): %v", spec.label, g.l, g.w, err)
 				}

@@ -3,8 +3,6 @@ package experiments
 import (
 	"fmt"
 
-	"repro/internal/core"
-	"repro/internal/optimal"
 	"repro/internal/report"
 )
 
@@ -13,15 +11,13 @@ import (
 // scheduler as the ceiling: how much of the remaining gap does a little
 // search recover, and where do diminishing returns set in?
 func ExtBacktrack(perms int, seed int64) ([]AblationCell, error) {
-	mk := func(b int) func() core.Scheduler {
-		return func() core.Scheduler { return &core.BacktrackLevelWise{Backtracks: b} }
-	}
+	mk := func(b int) string { return fmt.Sprintf("backtrack,depth=%d", b) }
 	specs := []SchedulerSpec{
-		{Label: "backtrack 0 (paper)", Make: mk(0)},
-		{Label: "backtrack 2", Make: mk(2)},
-		{Label: "backtrack 8", Make: mk(8)},
-		{Label: "backtrack 32", Make: mk(32)},
-		{Label: "optimal", Make: func() core.Scheduler { return optimal.New() }},
+		{Label: "backtrack 0 (paper)", Spec: mk(0)},
+		{Label: "backtrack 2", Spec: mk(2)},
+		{Label: "backtrack 8", Spec: mk(8)},
+		{Label: "backtrack 32", Spec: mk(32)},
+		{Label: "optimal", Spec: "optimal"},
 	}
 	return runVariants(perms, seed, specs)
 }

@@ -6,7 +6,6 @@ import (
 	"repro/internal/core"
 	"repro/internal/dynamic"
 	"repro/internal/linkstate"
-	"repro/internal/optimal"
 	"repro/internal/report"
 	"repro/internal/stats"
 	"repro/internal/switchsim"
@@ -19,10 +18,7 @@ import (
 // every permutation (w == m), quantifying the headroom the greedy global
 // scheduler leaves.
 func ExtOptimal(perms int, seed int64) ([]AblationCell, error) {
-	specs := append(DefaultSchedulers(), SchedulerSpec{
-		Label: "Optimal",
-		Make:  func() core.Scheduler { return optimal.New() },
-	})
+	specs := append(DefaultSchedulers(), SchedulerSpec{Label: "Optimal", Spec: "optimal"})
 	return runVariants(perms, seed, specs)
 }
 
@@ -151,10 +147,8 @@ func ExtDynamic(seed int64) ([]DynamicCell, error) {
 	}
 	var cells []DynamicCell
 	specs := []SchedulerSpec{
-		{Label: "Local", Make: func() core.Scheduler { return core.NewLocalRandom() }},
-		{Label: "Global", Make: func() core.Scheduler {
-			return &core.LevelWise{Opts: core.Options{Rollback: true}}
-		}},
+		{Label: "Local", Spec: "local-random"},
+		{Label: "Global", Spec: "level-wise,rollback"},
 	}
 	for _, rate := range []float64{0.5, 1, 2, 4, 8} {
 		for _, spec := range specs {

@@ -110,8 +110,8 @@ func ExtRounds(perms int, seed int64) ([]RoundsCell, error) {
 		perms = DefaultPermutations
 	}
 	specs := []SchedulerSpec{
-		{Label: "Local", Make: func() core.Scheduler { return core.NewLocalRandom() }},
-		{Label: "Global", Make: func() core.Scheduler { return core.NewLevelWise() }},
+		{Label: "Local", Spec: "local-random"},
+		{Label: "Global", Spec: "level-wise"},
 	}
 	var cells []RoundsCell
 	for _, g := range ablationGrid {

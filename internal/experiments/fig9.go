@@ -11,6 +11,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/linkstate"
 	"repro/internal/report"
+	"repro/internal/sched"
 	"repro/internal/stats"
 	"repro/internal/topology"
 	"repro/internal/traffic"
@@ -33,10 +34,28 @@ var (
 	Fig9cWidths = []int{3, 4, 5, 6, 7}
 )
 
-// SchedulerSpec names a scheduler construction for an experiment run.
+// SchedulerSpec names a scheduler contender for an experiment run: a
+// display label plus the internal/sched registry spec that builds it.
 type SchedulerSpec struct {
 	Label string
-	Make  func() core.Scheduler
+	Spec  string
+}
+
+// Make constructs a fresh engine from the registry spec. Experiments
+// build a fresh engine per batch so seeded randomness (seed=N in the
+// spec) replays identically run to run. The spec must be valid; the run
+// entry points validate every contender with sched.Parse up front.
+func (s SchedulerSpec) Make() core.Scheduler { return sched.MustParse(s.Spec) }
+
+// validateSpecs rejects malformed registry specs before any scheduling
+// work starts, so bad specs surface as errors rather than panics.
+func validateSpecs(specs []SchedulerSpec) error {
+	for _, s := range specs {
+		if _, err := sched.Parse(s.Spec); err != nil {
+			return fmt.Errorf("experiments: scheduler %q: %w", s.Label, err)
+		}
+	}
+	return nil
 }
 
 // DefaultSchedulers returns the paper's two contenders: the conventional
@@ -45,8 +64,8 @@ type SchedulerSpec struct {
 // the first available port").
 func DefaultSchedulers() []SchedulerSpec {
 	return []SchedulerSpec{
-		{Label: "Local", Make: func() core.Scheduler { return core.NewLocalRandom() }},
-		{Label: "Global", Make: func() core.Scheduler { return core.NewLevelWise() }},
+		{Label: "Local", Spec: "local-random"},
+		{Label: "Global", Spec: "level-wise"},
 	}
 }
 
@@ -94,6 +113,9 @@ func RunFig9(cfg Fig9Config) (*Fig9Result, error) {
 	specs := cfg.Schedulers
 	if specs == nil {
 		specs = DefaultSchedulers()
+	}
+	if err := validateSpecs(specs); err != nil {
+		return nil, err
 	}
 	res := &Fig9Result{
 		Name:   cfg.Name,

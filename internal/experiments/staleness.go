@@ -33,7 +33,8 @@ func ExtStaleness(perms int, seed int64) ([]StalenessCell, error) {
 		return nil, err
 	}
 	n := tree.Nodes()
-	run := func(label string, mk func() core.Scheduler) (StalenessCell, error) {
+	run := func(label, spec string) (StalenessCell, error) {
+		mk := SchedulerSpec{Label: label, Spec: spec}.Make
 		gen := traffic.NewGenerator(n, seed)
 		ratios := make([]float64, 0, perms)
 		st := linkstate.New(tree)
@@ -50,16 +51,14 @@ func ExtStaleness(perms int, seed int64) ([]StalenessCell, error) {
 
 	var cells []StalenessCell
 	for _, w := range []int{1, 4, 16, 64, 256, n} {
-		c, err := run(fmt.Sprintf("window %d", w), func() core.Scheduler {
-			return &core.StaleLevelWise{Window: w}
-		})
+		c, err := run(fmt.Sprintf("window %d", w), fmt.Sprintf("stale,window=%d", w))
 		if err != nil {
 			return nil, err
 		}
 		c.Window = w
 		cells = append(cells, c)
 	}
-	c, err := run("local greedy (no view)", func() core.Scheduler { return core.NewLocalGreedy() })
+	c, err := run("local greedy (no view)", "local-greedy")
 	if err != nil {
 		return nil, err
 	}

@@ -45,6 +45,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/linkstate"
 	"repro/internal/parsched"
+	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
@@ -84,11 +85,17 @@ func (e *UnroutableError) Is(target error) bool { return target == ErrUnroutable
 type Config struct {
 	// Tree is the fat tree being managed. Required.
 	Tree *topology.Tree
-	// Scheduler admits each epoch against the live link state. Defaults
-	// to the Level-wise scheduler with rollback. Schedulers that retain a
-	// failed request's partial allocations are safe: the manager releases
-	// retained ports after every epoch, since a rejected connection holds
-	// nothing.
+	// SchedulerSpec names the admission engine in internal/sched's
+	// registry grammar (e.g. "level-wise,rollback", "backtrack,depth=2",
+	// "parallel,mode=racy,workers=8"). Empty means the default
+	// "level-wise,rollback". Mutually exclusive with Scheduler.
+	SchedulerSpec string
+	// Scheduler admits each epoch against the live link state, for
+	// callers that composed one programmatically; most should name an
+	// engine with SchedulerSpec instead. Defaults to the Level-wise
+	// scheduler with rollback. Schedulers that retain a failed request's
+	// partial allocations are safe: the manager releases retained ports
+	// after every epoch, since a rejected connection holds nothing.
 	Scheduler core.Scheduler
 	// BatchSize is the epoch flush threshold (default DefaultBatchSize).
 	// 1 disables batching: every request is its own epoch.
@@ -217,8 +224,8 @@ func (h *Handle) Release() error { return h.m.Release(h) }
 // Manager is a goroutine-safe fabric manager. Create one with New; all
 // methods may be called from any goroutine.
 type Manager struct {
-	cfg   Config
-	sched core.Scheduler
+	cfg Config
+	eng sched.Engine
 	// par, when non-nil, handles epochs of >= parThreshold live requests;
 	// smaller epochs take the zero-allocation sequential path through
 	// scratch. Both are used only by the flusher, under mu.
@@ -273,15 +280,25 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.QueueLimit < cfg.BatchSize {
 		cfg.QueueLimit = cfg.BatchSize
 	}
-	sched := cfg.Scheduler
-	if sched == nil {
-		sched = &core.LevelWise{Opts: core.Options{Rollback: true}}
+	var eng sched.Engine
+	switch {
+	case cfg.SchedulerSpec != "" && cfg.Scheduler != nil:
+		return nil, errors.New("fabric: SchedulerSpec and Scheduler are mutually exclusive")
+	case cfg.SchedulerSpec != "":
+		var err error
+		if eng, err = sched.Parse(cfg.SchedulerSpec); err != nil {
+			return nil, err
+		}
+	case cfg.Scheduler != nil:
+		eng = sched.Wrap(cfg.Scheduler)
+	default:
+		eng = sched.Wrap(&core.LevelWise{Opts: core.Options{Rollback: true}})
 	}
 	var par *parsched.Engine
 	if cfg.ParallelThreshold > 0 {
-		lw, ok := sched.(*core.LevelWise)
+		lw, ok := eng.Unwrap().(*core.LevelWise)
 		if !ok {
-			return nil, errors.New("fabric: ParallelThreshold requires the default Level-wise scheduler")
+			return nil, errors.New("fabric: ParallelThreshold requires a level-wise admission engine")
 		}
 		mode := parsched.Deterministic
 		if cfg.ParallelRacy {
@@ -291,7 +308,7 @@ func New(cfg Config) (*Manager, error) {
 	}
 	m := &Manager{
 		cfg:          cfg,
-		sched:        sched,
+		eng:          eng,
 		par:          par,
 		parThreshold: cfg.ParallelThreshold,
 		scratch:      core.NewScratch(),
@@ -524,11 +541,7 @@ func (m *Manager) flushLocked() []delivery {
 		m.lastEngine = m.par.Name()
 		m.parEpochs.Add(1)
 	default:
-		if lw, ok := m.sched.(*core.LevelWise); ok {
-			res = lw.ScheduleInto(m.st, reqs, m.scratch)
-		} else {
-			res = m.sched.Schedule(m.st, reqs)
-		}
+		res = m.eng.ScheduleInto(m.st, reqs, m.scratch)
 		m.lastEngine = res.Scheduler
 		m.seqEpochs.Add(1)
 	}
@@ -590,18 +603,6 @@ func (m *Manager) deliver(dels []delivery) {
 // releaseRetainedLocked drops the partial allocations of a rejected
 // request (mirrors internal/dynamic's handling of no-rollback schedulers).
 func (m *Manager) releaseRetainedLocked(o *core.Outcome) {
-	tree := m.cfg.Tree
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
-	for h, p := range o.Ports {
-		if err := m.st.Release(linkstate.Up, h, sigma, p); err != nil {
-			panic(fmt.Sprintf("fabric: retained release failed: %v", err))
-		}
-		if err := m.st.Release(linkstate.Down, h, delta, p); err != nil {
-			panic(fmt.Sprintf("fabric: retained release failed: %v", err))
-		}
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
-	}
+	core.ReleaseRoute(m.st, o.Src, o.Dst, o.Ports, nil)
 	o.Ports = o.Ports[:0]
 }

@@ -327,8 +327,6 @@ func (s *State) AllocatePath(src, dst int, ports []int) error {
 	if len(ports) != h {
 		return fmt.Errorf("linkstate: request (%d→%d) needs %d ports, got %d", src, dst, h, len(ports))
 	}
-	sigma, _ := s.tree.NodeSwitch(src)
-	delta, _ := s.tree.NodeSwitch(dst)
 	type claim struct {
 		dir            Direction
 		lvl, idx, port int
@@ -342,20 +340,27 @@ func (s *State) AllocatePath(src, dst int, ports []int) error {
 			}
 		}
 	}
-	for lvl := 0; lvl < h; lvl++ {
-		p := ports[lvl]
+	var cur topology.RouteCursor
+	cur.Start(s.tree, src, dst)
+	var firstErr error
+	cur.Walk(ports, func(lvl, sigma, delta, p int) {
+		if firstErr != nil {
+			return
+		}
 		if err := s.Allocate(Up, lvl, sigma, p); err != nil {
-			undo()
-			return err
+			firstErr = err
+			return
 		}
 		claimed = append(claimed, claim{Up, lvl, sigma, p})
 		if err := s.Allocate(Down, lvl, delta, p); err != nil {
-			undo()
-			return err
+			firstErr = err
+			return
 		}
 		claimed = append(claimed, claim{Down, lvl, delta, p})
-		sigma = s.tree.UpParent(lvl, sigma, p)
-		delta = s.tree.UpParent(lvl, delta, p)
+	})
+	if firstErr != nil {
+		undo()
+		return firstErr
 	}
 	return nil
 }
@@ -368,19 +373,16 @@ func (s *State) ReleasePath(src, dst int, ports []int) error {
 	if len(ports) != h {
 		return fmt.Errorf("linkstate: request (%d→%d) needs %d ports, got %d", src, dst, h, len(ports))
 	}
-	sigma, _ := s.tree.NodeSwitch(src)
-	delta, _ := s.tree.NodeSwitch(dst)
+	var cur topology.RouteCursor
+	cur.Start(s.tree, src, dst)
 	var firstErr error
-	for lvl := 0; lvl < h; lvl++ {
-		p := ports[lvl]
+	cur.Walk(ports, func(lvl, sigma, delta, p int) {
 		if err := s.Release(Up, lvl, sigma, p); err != nil && firstErr == nil {
 			firstErr = err
 		}
 		if err := s.Release(Down, lvl, delta, p); err != nil && firstErr == nil {
 			firstErr = err
 		}
-		sigma = s.tree.UpParent(lvl, sigma, p)
-		delta = s.tree.UpParent(lvl, delta, p)
-	}
+	})
 	return firstErr
 }

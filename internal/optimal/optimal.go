@@ -94,8 +94,8 @@ func (s *Scheduler) Schedule(st *linkstate.State, reqs []core.Request) *core.Res
 	// via unit-capacity flow source → srcSwitch(w) → request(1) →
 	// dstSwitch(w) → sink.
 	type active struct {
-		idx          int // outcome index
-		sigma, delta int // current switch indices
+		idx int                  // outcome index
+		cur topology.RouteCursor // current (σ_h, δ_h) switch pair
 	}
 	var act []active
 	flow := maxflow.NewGraph(2)
@@ -138,7 +138,9 @@ func (s *Scheduler) Schedule(st *linkstate.State, reqs []core.Request) *core.Res
 			o.FailLevel = 0 // inadmissible: dropped at admission
 			continue
 		}
-		act = append(act, active{idx: p.idx, sigma: p.sigma, delta: p.delta})
+		a := active{idx: p.idx}
+		a.cur.StartAt(tree, 0, p.sigma, p.delta)
+		act = append(act, a)
 	}
 
 	// Level-by-level edge coloring.
@@ -152,7 +154,7 @@ func (s *Scheduler) Schedule(st *linkstate.State, reqs []core.Request) *core.Res
 		n := tree.SwitchesAt(h)
 		edges := make([]coloring.Edge, len(act))
 		for i, a := range act {
-			edges[i] = coloring.Edge{L: a.sigma, R: a.delta}
+			edges[i] = coloring.Edge{L: a.cur.Sigma(), R: a.cur.Delta()}
 		}
 		colors, err := coloring.Color(n, n, edges, w)
 		if err != nil {
@@ -166,8 +168,7 @@ func (s *Scheduler) Schedule(st *linkstate.State, reqs []core.Request) *core.Res
 			o := &res.Outcomes[a.idx]
 			p := colors[i]
 			o.Ports = append(o.Ports, p)
-			a.sigma = tree.UpParent(h, a.sigma, p)
-			a.delta = tree.UpParent(h, a.delta, p)
+			a.cur.Advance(p)
 			if len(o.Ports) < o.H {
 				next = append(next, a)
 			}

@@ -169,20 +169,8 @@ func mustAllocate(st *linkstate.State, d linkstate.Direction, h, idx, p int) {
 
 // rollback releases a failed request's lower-level channels with plain
 // (serialized) operations — Deterministic mode's phase two only.
-func rollback(st *linkstate.State, tree *topology.Tree, o *core.Outcome, ops *core.Counters) {
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
-	for h, p := range o.Ports {
-		if err := st.Release(linkstate.Up, h, sigma, p); err != nil {
-			panic(fmt.Sprintf("parsched: invariant violation: %v", err))
-		}
-		if err := st.Release(linkstate.Down, h, delta, p); err != nil {
-			panic(fmt.Sprintf("parsched: invariant violation: %v", err))
-		}
-		ops.Releases += 2
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
-	}
+func rollback(st *linkstate.State, o *core.Outcome, ops *core.Counters) {
+	core.ReleaseRoute(st, o.Src, o.Dst, o.Ports, ops)
 	o.Ports = o.Ports[:0]
 }
 
@@ -205,14 +193,12 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 	w := tree.Parents()
 	n := len(reqs)
 
-	sigma := make([]int, n)
-	delta := make([]int, n)
+	curs := make([]topology.RouteCursor, n)
 	alive := make([]bool, n)
 	proposal := make([]int, n)
 	maxH := 0
 	for i := range outs {
-		sigma[i], _ = tree.NodeSwitch(outs[i].Src)
-		delta[i], _ = tree.NodeSwitch(outs[i].Dst)
+		curs[i].Start(tree, outs[i].Src, outs[i].Dst)
 		if outs[i].H == 0 {
 			outs[i].Granted = true
 		} else {
@@ -257,7 +243,7 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 			go func(avail bitvec.Vector, part []int) {
 				defer wg.Done()
 				for _, i := range part {
-					st.AvailBothInto(avail, h, sigma[i], delta[i])
+					st.AvailBothInto(avail, h, curs[i].Sigma(), curs[i].Delta())
 					if p, ok := avail.FirstSet(); ok {
 						proposal[i] = p
 					} else {
@@ -276,11 +262,11 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 			o := &outs[i]
 			ops.Steps++
 			p := proposal[i]
-			if p >= 0 && !(st.ULink(h, sigma[i]).Get(p) && st.DLink(h, delta[i]).Get(p)) {
+			if p >= 0 && !(st.ULink(h, curs[i].Sigma()).Get(p) && st.DLink(h, curs[i].Delta()).Get(p)) {
 				// An earlier commit took the proposed port: re-arbitrate
 				// against the committed state, exactly as the sequential
 				// scheduler would at this request's turn.
-				st.AvailBothInto(commitAvail, h, sigma[i], delta[i])
+				st.AvailBothInto(commitAvail, h, curs[i].Sigma(), curs[i].Delta())
 				ops.VectorReads += 2
 				ops.VectorANDs++
 				ops.PortPicks++
@@ -294,16 +280,15 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 				alive[i] = false
 				o.FailLevel = h
 				if e.opts.Rollback {
-					rollback(st, tree, o, &ops)
+					rollback(st, o, &ops)
 				}
 				continue
 			}
-			mustAllocate(st, linkstate.Up, h, sigma[i], p)
-			mustAllocate(st, linkstate.Down, h, delta[i], p)
+			mustAllocate(st, linkstate.Up, h, curs[i].Sigma(), p)
+			mustAllocate(st, linkstate.Down, h, curs[i].Delta(), p)
 			ops.Allocs += 2
 			o.Ports = append(o.Ports, p)
-			sigma[i] = tree.UpParent(h, sigma[i], p)
-			delta[i] = tree.UpParent(h, delta[i], p)
+			curs[i].Advance(p)
 			if len(o.Ports) == o.H {
 				o.Granted = true
 				alive[i] = false
@@ -359,7 +344,7 @@ func (e *Engine) scheduleRacy(st *linkstate.State, reqs []core.Request) *core.Re
 			off := 0
 			for _, i := range part {
 				h := outs[i].H
-				outs[i].Ports = arena[off:off : off+h]
+				outs[i].Ports = arena[off : off : off+h]
 				off += h
 				e.routeRacy(st, tree, &outs[i], avail, tried, wrng, &workerOps[wk])
 			}
@@ -382,13 +367,13 @@ func (e *Engine) routeRacy(st *linkstate.State, tree *topology.Tree, o *core.Out
 		o.Granted = true
 		return
 	}
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
+	var cur topology.RouteCursor
+	cur.Start(tree, o.Src, o.Dst)
 	for h := 0; h < o.H; h++ {
 		tried.ClearAll()
 		ops.Steps++
 		for {
-			st.AvailBothAtomicInto(avail, h, sigma, delta)
+			st.AvailBothAtomicInto(avail, h, cur.Sigma(), cur.Delta())
 			avail.AndNot(avail, tried)
 			ops.VectorReads += 2
 			ops.VectorANDs++
@@ -410,19 +395,18 @@ func (e *Engine) routeRacy(st *linkstate.State, tree *topology.Tree, o *core.Out
 				return
 			}
 			ops.PortPicks++
-			if !st.TryAllocate(linkstate.Up, h, sigma, p) {
+			if !st.TryAllocate(linkstate.Up, h, cur.Sigma(), p) {
 				tried.Set(p)
 				continue
 			}
-			if !st.TryAllocate(linkstate.Down, h, delta, p) {
-				st.AtomicRelease(linkstate.Up, h, sigma, p)
+			if !st.TryAllocate(linkstate.Down, h, cur.Delta(), p) {
+				st.AtomicRelease(linkstate.Up, h, cur.Sigma(), p)
 				tried.Set(p)
 				continue
 			}
 			ops.Allocs += 2
 			o.Ports = append(o.Ports, p)
-			sigma = tree.UpParent(h, sigma, p)
-			delta = tree.UpParent(h, delta, p)
+			cur.Advance(p)
 			break
 		}
 	}
@@ -432,14 +416,12 @@ func (e *Engine) routeRacy(st *linkstate.State, tree *topology.Tree, o *core.Out
 // rollbackRacy returns a failed request's claimed channels with atomic
 // releases (other workers are still claiming concurrently).
 func (e *Engine) rollbackRacy(st *linkstate.State, tree *topology.Tree, o *core.Outcome, ops *core.Counters) {
-	sigma, _ := tree.NodeSwitch(o.Src)
-	delta, _ := tree.NodeSwitch(o.Dst)
-	for h, p := range o.Ports {
+	var c topology.RouteCursor
+	c.Start(tree, o.Src, o.Dst)
+	c.Walk(o.Ports, func(h, sigma, delta, p int) {
 		st.AtomicRelease(linkstate.Up, h, sigma, p)
 		st.AtomicRelease(linkstate.Down, h, delta, p)
 		ops.Releases += 2
-		sigma = tree.UpParent(h, sigma, p)
-		delta = tree.UpParent(h, delta, p)
-	}
+	})
 	o.Ports = o.Ports[:0]
 }

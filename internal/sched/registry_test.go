@@ -1,0 +1,152 @@
+package sched
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/parsched"
+)
+
+func TestParseNames(t *testing.T) {
+	cases := []struct {
+		spec string
+		name string
+	}{
+		{"level-wise", "level-wise"},
+		{"level-wise,rollback", "level-wise/rollback"},
+		{"level-wise,policy=random,order=shuffle,rollback", "level-wise/random/rollback"},
+		{"level-wise,traversal=request-major", "level-wise/request-major"},
+		{"local", "local/first-fit"},
+		{"local-greedy", "local/first-fit"},
+		{"local-random", "local/random"},
+		{"local,policy=random,retries=2", "local/random/retry"},
+		{"backtrack,depth=4", "level-wise/backtrack-4"},
+		{"stale,window=16", "level-wise/stale-16"},
+		{"optimal", "optimal"},
+		{"parallel,mode=racy,workers=8", "parallel-level-wise/racy/w8"},
+		{"parallel,workers=2", "parallel-level-wise/deterministic/w2"},
+		{" level-wise , rollback ", "level-wise/rollback"}, // whitespace tolerated
+	}
+	for _, c := range cases {
+		e, err := Parse(c.spec)
+		if err != nil {
+			t.Errorf("Parse(%q): %v", c.spec, err)
+			continue
+		}
+		if e.Name() != c.name {
+			t.Errorf("Parse(%q).Name() = %q, want %q", c.spec, e.Name(), c.name)
+		}
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	cases := []struct {
+		spec    string
+		wantSub string
+	}{
+		{"", "empty scheduler spec"},
+		{"levle-wise", "did you mean level-wise"},
+		{"lcoal", "did you mean local"},
+		{"frobnicate", "registered:"},
+		{"level-wise,policy=bogus", "invalid policy"},
+		{"level-wise,order=bogus", "invalid order"},
+		{"level-wise,traversal=bogus", "invalid traversal"},
+		{"level-wise,window=3", `unknown parameter "window"`},
+		{"local,depth=2", `unknown parameter "depth"`},
+		{"backtrack,depth=x", "must be an integer"},
+		{"backtrack,depth=-1", "must be >= 0"},
+		{"stale,window=0", "must be >= 1"},
+		{"parallel,mode=chaotic", "invalid mode"},
+		{"parallel,workers=-2", "must be >= 0"},
+		{"level-wise,policy=random,policy=first-fit", "duplicate parameter"},
+		{"optimal,rollback", `unknown parameter "rollback"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error containing %q, got nil", c.spec, c.wantSub)
+			continue
+		}
+		if !strings.Contains(err.Error(), c.wantSub) {
+			t.Errorf("Parse(%q) error = %q, want substring %q", c.spec, err.Error(), c.wantSub)
+		}
+	}
+}
+
+func TestAliasParamsCompose(t *testing.T) {
+	// Alias expansion must still accept (and validate) extra parameters.
+	e, err := Parse("local-random,retries=3")
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, ok := e.Unwrap().(*core.Local)
+	if !ok {
+		t.Fatalf("local-random unwraps to %T", e.Unwrap())
+	}
+	if l.Opts.Policy != core.RandomFit || l.Opts.Retries != 3 {
+		t.Fatalf("local-random,retries=3 parsed as %+v", l.Opts)
+	}
+	// An explicit parameter after the alias wins over the expansion? No:
+	// that would be a duplicate — the grammar rejects it loudly rather
+	// than guessing.
+	if _, err := Parse("local-random,policy=first-fit"); err == nil ||
+		!strings.Contains(err.Error(), "duplicate") {
+		t.Fatalf("alias + conflicting policy: got %v, want duplicate-parameter error", err)
+	}
+}
+
+func TestUnwrapExposesConcreteTypes(t *testing.T) {
+	if _, ok := MustParse("level-wise,rollback").Unwrap().(*core.LevelWise); !ok {
+		t.Fatal("level-wise does not unwrap to *core.LevelWise")
+	}
+	pe, ok := MustParse("parallel,workers=4,mode=racy").Unwrap().(*parsched.Engine)
+	if !ok {
+		t.Fatal("parallel does not unwrap to *parsched.Engine")
+	}
+	if pe.Workers() != 4 || pe.Mode() != parsched.Racy {
+		t.Fatalf("parallel engine config: workers=%d mode=%v", pe.Workers(), pe.Mode())
+	}
+}
+
+func TestListMetadata(t *testing.T) {
+	infos := List()
+	if len(infos) < 6 {
+		t.Fatalf("List returned %d families, want >= 6", len(infos))
+	}
+	seen := map[string]bool{}
+	for _, info := range infos {
+		if info.Family == "" || info.Summary == "" || info.Example == "" {
+			t.Errorf("family %+v missing metadata", info)
+		}
+		if seen[info.Family] {
+			t.Errorf("duplicate family %q", info.Family)
+		}
+		seen[info.Family] = true
+		// Every advertised example must parse.
+		if _, err := Parse(info.Example); err != nil {
+			t.Errorf("example %q does not parse: %v", info.Example, err)
+		}
+	}
+	for _, want := range []string{"level-wise", "local", "backtrack", "stale", "optimal", "parallel"} {
+		if !seen[want] {
+			t.Errorf("family %q not registered", want)
+		}
+	}
+}
+
+func TestSuggest(t *testing.T) {
+	if got := Suggest("levelwise"); len(got) == 0 || got[0] != "level-wise" {
+		t.Fatalf("Suggest(levelwise) = %v", got)
+	}
+	if got := Suggest("zzzzzzzzzzzz"); len(got) != 0 {
+		t.Fatalf("Suggest(zzzz...) = %v, want none", got)
+	}
+}
+
+func TestWrapIdempotent(t *testing.T) {
+	e := MustParse("level-wise")
+	if Wrap(e) != e {
+		t.Fatal("Wrap of an Engine must return it unchanged")
+	}
+}

@@ -1,0 +1,78 @@
+package topology
+
+// RouteCursor tracks the switch pair a unicast connection occupies while
+// it climbs: σ_h on the source side and δ_h on the destination-side
+// mirror (Theorem 2: choosing upward port p at level h forces the
+// downward channel of the same port index at the mirror switch, so both
+// sides climb with the same port). Every scheduler in the repository —
+// sequential, stale-view, backtracking, parallel — and every replay
+// (verification, teardown, path release) walks this identical geometry;
+// the cursor is the single implementation of that Theorem 1/2
+// arithmetic.
+//
+// A RouteCursor is a small value type: declare it on the stack (or embed
+// it in a per-request record) and Start it — no allocation, so it is
+// safe on the zero-allocation scheduling hot path.
+type RouteCursor struct {
+	tree         *Tree
+	sigma, delta int
+	level        int
+}
+
+// Start positions the cursor at level 0 for a connection from src to dst
+// (both processing nodes): σ_0 and δ_0 are the endpoints' level-0
+// switches.
+func (c *RouteCursor) Start(tree *Tree, src, dst int) {
+	c.tree = tree
+	c.sigma, _ = tree.NodeSwitch(src)
+	c.delta, _ = tree.NodeSwitch(dst)
+	c.level = 0
+}
+
+// StartAt positions the cursor at an explicit (level, σ, δ) triple, for
+// walks that do not begin at processing nodes (multicast branches resume
+// at their recorded mirrors).
+func (c *RouteCursor) StartAt(tree *Tree, level, sigma, delta int) {
+	c.tree = tree
+	c.sigma, c.delta = sigma, delta
+	c.level = level
+}
+
+// Sigma returns the source-side switch index at the current level.
+func (c *RouteCursor) Sigma() int { return c.sigma }
+
+// Delta returns the destination-side mirror switch index at the current
+// level.
+func (c *RouteCursor) Delta() int { return c.delta }
+
+// Level returns the link level the cursor is about to cross (0-based).
+func (c *RouteCursor) Level() int { return c.level }
+
+// Advance crosses the current level via upward port p: both sides climb
+// to their level+1 parents (the same port index on each, per Theorem 2).
+func (c *RouteCursor) Advance(p int) {
+	c.sigma = c.tree.UpParent(c.level, c.sigma, p)
+	c.delta = c.tree.UpParent(c.level, c.delta, p)
+	c.level++
+}
+
+// AdvanceDelta climbs the mirror side only. Multicast trees use it: each
+// destination branch climbs its own mirrors with the shared ports while
+// the single source-side spine is tracked separately.
+func (c *RouteCursor) AdvanceDelta(p int) {
+	c.delta = c.tree.UpParent(c.level, c.delta, p)
+	c.level++
+}
+
+// Walk replays a fully or partially routed connection: it calls visit at
+// every level with the (level, σ, δ, port) it crosses, advancing as it
+// goes. The cursor ends positioned above the last port. A nil visit
+// replays for position only (e.g. rewinding to a backtrack point).
+func (c *RouteCursor) Walk(ports []int, visit func(level, sigma, delta, port int)) {
+	for _, p := range ports {
+		if visit != nil {
+			visit(c.level, c.sigma, c.delta, p)
+		}
+		c.Advance(p)
+	}
+}

@@ -1,0 +1,98 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestRouteCursorMatchesHandWalk pins the cursor to the raw NodeSwitch +
+// UpParent arithmetic it replaces, over random routes on asymmetric
+// trees.
+func TestRouteCursorMatchesHandWalk(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][3]int{{2, 4, 4}, {3, 4, 4}, {3, 4, 2}, {4, 3, 3}, {2, 6, 3}} {
+		tree := MustNew(dims[0], dims[1], dims[2])
+		for trial := 0; trial < 50; trial++ {
+			src := rng.Intn(tree.Nodes())
+			dst := rng.Intn(tree.Nodes())
+			h := tree.AncestorLevel(src, dst)
+			ports := make([]int, h)
+			for i := range ports {
+				ports[i] = rng.Intn(tree.Parents())
+			}
+
+			sigma, _ := tree.NodeSwitch(src)
+			delta, _ := tree.NodeSwitch(dst)
+			var c RouteCursor
+			c.Start(tree, src, dst)
+			for lvl, p := range ports {
+				if c.Sigma() != sigma || c.Delta() != delta || c.Level() != lvl {
+					t.Fatalf("FT%v %d→%d level %d: cursor (σ=%d δ=%d h=%d), want (σ=%d δ=%d h=%d)",
+						dims, src, dst, lvl, c.Sigma(), c.Delta(), c.Level(), sigma, delta, lvl)
+				}
+				sigma = tree.UpParent(lvl, sigma, p)
+				delta = tree.UpParent(lvl, delta, p)
+				c.Advance(p)
+			}
+			if c.Sigma() != sigma || c.Delta() != delta || c.Level() != h {
+				t.Fatalf("FT%v %d→%d: final cursor (σ=%d δ=%d), want (σ=%d δ=%d)",
+					dims, src, dst, c.Sigma(), c.Delta(), sigma, delta)
+			}
+
+			// Walk visits the same triples.
+			var c2 RouteCursor
+			c2.Start(tree, src, dst)
+			var visited int
+			c2.Walk(ports, func(level, s2, d2, p int) {
+				if p != ports[level] {
+					t.Fatalf("Walk port %d at level %d, want %d", p, level, ports[level])
+				}
+				visited++
+			})
+			if visited != h {
+				t.Fatalf("Walk visited %d levels, want %d", visited, h)
+			}
+			if c2.Sigma() != sigma || c2.Delta() != delta {
+				t.Fatalf("Walk final (σ=%d δ=%d), want (σ=%d δ=%d)", c2.Sigma(), c2.Delta(), sigma, delta)
+			}
+		}
+	}
+}
+
+// TestRouteCursorDeltaMatchesDownSwitchOnPath cross-checks the mirror
+// side against the topology's independent DownSwitchOnPath walk.
+func TestRouteCursorDeltaMatchesDownSwitchOnPath(t *testing.T) {
+	tree := MustNew(3, 4, 4)
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 100; trial++ {
+		src, dst := rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes())
+		h := tree.AncestorLevel(src, dst)
+		ports := make([]int, h)
+		for i := range ports {
+			ports[i] = rng.Intn(tree.Parents())
+		}
+		var c RouteCursor
+		c.Start(tree, src, dst)
+		for lvl := 0; lvl < h; lvl++ {
+			if want := tree.DownSwitchOnPath(dst, ports, lvl); c.Delta() != want {
+				t.Fatalf("level %d: delta %d, want %d", lvl, c.Delta(), want)
+			}
+			c.Advance(ports[lvl])
+		}
+	}
+}
+
+// TestRouteCursorStartAt covers resuming a walk mid-tree.
+func TestRouteCursorStartAt(t *testing.T) {
+	tree := MustNew(3, 4, 4)
+	var full, resumed RouteCursor
+	full.Start(tree, 0, 63)
+	full.Advance(1)
+	resumed.StartAt(tree, full.Level(), full.Sigma(), full.Delta())
+	full.Advance(2)
+	resumed.Advance(2)
+	if full.Sigma() != resumed.Sigma() || full.Delta() != resumed.Delta() || full.Level() != resumed.Level() {
+		t.Fatalf("resumed cursor diverged: (%d,%d,%d) vs (%d,%d,%d)",
+			resumed.Sigma(), resumed.Delta(), resumed.Level(), full.Sigma(), full.Delta(), full.Level())
+	}
+}

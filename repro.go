@@ -6,7 +6,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/fabric"
 	"repro/internal/linkstate"
-	"repro/internal/optimal"
+	"repro/internal/sched"
 	"repro/internal/topology"
 	"repro/internal/traffic"
 )
@@ -44,24 +44,36 @@ func NewFatTree(levels, children, parents int) (*FatTree, error) {
 // NewLinkState returns a fresh all-available link state for the tree.
 func NewLinkState(tree *FatTree) *LinkState { return linkstate.New(tree) }
 
-// NewLevelWise returns the paper's Level-wise global scheduler with its
-// published defaults (first-fit port selection, level-major traversal).
-func NewLevelWise() Scheduler { return core.NewLevelWise() }
+// NewScheduler builds a scheduler from an internal/sched registry spec,
+// e.g. "level-wise,policy=random,rollback", "backtrack,depth=4" or
+// "parallel,mode=racy,workers=8". Unknown families and parameters are
+// reported with the nearest valid alternatives. The named constructors
+// below are shorthands for the most common specs.
+func NewScheduler(spec string) (Scheduler, error) { return sched.Parse(spec) }
 
-// NewLevelWiseWith returns a Level-wise scheduler with custom options.
-func NewLevelWiseWith(opts Options) Scheduler { return &core.LevelWise{Opts: opts} }
+// NewLevelWise returns the paper's Level-wise global scheduler with its
+// published defaults (first-fit port selection, level-major traversal) —
+// spec "level-wise".
+func NewLevelWise() Scheduler { return sched.MustParse("level-wise") }
+
+// NewLevelWiseWith returns a Level-wise scheduler with custom options
+// (for Options values specs cannot express, such as a caller-owned
+// random source or a trace hook).
+func NewLevelWiseWith(opts Options) Scheduler { return sched.Wrap(&core.LevelWise{Opts: opts}) }
 
 // NewLocalRandom returns the conventional adaptive baseline: upward ports
 // chosen randomly from the locally available set (the scheme the paper's
-// Section 1 describes).
-func NewLocalRandom() Scheduler { return core.NewLocalRandom() }
+// Section 1 describes) — spec "local-random".
+func NewLocalRandom() Scheduler { return sched.MustParse("local-random") }
 
-// NewLocalGreedy returns the greedy (first-fit) local baseline.
-func NewLocalGreedy() Scheduler { return core.NewLocalGreedy() }
+// NewLocalGreedy returns the greedy (first-fit) local baseline — spec
+// "local-greedy".
+func NewLocalGreedy() Scheduler { return sched.MustParse("local-greedy") }
 
 // NewOptimal returns the rearrangeable reference scheduler (recursive
-// edge coloring): 100% schedulability for permutations when w >= m.
-func NewOptimal() Scheduler { return optimal.New() }
+// edge coloring): 100% schedulability for permutations when w >= m —
+// spec "optimal".
+func NewOptimal() Scheduler { return sched.MustParse("optimal") }
 
 // Permutation generates a random permutation workload over the tree's
 // nodes, deterministically from the seed.

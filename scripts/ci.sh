@@ -9,7 +9,21 @@ cd "$(dirname "$0")/.."
 
 go build ./...
 go vet ./...
+
+# Formatting gate: fail on any file gofmt would rewrite.
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+	echo "gofmt -l flagged:" >&2
+	echo "$unformatted" >&2
+	exit 1
+fi
+
 go test -race ./...
+
+# Concurrency-focused pass: re-run the parallel engine and the fabric
+# manager under -race with a doubled count, shaking out interleavings a
+# single full-suite run can miss.
+go test -race -count=2 ./internal/parsched ./internal/fabric
 
 # Bench smoke: compile and run every benchmark for exactly one iteration
 # so bit-rot in the bench harnesses (including the parallel-engine and
