@@ -28,6 +28,7 @@ type fabricBenchConfig struct {
 	MaxWait                   time.Duration // epoch flush timer
 	Open                      int           // circuits each client holds (FIFO churn)
 	Duration                  time.Duration
+	Timeout                   time.Duration // per-Connect admission timeout (0 = wait forever)
 	Seed                      int64
 	Scheduler                 string // admission engine spec ("" = fabric default)
 	Parallel                  int    // epoch size at which scheduling goes parallel (0 = off)
@@ -35,26 +36,43 @@ type fabricBenchConfig struct {
 	Racy                      bool   // lock-free racy mode instead of deterministic
 }
 
-// fabricBench runs the closed-loop load generator and prints a summary.
-func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
+func (cfg fabricBenchConfig) validate() error {
 	if cfg.Clients <= 0 || cfg.Open <= 0 || cfg.Duration <= 0 {
 		return fmt.Errorf("fabric bench: need positive clients (%d), open (%d), duration (%s)",
 			cfg.Clients, cfg.Open, cfg.Duration)
 	}
-	tree, err := topology.New(cfg.Levels, cfg.Children, cfg.Parents)
-	if err != nil {
-		return err
-	}
-	fab, err := fabric.New(fabric.Config{
-		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
-		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
-	})
-	if err != nil {
-		return err
-	}
+	return nil
+}
 
-	var admitted, denied atomic.Uint64
+// loopCounts aggregates the client-side view of one closed-loop run.
+type loopCounts struct {
+	admitted, denied, timedOut uint64
+}
+
+// offered is the total admission attempts the clients made.
+func (c loopCounts) offered() uint64 { return c.admitted + c.denied + c.timedOut }
+
+// schedulability is the fraction of attempts that were granted — the
+// paper's schedulability ratio, measured at the client.
+func (c loopCounts) schedulability() float64 {
+	if c.offered() == 0 {
+		return 0
+	}
+	return float64(c.admitted) / float64(c.offered())
+}
+
+// closedLoop drives cfg.Clients concurrent FIFO-churn clients against
+// fab until cfg.Duration elapses. In strict mode (chaotic=false) any
+// unexpected client error — including ErrAdmitTimeout when
+// cfg.Timeout is set — aborts the run and is returned, so a wedged
+// server fails the run instead of hanging. With chaotic=true (faults
+// being injected mid-run) timeouts are counted and revocation-related
+// release errors are tolerated, since both are expected degraded-mode
+// outcomes.
+func closedLoop(fab *fabric.Manager, tree *topology.Tree, cfg fabricBenchConfig, chaotic bool) (loopCounts, time.Duration, error) {
+	var admitted, denied, timedOut atomic.Uint64
 	deadline := time.Now().Add(cfg.Duration)
+	errs := make([]error, cfg.Clients)
 	var wg sync.WaitGroup
 	for c := 0; c < cfg.Clients; c++ {
 		wg.Add(1)
@@ -62,12 +80,20 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
 			var held []*fabric.Handle
+			defer func() {
+				for _, h := range held {
+					if err := h.Release(); err != nil && !chaotic && errs[id] == nil {
+						errs[id] = fmt.Errorf("client %d final release: %w", id, err)
+					}
+				}
+			}()
 			for time.Now().Before(deadline) {
 				// Churn: keep Open long-lived circuits, retiring the
 				// oldest before each new admission.
 				for len(held) >= cfg.Open {
-					if err := held[0].Release(); err != nil {
-						panic(err)
+					if err := held[0].Release(); err != nil && !chaotic {
+						errs[id] = fmt.Errorf("client %d release: %w", id, err)
+						return
 					}
 					held = held[1:]
 				}
@@ -76,15 +102,13 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 				case err == nil:
 					admitted.Add(1)
 					held = append(held, h)
-				case errors.Is(err, fabric.ErrUnroutable):
+				case errors.Is(err, fabric.ErrUnroutable) || errors.Is(err, fabric.ErrUnroutableDegraded):
 					denied.Add(1)
+				case errors.Is(err, fabric.ErrAdmitTimeout) && chaotic:
+					timedOut.Add(1)
 				default:
-					panic(err)
-				}
-			}
-			for _, h := range held {
-				if err := h.Release(); err != nil {
-					panic(err)
+					errs[id] = fmt.Errorf("client %d: %w", id, err)
+					return
 				}
 			}
 		}(c)
@@ -92,16 +116,45 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	start := time.Now()
 	wg.Wait()
 	elapsed := time.Since(start)
-	if err := fab.Close(context.Background()); err != nil {
+	for _, err := range errs {
+		if err != nil {
+			return loopCounts{}, elapsed, err
+		}
+	}
+	return loopCounts{admitted.Load(), denied.Load(), timedOut.Load()}, elapsed, nil
+}
+
+// fabricBench runs the closed-loop load generator and prints a summary.
+func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
+	if err := cfg.validate(); err != nil {
+		return err
+	}
+	tree, err := topology.New(cfg.Levels, cfg.Children, cfg.Parents)
+	if err != nil {
+		return err
+	}
+	fab, err := fabric.New(fabric.Config{
+		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
+		AdmitTimeout:      cfg.Timeout,
+		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
+	})
+	if err != nil {
 		return err
 	}
 
+	counts, elapsed, loopErr := closedLoop(fab, tree, cfg, false)
+	if err := fab.Close(context.Background()); err != nil && loopErr == nil {
+		loopErr = err
+	}
+	if loopErr != nil {
+		return loopErr
+	}
+
 	s := fab.Stats()
-	total := admitted.Load() + denied.Load()
 	fmt.Fprintf(out, "fabric %s  clients=%d epoch=%d maxwait=%s open=%d duration=%s\n",
 		tree, cfg.Clients, cfg.Batch, cfg.MaxWait, cfg.Open, cfg.Duration)
 	fmt.Fprintf(out, "  admissions/sec %.0f  (offered %d, granted %d, rejected %d, blocking %.2f%%)\n",
-		float64(total)/elapsed.Seconds(), s.Offered, s.Granted, s.Rejected,
+		float64(counts.offered())/elapsed.Seconds(), s.Offered, s.Granted, s.Rejected,
 		100*float64(s.Rejected)/float64(max(1, s.Offered)))
 	fmt.Fprintf(out, "  epochs %d  size mean=%.1f p95=%.0f  latency ms p50=%.3f p95=%.3f p99=%.3f\n",
 		s.Epochs, s.EpochSize.Mean, s.EpochSize.P95,

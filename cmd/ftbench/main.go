@@ -13,6 +13,11 @@
 // the concurrent serving layer (internal/fabric) and reports
 // admissions/sec; the -fabric-* flags size the tree, the client pool, and
 // the epoch batching.
+//
+// With -chaos, the closed-loop generator additionally injects a seeded
+// fault/repair schedule mid-run and sweeps the -chaos-rates link failure
+// rates, reporting the schedulability ratio and repair latency at each
+// rate (EXPERIMENTS.md E17).
 package main
 
 import (
@@ -48,16 +53,32 @@ func main() {
 	fabricParallel := flag.Int("fabric-parallel", 0, "fabric bench: epoch size at which scheduling goes parallel (0 = always sequential)")
 	fabricWorkers := flag.Int("fabric-workers", 0, "fabric bench: parallel engine workers (0 = GOMAXPROCS)")
 	fabricRacy := flag.Bool("fabric-racy", false, "fabric bench: lock-free racy engine mode instead of deterministic")
+	fabricTimeout := flag.Duration("fabric-timeout", 0, "fabric bench: per-Connect admission timeout; a wedged server fails the run (0 = wait forever)")
+	chaosMode := flag.Bool("chaos", false, "run the fault-injection sweep: fabric closed-loop clients plus a seeded mid-run fault/repair schedule")
+	chaosRates := flag.String("chaos-rates", "0,0.01,0.05,0.1", "chaos: comma-separated link failure rates p to sweep")
+	chaosCycle := flag.Duration("chaos-cycle", 20*time.Millisecond, "chaos: fault/repair alternation period")
 	flag.Parse()
 
-	if *fabricMode {
-		err := fabricBench(os.Stdout, fabricBenchConfig{
+	if *fabricMode || *chaosMode {
+		cfg := fabricBenchConfig{
 			Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
 			Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
 			MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
+			Timeout:   *fabricTimeout,
 			Scheduler: *fabricSched,
 			Parallel:  *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
-		})
+		}
+		var err error
+		if *chaosMode {
+			var rates []float64
+			if rates, err = parseRates(*chaosRates); err == nil {
+				err = chaosBench(os.Stdout, chaosBenchConfig{
+					fabricBenchConfig: cfg, Rates: rates, Cycle: *chaosCycle,
+				})
+			}
+		} else {
+			err = fabricBench(os.Stdout, cfg)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
 			os.Exit(1)

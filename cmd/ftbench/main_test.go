@@ -1,11 +1,14 @@
 package main
 
 import (
+	"errors"
 	"os"
 	"path/filepath"
 	"strings"
 	"testing"
 	"time"
+
+	"repro/internal/fabric"
 )
 
 func TestWriteFilesCSVAndJSON(t *testing.T) {
@@ -65,6 +68,76 @@ func TestFabricBenchParallel(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "engine racy/w4 threshold=4") {
 		t.Errorf("summary missing engine line:\n%s", out.String())
+	}
+}
+
+func TestFabricBenchTimeoutFailsWedgedRun(t *testing.T) {
+	// A huge batch threshold with a long flush timer wedges admission:
+	// the lone request sits in the epoch queue past its AdmitTimeout.
+	// The run must fail with ErrAdmitTimeout instead of hanging.
+	var out strings.Builder
+	err := fabricBench(&out, fabricBenchConfig{
+		Levels: 2, Children: 4, Parents: 4,
+		Clients: 1, Batch: 1 << 20, Open: 1,
+		MaxWait: time.Hour, Duration: 200 * time.Millisecond, Seed: 1,
+		Timeout: 5 * time.Millisecond,
+	})
+	if err == nil {
+		t.Fatal("wedged run reported success")
+	}
+	if !errors.Is(err, fabric.ErrAdmitTimeout) {
+		t.Fatalf("err = %v, want ErrAdmitTimeout", err)
+	}
+}
+
+func TestChaosBench(t *testing.T) {
+	var out strings.Builder
+	err := chaosBench(&out, chaosBenchConfig{
+		fabricBenchConfig: fabricBenchConfig{
+			Levels: 3, Children: 4, Parents: 2,
+			Clients: 8, Batch: 4, Open: 2,
+			MaxWait: 200 * time.Microsecond, Duration: 120 * time.Millisecond, Seed: 1,
+		},
+		Rates: []float64{0, 0.08},
+		Cycle: 5 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"chaos FT(3,4,2)", "rate", "sched", "0.000", "0.080"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("chaos summary missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestParseRates(t *testing.T) {
+	rates, err := parseRates(" 0, 0.01,0.1 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rates) != 3 || rates[0] != 0 || rates[1] != 0.01 || rates[2] != 0.1 {
+		t.Fatalf("rates = %v", rates)
+	}
+	for _, bad := range []string{"", "x", "-0.1", "1.5", ","} {
+		if _, err := parseRates(bad); err == nil {
+			t.Errorf("parseRates(%q) accepted", bad)
+		}
+	}
+}
+
+func TestChaosBenchValidation(t *testing.T) {
+	base := fabricBenchConfig{Levels: 2, Children: 4, Parents: 4,
+		Clients: 1, Open: 1, Duration: time.Millisecond}
+	if err := chaosBench(os.Stdout, chaosBenchConfig{fabricBenchConfig: base, Rates: nil, Cycle: time.Millisecond}); err == nil {
+		t.Error("empty rates accepted")
+	}
+	if err := chaosBench(os.Stdout, chaosBenchConfig{fabricBenchConfig: base, Rates: []float64{0.1}}); err == nil {
+		t.Error("zero cycle accepted")
+	}
+	if err := chaosBench(os.Stdout, chaosBenchConfig{Rates: []float64{0.1}, Cycle: time.Millisecond}); err == nil {
+		t.Error("zero clients accepted")
 	}
 }
 

@@ -21,9 +21,14 @@
 //	POST /connect  {"src":0,"dst":37}   → 200 {"id":1,"src":0,"dst":37,"ports":[2,0,1]}
 //	                                      409 {"error":"unroutable","fail_level":1}
 //	POST /release  {"id":1}             → 200 {"id":1,"released":true}
+//	POST /fault    {"links":[{"level":0,"switch":1,"port":2}]}
+//	                                    → 200 {"failed":2,"revoked":1} (inject faults)
+//	POST /fault    {"repair":true,"links":[...]} → repair those components
+//	POST /fault    {"repair":true}      → repair everything
+//	GET  /faults                        → 200 current fault set + degraded capacity
 //	GET  /stats                         → 200 fabric counters + epoch distributions
-//	                                          + per-epoch engine choice
-//	GET  /healthz                       → 200 {"status":"ok",...} liveness probe
+//	                                          + engine choice + revoke/repair counters
+//	GET  /healthz                       → 200 {"status":"ok"|"degraded",...} liveness probe
 //
 // SIGINT/SIGTERM drain in-flight requests, flush the admission queue
 // through a final epoch, and exit.
@@ -45,6 +50,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
@@ -132,6 +138,8 @@ func (s *server) routes() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /connect", s.handleConnect)
 	mux.HandleFunc("POST /release", s.handleRelease)
+	mux.HandleFunc("POST /fault", s.handleFault)
+	mux.HandleFunc("GET /faults", s.handleFaults)
 	mux.HandleFunc("GET /stats", s.handleStats)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	if s.enablePprof {
@@ -224,6 +232,78 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, releaseResponse{ID: req.ID, Released: true})
 }
 
+// faultRequest is the POST /fault body: a faults.FaultSet (links and
+// switches) plus the repair switch. With repair=false the set is
+// injected; with repair=true it is healed — or, when the set is empty,
+// everything is healed.
+type faultRequest struct {
+	faults.FaultSet
+	Repair bool `json:"repair,omitempty"`
+}
+
+type faultResponse struct {
+	// Failed/Revoked report an injection: channels newly taken out of
+	// service and granted connections sent to the repair loop.
+	Failed  int `json:"failed,omitempty"`
+	Revoked int `json:"revoked,omitempty"`
+	// Repaired reports a repair: channels returned to service.
+	Repaired int `json:"repaired,omitempty"`
+}
+
+func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
+	var req faultRequest
+	if err := json.NewDecoder(r.Body).Decode(&req); err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
+		return
+	}
+	if req.Repair {
+		if req.FaultSet.Empty() {
+			writeJSON(w, http.StatusOK, faultResponse{Repaired: s.fab.RepairAll()})
+			return
+		}
+		repaired, err := s.fab.Repair(&req.FaultSet)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Repaired: repaired})
+		return
+	}
+	if req.FaultSet.Empty() {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fault set (name links or switches, or set repair)"})
+		return
+	}
+	failed, revoked, err := s.fab.Fail(&req.FaultSet)
+	if err != nil {
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+		return
+	}
+	writeJSON(w, http.StatusOK, faultResponse{Failed: failed, Revoked: revoked})
+}
+
+// faultsResponse is the GET /faults body: the current fault set in
+// canonical link form with the capacity headline.
+type faultsResponse struct {
+	FaultyChannels   int                `json:"faulty_channels"`
+	DegradedCapacity float64            `json:"degraded_capacity"`
+	PendingRepairs   int64              `json:"pending_repairs"`
+	Links            []faults.LinkFault `json:"links"`
+}
+
+func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	st := s.fab.Stats()
+	fs := s.fab.Faults()
+	if fs.Links == nil {
+		fs.Links = []faults.LinkFault{} // render [] rather than null
+	}
+	writeJSON(w, http.StatusOK, faultsResponse{
+		FaultyChannels:   st.FaultyChannels,
+		DegradedCapacity: st.DegradedCapacity,
+		PendingRepairs:   st.PendingRepairs,
+		Links:            fs.Links,
+	})
+}
+
 // statsResponse wraps the fabric snapshot with server-side context; the
 // embedded fabric.Stats shares its field layout with ftsched -json.
 type statsResponse struct {
@@ -239,24 +319,36 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, statsResponse{Tree: s.tree.String(), Open: open, Stats: s.fab.Stats()})
 }
 
-// healthzResponse is the liveness-probe body: always "ok" while the
-// process serves, with enough context to identify the instance.
+// healthzResponse is the liveness-probe body: "ok" on a healthy fabric,
+// "degraded" while any channel is failed (still HTTP 200 — a degraded
+// fabric serves; capacity tells the prober how much is left).
 type healthzResponse struct {
-	Status     string `json:"status"`
-	Tree       string `json:"tree"`
-	Open       int    `json:"open"`
-	QueueDepth int    `json:"queue_depth"`
+	Status           string  `json:"status"`
+	Tree             string  `json:"tree"`
+	Open             int     `json:"open"`
+	QueueDepth       int     `json:"queue_depth"`
+	FaultyChannels   int     `json:"faulty_channels,omitempty"`
+	DegradedCapacity float64 `json:"degraded_capacity"`
+	PendingRepairs   int64   `json:"pending_repairs,omitempty"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	open := len(s.open)
 	s.mu.Unlock()
+	st := s.fab.Stats()
+	status := "ok"
+	if st.FaultyChannels > 0 {
+		status = "degraded"
+	}
 	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:     "ok",
-		Tree:       s.tree.String(),
-		Open:       open,
-		QueueDepth: s.fab.Stats().QueueDepth,
+		Status:           status,
+		Tree:             s.tree.String(),
+		Open:             open,
+		QueueDepth:       st.QueueDepth,
+		FaultyChannels:   st.FaultyChannels,
+		DegradedCapacity: st.DegradedCapacity,
+		PendingRepairs:   st.PendingRepairs,
 	})
 }
 

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/faults"
 	"repro/internal/topology"
 )
 
@@ -276,4 +277,133 @@ func postJSON0(url string, body any, out any) int {
 		}
 	}
 	return resp.StatusCode
+}
+
+// TestFaultEndpoints drives the fault-injection surface end to end:
+// inject over HTTP, watch a held connection get revoked and repaired,
+// read the degraded health, then heal and confirm recovery.
+func TestFaultEndpoints(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	fab, err := fabric.New(fabric.Config{
+		Tree:          tree,
+		BatchSize:     1,
+		MaxWait:       200 * time.Microsecond,
+		RepairBackoff: 500 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newServer(fab, tree).routes())
+	t.Cleanup(func() {
+		ts.Close()
+		fab.Close(context.Background())
+	})
+
+	var conn connectResponse
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: tree.Nodes() - 1}, &conn); code != http.StatusOK {
+		t.Fatalf("connect status %d", code)
+	}
+
+	// Kill the link the connection climbs through.
+	var fr faultResponse
+	body := faultRequest{FaultSet: faults.FaultSet{Links: []faults.LinkFault{
+		{Level: 0, Switch: 0, Port: conn.Ports[0]},
+	}}}
+	if code := postJSON(t, ts.URL+"/fault", body, &fr); code != http.StatusOK {
+		t.Fatalf("fault status %d", code)
+	}
+	if fr.Failed != 2 || fr.Revoked != 1 {
+		t.Fatalf("fault response %+v, want failed=2 revoked=1", fr)
+	}
+
+	// Degraded health while the faults stand.
+	var hz healthzResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "degraded" || hz.FaultyChannels != 2 || hz.DegradedCapacity >= 1.0 {
+		t.Fatalf("degraded healthz %+v", hz)
+	}
+	var fl faultsResponse
+	getJSON(t, ts.URL+"/faults", &fl)
+	if fl.FaultyChannels != 2 || len(fl.Links) != 1 || fl.Links[0].Port != conn.Ports[0] {
+		t.Fatalf("faults body %+v", fl)
+	}
+
+	// The repair loop re-admits the revoked connection around the fault.
+	deadline := time.Now().Add(5 * time.Second)
+	for fab.Stats().Repaired < 1 {
+		if time.Now().After(deadline) {
+			t.Fatal("repair did not complete within 5s")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Revoked != 1 || st.Repaired != 1 || st.FaultyChannels != 2 {
+		t.Fatalf("stats after repair %+v", st)
+	}
+
+	// Heal everything; health returns to ok and the handle releases.
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Repair: true}, &fr); code != http.StatusOK || fr.Repaired != 2 {
+		t.Fatalf("repair-all status %d resp %+v", code, fr)
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.DegradedCapacity != 1.0 {
+		t.Fatalf("healed healthz %+v", hz)
+	}
+	if code := postJSON(t, ts.URL+"/release", releaseRequest{ID: conn.ID}, nil); code != http.StatusOK {
+		t.Fatalf("release after repair status %d", code)
+	}
+}
+
+// TestFaultEndpointValidation pins the error paths: malformed JSON,
+// out-of-range components, and the empty injection body.
+func TestFaultEndpointValidation(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 4, 4)
+
+	resp, err := http.Post(ts.URL+"/fault", "application/json", bytes.NewReader([]byte("{")))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("malformed fault body status %d", resp.StatusCode)
+	}
+
+	var er errorResponse
+	bad := faultRequest{FaultSet: faults.FaultSet{Links: []faults.LinkFault{{Level: 9, Switch: 0, Port: 0}}}}
+	if code := postJSON(t, ts.URL+"/fault", bad, &er); code != http.StatusBadRequest || er.Error == "" {
+		t.Errorf("out-of-range fault: status %d body %+v", code, er)
+	}
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{}, &er); code != http.StatusBadRequest {
+		t.Errorf("empty injection: status %d", code)
+	}
+	// GET /faults on a healthy fabric renders an empty list, not null.
+	resp, err = http.Get(ts.URL + "/faults")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	var raw map[string]any
+	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
+		t.Fatal(err)
+	}
+	if links, ok := raw["links"].([]any); !ok || len(links) != 0 {
+		t.Errorf("healthy /faults links = %v, want []", raw["links"])
+	}
+}
+
+// getJSON fetches and decodes a GET endpoint.
+func getJSON(t *testing.T, url string, out any) {
+	t.Helper()
+	resp, err := http.Get(url)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET %s status %d", url, resp.StatusCode)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		t.Fatal(err)
+	}
 }

@@ -85,8 +85,8 @@ func main() {
 			for p := 0; p < tree.Parents(); p++ {
 				count++
 				if count%failEvery == 0 {
-					stf.MarkFailed(linkstate.Up, h, idx, p)
-					stf.MarkFailed(linkstate.Down, h, idx, p)
+					stf.FailLink(linkstate.Up, h, idx, p)
+					stf.FailLink(linkstate.Down, h, idx, p)
 				}
 			}
 		}

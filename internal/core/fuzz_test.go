@@ -55,8 +55,8 @@ func FuzzScheduleWithFailures(f *testing.F) {
 			h := int(failData[i]) % tree.LinkLevels()
 			idx := int(failData[i+1]) % tree.SwitchesAt(h)
 			p := int(failData[i+2]) % tree.Parents()
-			st.MarkFailed(linkstate.Up, h, idx, p)
-			st.MarkFailed(linkstate.Down, h, idx, p)
+			st.FailLink(linkstate.Up, h, idx, p)
+			st.FailLink(linkstate.Down, h, idx, p)
 		}
 		var reqs []Request
 		for i := 0; i+1 < len(reqData) && len(reqs) < 64; i += 2 {
@@ -80,8 +80,8 @@ func FuzzScheduleWithFailures(f *testing.F) {
 			h := int(failData[i]) % tree.LinkLevels()
 			idx := int(failData[i+1]) % tree.SwitchesAt(h)
 			p := int(failData[i+2]) % tree.Parents()
-			check.MarkFailed(linkstate.Up, h, idx, p)
-			check.MarkFailed(linkstate.Down, h, idx, p)
+			check.FailLink(linkstate.Up, h, idx, p)
+			check.FailLink(linkstate.Down, h, idx, p)
 		}
 		for _, o := range res.Outcomes {
 			if o.Granted && o.H > 0 {

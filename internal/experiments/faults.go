@@ -68,8 +68,8 @@ func injectFailures(st *linkstate.State, frac float64, seed int64) {
 		for idx := 0; idx < tree.SwitchesAt(h); idx++ {
 			for p := 0; p < tree.Parents(); p++ {
 				if rng.Float64() < frac {
-					st.MarkFailed(linkstate.Up, h, idx, p)
-					st.MarkFailed(linkstate.Down, h, idx, p)
+					st.FailLink(linkstate.Up, h, idx, p)
+					st.FailLink(linkstate.Down, h, idx, p)
 				}
 			}
 		}

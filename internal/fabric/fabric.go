@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/faults"
 	"repro/internal/linkstate"
 	"repro/internal/parsched"
 	"repro/internal/sched"
@@ -51,9 +52,11 @@ import (
 
 // Defaults used by New when the corresponding Config field is zero.
 const (
-	DefaultBatchSize  = 32
-	DefaultMaxWait    = 2 * time.Millisecond
-	DefaultQueueLimit = 1024
+	DefaultBatchSize     = 32
+	DefaultMaxWait       = 2 * time.Millisecond
+	DefaultQueueLimit    = 1024
+	DefaultRepairRetries = 8
+	DefaultRepairBackoff = 2 * time.Millisecond
 )
 
 // Sentinel errors returned by Connect and Release. Scheduler denials are
@@ -64,6 +67,18 @@ var (
 	ErrReleased     = errors.New("fabric: handle already released")
 	ErrUnroutable   = errors.New("fabric: unroutable")
 )
+
+// ErrDraining is returned by Connect while Close is in progress, so
+// clients can tell shutdown from backpressure (a full queue blocks; a
+// draining manager refuses). It wraps ErrClosed: existing
+// errors.Is(err, ErrClosed) checks keep matching.
+var ErrDraining = fmt.Errorf("fabric: draining (shutting down, not backpressure): %w", ErrClosed)
+
+// ErrUnroutableDegraded is the terminal verdict of the repair loop: a
+// revoked connection could not be re-admitted on the degraded fabric
+// within Config.RepairRetries attempts. Handle.Err reports it and a
+// Release of the dead handle returns it.
+var ErrUnroutableDegraded = errors.New("fabric: unroutable on degraded fabric")
 
 // UnroutableError reports a scheduler denial: no conflict-free path
 // existed for the request in its epoch. FailLevel is the level of the
@@ -130,6 +145,15 @@ type Config struct {
 	// (always conflict-free). The default deterministic mode returns
 	// bit-identical results to sequential scheduling.
 	ParallelRacy bool
+	// RepairRetries bounds how many scheduling attempts a revoked
+	// connection gets before the repair is abandoned with
+	// ErrUnroutableDegraded (default DefaultRepairRetries).
+	RepairRetries int
+	// RepairBackoff is the base delay between repair attempts; attempt k
+	// (0-based) waits RepairBackoff << k before re-entering the epoch
+	// queue (default DefaultRepairBackoff). The first attempt is
+	// immediate: a revoked connection joins the very next epoch.
+	RepairBackoff time.Duration
 }
 
 // EventKind classifies a Trace event.
@@ -141,6 +165,13 @@ const (
 	EventReject
 	EventRelease
 	EventCancel
+	// EventRevoke records a fault taking down a granted connection: its
+	// healthy channels returned to the fabric, the handle entering the
+	// repair loop. Ports are the route it held.
+	EventRevoke
+	// EventRepair records a successful re-admission of a revoked
+	// connection; Ports are the new route.
+	EventRepair
 )
 
 // String names the kind.
@@ -154,6 +185,10 @@ func (k EventKind) String() string {
 		return "release"
 	case EventCancel:
 		return "cancel"
+	case EventRevoke:
+		return "revoke"
+	case EventRepair:
+		return "repair"
 	default:
 		return fmt.Sprintf("EventKind(%d)", int(k))
 	}
@@ -178,12 +213,18 @@ const (
 	ticketCancelled
 )
 
-// ticket is one queued Connect call.
+// ticket is one queued Connect call — or, when h is non-nil, one repair
+// attempt for a revoked connection. Repair tickets ride the same epoch
+// queue but hold no queue slot (they never displace client admissions),
+// have no resp channel (nobody is blocked on them; the verdict mutates
+// the handle), and are claimed by handle state rather than the CAS
+// (Release of a repairing handle is their cancellation path).
 type ticket struct {
 	req   core.Request
 	enq   time.Time
 	state atomic.Int32
 	resp  chan result // buffered(1): the flusher's send never blocks
+	h     *Handle     // repair tickets only
 }
 
 type result struct {
@@ -199,13 +240,33 @@ type delivery struct {
 	r result
 }
 
+// Handle lifecycle states (guarded by the manager's mu). A handle is
+// born active; a fault crossing its route revokes it to repairing (its
+// channels returned, a repair ticket queued); a successful re-admission
+// returns it to active on a new route; exhausting Config.RepairRetries,
+// manager shutdown, or the owner's Release while repairing kills it.
+const (
+	handleActive int32 = iota
+	handleRepairing
+	handleDead
+)
+
 // Handle is a granted connection. Release it through Manager.Release
-// (or its Release method) exactly once.
+// (or its Release method) exactly once. A fault on its route may revoke
+// and transparently re-admit it (the route — Ports — changes); Err
+// reports whether the connection was lost for good.
 type Handle struct {
 	m        *Manager
 	src, dst int
-	ports    []int
 	released atomic.Bool
+
+	// Guarded by m.mu: the repair loop rewrites the route and walks the
+	// state machine above.
+	ports     []int
+	state     int32
+	attempts  int       // repair scheduling attempts so far
+	revokedAt time.Time // when the current repair began
+	repairErr error     // terminal cause once state == handleDead
 }
 
 // Src returns the source node.
@@ -216,7 +277,30 @@ func (h *Handle) Dst() int { return h.dst }
 
 // Ports returns a copy of the upward port choices, one per level below
 // the common ancestor (empty when both endpoints share a level-0 switch).
-func (h *Handle) Ports() []int { return append([]int(nil), h.ports...) }
+// The route changes when a fault revokes the connection and the repair
+// loop re-admits it; a repairing or dead handle has no route.
+func (h *Handle) Ports() []int {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return append([]int(nil), h.ports...)
+}
+
+// Err reports why the connection died: ErrUnroutableDegraded after the
+// repair loop gave up, ErrClosed if the manager shut down mid-repair,
+// nil while the handle is alive (active or repairing).
+func (h *Handle) Err() error {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.repairErr
+}
+
+// Repairing reports whether the handle is currently revoked and waiting
+// on the repair loop.
+func (h *Handle) Repairing() bool {
+	h.m.mu.Lock()
+	defer h.m.mu.Unlock()
+	return h.state == handleRepairing
+}
 
 // Release returns the connection's channels to the fabric.
 func (h *Handle) Release() error { return h.m.Release(h) }
@@ -239,12 +323,18 @@ type Manager struct {
 	done    chan struct{} // flusher exited
 	closeMu sync.Once
 
-	mu         sync.Mutex // guards st, pending, oldest, closed, lastEngine
+	mu         sync.Mutex // guards st, pending, oldest, closed, lastEngine, conns, failed, handle fields
 	st         *linkstate.State
 	pending    []*ticket
 	oldest     time.Time // enqueue time of pending[0]
 	closed     bool
 	lastEngine string // scheduler that ran the most recent epoch
+	// conns registers every live handle (active or repairing) so fault
+	// injection can find the connections a failed component strands.
+	conns map[*Handle]struct{}
+	// failed is the current fault set at channel granularity, mirroring
+	// the linkstate fault mask.
+	failed map[faults.Channel]struct{}
 
 	// Flusher-owned epoch buffers, reused across flushes so steady-state
 	// epochs allocate only the Handles they grant.
@@ -257,9 +347,19 @@ type Manager struct {
 	seqEpochs, parEpochs                  atomic.Uint64
 	active                                atomic.Int64
 
-	histMu    sync.Mutex
-	epochSize ring
-	epochLat  ring
+	// Repair-loop counters: every revocation ends in exactly one of
+	// repaired, repairFailed (retries exhausted), or repairAborted
+	// (shutdown or owner release mid-repair); pendingRepairs tracks the
+	// in-flight difference.
+	revoked, repaired           atomic.Uint64
+	repairFailed, repairAborted atomic.Uint64
+	pendingRepairs              atomic.Int64
+
+	histMu      sync.Mutex
+	epochSize   ring
+	epochLat    ring
+	repairLat   ring // revoke → successful re-admission, milliseconds
+	repairDepth ring // scheduling attempts per successful repair
 }
 
 // New validates the config, applies defaults, and starts the manager's
@@ -279,6 +379,12 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.QueueLimit < cfg.BatchSize {
 		cfg.QueueLimit = cfg.BatchSize
+	}
+	if cfg.RepairRetries <= 0 {
+		cfg.RepairRetries = DefaultRepairRetries
+	}
+	if cfg.RepairBackoff <= 0 {
+		cfg.RepairBackoff = DefaultRepairBackoff
 	}
 	var eng sched.Engine
 	switch {
@@ -317,8 +423,12 @@ func New(cfg Config) (*Manager, error) {
 		closing:      make(chan struct{}),
 		done:         make(chan struct{}),
 		st:           linkstate.New(cfg.Tree),
+		conns:        make(map[*Handle]struct{}),
+		failed:       make(map[faults.Channel]struct{}),
 		epochSize:    newRing(4096),
 		epochLat:     newRing(4096),
+		repairLat:    newRing(4096),
+		repairDepth:  newRing(4096),
 	}
 	go m.flusher()
 	return m, nil
@@ -340,7 +450,9 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 		defer timer.Stop()
 		deadline = timer.C
 	}
-	// Backpressure: a full queue blocks here until a slot frees.
+	// Backpressure: a full queue blocks here until a slot frees. A
+	// draining manager refuses with ErrDraining so callers can tell
+	// shutdown from a momentarily full queue.
 	select {
 	case m.slots <- struct{}{}:
 	case <-ctx.Done():
@@ -351,7 +463,7 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 		return nil, ErrAdmitTimeout
 	case <-m.closing:
 		m.overflow.Add(1)
-		return nil, ErrClosed
+		return nil, ErrDraining
 	}
 	t := &ticket{
 		req:  core.Request{Src: src, Dst: dst},
@@ -363,7 +475,7 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 		m.mu.Unlock()
 		<-m.slots
 		m.overflow.Add(1)
-		return nil, ErrClosed
+		return nil, ErrDraining
 	}
 	if len(m.pending) == 0 {
 		m.oldest = t.enq
@@ -400,6 +512,12 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 // idempotent-unsafe by design: a second Release of the same handle
 // returns ErrReleased without touching the state. Release keeps working
 // after Close so clients can drain held circuits during shutdown.
+//
+// Releasing a handle the repair loop is re-admitting cancels the repair
+// (its channels were already returned at revocation) and returns nil;
+// releasing a handle the repair loop already gave up on returns the
+// terminal cause (matching ErrUnroutableDegraded or ErrClosed), so a
+// drain loop learns which connections the faults took down.
 func (m *Manager) Release(h *Handle) error {
 	if h == nil {
 		return errors.New("fabric: nil handle")
@@ -411,7 +529,24 @@ func (m *Manager) Release(h *Handle) error {
 		return ErrReleased
 	}
 	m.mu.Lock()
+	switch h.state {
+	case handleRepairing:
+		// The route was torn down at revocation; dropping the handle from
+		// conns and marking it dead starves the queued repair ticket (and
+		// any pending backoff timer), which is the cancellation.
+		h.state = handleDead
+		delete(m.conns, h)
+		m.pendingRepairs.Add(-1)
+		m.repairAborted.Add(1)
+		m.mu.Unlock()
+		return nil
+	case handleDead:
+		err := h.repairErr
+		m.mu.Unlock()
+		return err
+	}
 	err := m.st.ReleasePath(h.src, h.dst, h.ports)
+	delete(m.conns, h)
 	if err == nil && m.cfg.Trace != nil {
 		m.cfg.Trace(Event{Kind: EventRelease, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
 	}
@@ -510,6 +645,15 @@ func (m *Manager) flushLocked() []delivery {
 	batch := m.pending
 	live := m.livebuf[:0]
 	for _, t := range batch {
+		if t.h != nil {
+			// Repair ticket: live while its handle still wants repairing
+			// (Release of the handle is the cancellation path). It holds no
+			// queue slot and nobody is waiting on a resp channel.
+			if t.h.state == handleRepairing {
+				live = append(live, t)
+			}
+			continue
+		}
 		if t.state.CompareAndSwap(ticketWaiting, ticketClaimed) {
 			live = append(live, t)
 		} else if m.cfg.Trace != nil {
@@ -517,8 +661,10 @@ func (m *Manager) flushLocked() []delivery {
 			m.cfg.Trace(Event{Kind: EventCancel, Src: t.req.Src, Dst: t.req.Dst, FailLevel: -1})
 		}
 	}
-	for range batch {
-		<-m.slots // every departed ticket frees its queue slot
+	for _, t := range batch {
+		if t.h == nil {
+			<-m.slots // every departed client ticket frees its queue slot
+		}
 	}
 	// Recycle the queue's backing array: tickets travel on via live and
 	// the staged deliveries, never through batch, so Connect may append
@@ -550,10 +696,15 @@ func (m *Manager) flushLocked() []delivery {
 	dels := m.delbuf[:0]
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
+		if t := live[i]; t.h != nil {
+			m.repairVerdictLocked(t, o, epoch)
+			continue
+		}
 		if o.Granted {
 			// The outcome's Ports alias the scheduler's reusable arena; the
 			// Handle owns its ports for the connection's lifetime, so copy.
 			h := &Handle{m: m, src: o.Src, dst: o.Dst, ports: append([]int(nil), o.Ports...)}
+			m.conns[h] = struct{}{}
 			m.granted.Add(1)
 			m.active.Add(1)
 			if m.cfg.Trace != nil {

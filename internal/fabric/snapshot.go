@@ -98,6 +98,23 @@ type Stats struct {
 	ParallelWorkers   int    `json:"parallel_workers,omitempty"`
 	ParallelMode      string `json:"parallel_mode,omitempty"`
 	LastEpochEngine   string `json:"last_epoch_engine,omitempty"`
+	// Fault and repair observability. Every revocation resolves into
+	// exactly one of Repaired, RepairFailed (retries exhausted →
+	// ErrUnroutableDegraded), or RepairAborted (shutdown or owner release
+	// mid-repair); PendingRepairs is the in-flight difference.
+	// FaultyChannels counts currently failed channels; DegradedCapacity
+	// is the fraction of channels still in service (1.0 when healthy).
+	Revoked          uint64  `json:"revoked"`
+	Repaired         uint64  `json:"repaired"`
+	RepairFailed     uint64  `json:"repair_failed"`
+	RepairAborted    uint64  `json:"repair_aborted"`
+	PendingRepairs   int64   `json:"pending_repairs"`
+	FaultyChannels   int     `json:"faulty_channels"`
+	DegradedCapacity float64 `json:"degraded_capacity"`
+	// RepairLatencyMS and RepairDepth summarize the last ≤4096 successful
+	// repairs: revoke-to-readmission latency and scheduling attempts used.
+	RepairLatencyMS Dist `json:"repair_latency_ms"`
+	RepairDepth     Dist `json:"repair_depth"`
 }
 
 // Stats returns a snapshot of the manager's counters, queue, epoch
@@ -107,10 +124,17 @@ func (m *Manager) Stats() Stats {
 	util := m.st.Utilization()
 	depth := len(m.pending)
 	lastEngine := m.lastEngine
+	faulty := len(m.failed)
+	capacity := 1.0
+	if total := m.st.ChannelCount(); total > 0 {
+		capacity = float64(total-m.st.FailedCount()) / float64(total)
+	}
 	m.mu.Unlock()
 	m.histMu.Lock()
 	size := distOf(m.epochSize.samples())
 	lat := distOf(m.epochLat.samples())
+	repLat := distOf(m.repairLat.samples())
+	repDepth := distOf(m.repairDepth.samples())
 	m.histMu.Unlock()
 	return Stats{
 		Offered:        m.offered.Load(),
@@ -132,6 +156,16 @@ func (m *Manager) Stats() Stats {
 		ParallelWorkers:   parWorkers(m.par),
 		ParallelMode:      parMode(m.par),
 		LastEpochEngine:   lastEngine,
+
+		Revoked:          m.revoked.Load(),
+		Repaired:         m.repaired.Load(),
+		RepairFailed:     m.repairFailed.Load(),
+		RepairAborted:    m.repairAborted.Load(),
+		PendingRepairs:   m.pendingRepairs.Load(),
+		FaultyChannels:   faulty,
+		DegradedCapacity: capacity,
+		RepairLatencyMS:  repLat,
+		RepairDepth:      repDepth,
 	}
 }
 

@@ -1,0 +1,273 @@
+package faults
+
+import (
+	"encoding/json"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/linkstate"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	fs := &FaultSet{
+		Links: []LinkFault{
+			{Level: 1, Switch: 2, Port: 3},
+			{Level: 0, Switch: 0, Port: 1, Direction: Up},
+			{Level: 2, Switch: 5, Port: 0, Direction: Down},
+		},
+		Switches: []SwitchFault{{Level: 1, Switch: 4}},
+	}
+	data, err := json.Marshal(fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back FaultSet
+	if err := json.Unmarshal(data, &back); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(fs, &back) {
+		t.Fatalf("round trip mutated the set:\n  sent %+v\n  got  %+v", fs, &back)
+	}
+	// The wire format the HTTP API documents: lowercase keys, direction
+	// omitted for Both, spellable by hand in a curl body.
+	var hand FaultSet
+	if err := json.Unmarshal([]byte(`{"links":[{"level":1,"switch":2,"port":3,"direction":"up"}]}`), &hand); err != nil {
+		t.Fatal(err)
+	}
+	if len(hand.Links) != 1 || hand.Links[0].Direction != Up {
+		t.Fatalf("hand-written JSON parsed as %+v", hand)
+	}
+	if err := json.Unmarshal([]byte(`{"links":[{"level":0,"switch":0,"port":0,"direction":"sideways"}]}`), &hand); err == nil {
+		t.Fatal("invalid direction accepted")
+	}
+}
+
+func TestEmptyFaultSet(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	var nilSet *FaultSet
+	if !nilSet.Empty() || !(&FaultSet{}).Empty() {
+		t.Fatal("nil or zero FaultSet not Empty")
+	}
+	if err := nilSet.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+	if got := nilSet.Channels(tree); got != nil {
+		t.Fatalf("empty set expanded to %v", got)
+	}
+	st := linkstate.New(tree)
+	if n := (&FaultSet{}).Apply(st); n != 0 {
+		t.Fatalf("empty Apply failed %d channels", n)
+	}
+	if !st.Equal(linkstate.New(tree)) {
+		t.Fatal("empty Apply mutated state")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	bad := []FaultSet{
+		{Links: []LinkFault{{Level: 2, Switch: 0, Port: 0}}},  // link level out of range
+		{Links: []LinkFault{{Level: 0, Switch: -1, Port: 0}}}, // negative switch
+		{Links: []LinkFault{{Level: 0, Switch: 0, Port: 4}}},  // port >= w
+		{Switches: []SwitchFault{{Level: 2, Switch: 0}}},      // switch level out of range
+		{Switches: []SwitchFault{{Level: 0, Switch: 99}}},     // switch index out of range
+	}
+	for i, fs := range bad {
+		if err := fs.Validate(tree); err == nil {
+			t.Fatalf("case %d: invalid set %+v passed Validate", i, fs)
+		}
+	}
+	ok := FaultSet{
+		Links:    []LinkFault{{Level: 0, Switch: 3, Port: 3, Direction: Down}},
+		Switches: []SwitchFault{{Level: 1, Switch: 0}},
+	}
+	if err := ok.Validate(tree); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestLinkChannels checks direction handling and dedup for plain link
+// faults.
+func TestLinkChannels(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	fs := &FaultSet{Links: []LinkFault{
+		{Level: 0, Switch: 1, Port: 2},                // both channels
+		{Level: 0, Switch: 1, Port: 2, Direction: Up}, // duplicate of the up half
+		{Level: 1, Switch: 0, Port: 0, Direction: Down},
+	}}
+	got := fs.Channels(tree)
+	expect := []Channel{
+		{Dir: linkstate.Up, Level: 0, Switch: 1, Port: 2},
+		{Dir: linkstate.Down, Level: 0, Switch: 1, Port: 2},
+		{Dir: linkstate.Down, Level: 1, Switch: 0, Port: 0},
+	}
+	if !reflect.DeepEqual(got, expect) {
+		t.Fatalf("Channels = %v, want %v", got, expect)
+	}
+}
+
+// TestSwitchExpansion pins the incident-link set of a mid-tree switch:
+// w parent-side up-links at its own link level plus m child-side links
+// at the level below, both channels each, and verifies each child-side
+// link really lands on the failed switch by walking the topology.
+func TestSwitchExpansion(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4) // 3 levels so level-1 switches have both sides
+	fs := &FaultSet{Switches: []SwitchFault{{Level: 1, Switch: 5}}}
+	chans := fs.Channels(tree)
+	wantLen := 2 * (tree.Parents() + tree.Children())
+	if len(chans) != wantLen {
+		t.Fatalf("level-1 switch expanded to %d channels, want %d", len(chans), wantLen)
+	}
+	for _, c := range chans {
+		switch c.Level {
+		case 1: // parent-side: must leave switch 5
+			if c.Switch != 5 {
+				t.Fatalf("parent-side channel %v not on the failed switch", c)
+			}
+		case 0: // child-side: climbing this link must arrive at switch 5
+			if up := tree.UpParent(0, c.Switch, c.Port); up != 5 {
+				t.Fatalf("child-side channel %v climbs to switch %d, want 5", c, up)
+			}
+		default:
+			t.Fatalf("channel %v at unexpected level", c)
+		}
+	}
+
+	// A top-level switch has no parent side; a level-0 switch has no
+	// modeled child side (its children are processing nodes).
+	top := &FaultSet{Switches: []SwitchFault{{Level: 2, Switch: 0}}}
+	if got := len(top.Channels(tree)); got != 2*tree.Children() {
+		t.Fatalf("top switch expanded to %d channels, want %d", got, 2*tree.Children())
+	}
+	leaf := &FaultSet{Switches: []SwitchFault{{Level: 0, Switch: 0}}}
+	if got := len(leaf.Channels(tree)); got != 2*tree.Parents() {
+		t.Fatalf("leaf switch expanded to %d channels, want %d", got, 2*tree.Parents())
+	}
+}
+
+func TestApplyIsIdempotent(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	fs := &FaultSet{
+		Links:    []LinkFault{{Level: 0, Switch: 0, Port: 0}},
+		Switches: []SwitchFault{{Level: 1, Switch: 2}},
+	}
+	st := linkstate.New(tree)
+	first := fs.Apply(st)
+	if first != len(fs.Channels(tree)) {
+		t.Fatalf("first Apply failed %d channels, want %d", first, len(fs.Channels(tree)))
+	}
+	if st.FailedCount() != first {
+		t.Fatalf("FailedCount %d after applying %d channels", st.FailedCount(), first)
+	}
+	if again := fs.Apply(st); again != 0 {
+		t.Fatalf("second Apply re-failed %d channels", again)
+	}
+}
+
+func TestGeneratorsDeterministic(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	a, b := Uniform(tree, 0.1, 42), Uniform(tree, 0.1, 42)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("Uniform not deterministic in seed")
+	}
+	if c := Uniform(tree, 0.1, 43); reflect.DeepEqual(a, c) {
+		t.Fatal("Uniform ignores the seed")
+	}
+	if len(a.Links) == 0 {
+		t.Fatal("Uniform(p=0.1) drew no faults on a 3-level tree")
+	}
+	if err := a.Validate(tree); err != nil {
+		t.Fatalf("generated set invalid: %v", err)
+	}
+	if !Uniform(tree, 0, 42).Empty() {
+		t.Fatal("Uniform(p=0) not empty")
+	}
+
+	s1, s2 := CorrelatedSwitches(tree, 0.2, 7), CorrelatedSwitches(tree, 0.2, 7)
+	if !reflect.DeepEqual(s1, s2) {
+		t.Fatal("CorrelatedSwitches not deterministic in seed")
+	}
+	if len(s1.Switches) == 0 {
+		t.Fatal("CorrelatedSwitches(q=0.2) drew no faults")
+	}
+	if err := s1.Validate(tree); err != nil {
+		t.Fatalf("generated switch set invalid: %v", err)
+	}
+}
+
+// TestGoldenEmptyFaultSetBitIdentical is the acceptance-criteria golden
+// test: applying an empty FaultSet leaves every registry engine's output
+// bit-identical — same grants, same ports, same fail levels, same final
+// link state — to a run on an untouched state. Engines run with their
+// default (deterministic) spec; the parallel family's default mode is
+// deterministic, so family names alone are reproducible.
+func TestGoldenEmptyFaultSetBitIdentical(t *testing.T) {
+	shapes := [][3]int{{2, 4, 4}, {3, 4, 2}}
+	for _, info := range sched.List() {
+		for _, dims := range shapes {
+			tree := topology.MustNew(dims[0], dims[1], dims[2])
+			rng := rand.New(rand.NewSource(1234))
+			reqs := make([]core.Request, 60)
+			for i := range reqs {
+				reqs[i] = core.Request{Src: rng.Intn(tree.Nodes()), Dst: rng.Intn(tree.Nodes())}
+			}
+			plain, masked := linkstate.New(tree), linkstate.New(tree)
+			if n := (&FaultSet{}).Apply(masked); n != 0 {
+				t.Fatalf("empty Apply failed %d channels", n)
+			}
+			want := sched.MustParse(info.Family).Schedule(plain, reqs)
+			got := sched.MustParse(info.Family).Schedule(masked, reqs)
+			if got.Granted != want.Granted || got.Total != want.Total {
+				t.Fatalf("%s on FT%v: %d/%d granted with empty mask, want %d/%d",
+					info.Family, dims, got.Granted, got.Total, want.Granted, want.Total)
+			}
+			if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+				t.Fatalf("%s on FT%v: outcomes diverge under an empty FaultSet", info.Family, dims)
+			}
+			if !plain.Equal(masked) {
+				t.Fatalf("%s on FT%v: final link state diverges under an empty FaultSet", info.Family, dims)
+			}
+		}
+	}
+}
+
+// TestDegradedSchedulingRoutesAround checks the diversity argument from
+// the paper actually cashes out: with one of w=4 upward channels failed
+// per level-0 switch, the level-wise scheduler still grants a modest
+// batch by routing around the dead ports, and never routes through a
+// failed channel.
+func TestDegradedSchedulingRoutesAround(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	st := linkstate.New(tree)
+	fs := &FaultSet{}
+	for idx := 0; idx < tree.SwitchesAt(0); idx++ {
+		fs.Links = append(fs.Links, LinkFault{Level: 0, Switch: idx, Port: 0})
+	}
+	fs.Apply(st)
+
+	rng := rand.New(rand.NewSource(9))
+	reqs := make([]core.Request, 8)
+	for i := range reqs {
+		reqs[i] = core.Request{Src: rng.Intn(tree.Nodes()), Dst: rng.Intn(tree.Nodes())}
+	}
+	res := sched.MustParse("level-wise").Schedule(st, reqs)
+	if res.Granted == 0 {
+		t.Fatal("no grants on a fabric with 3 of 4 upward channels healthy")
+	}
+	for i := range res.Outcomes {
+		o := &res.Outcomes[i]
+		if !o.Granted {
+			continue
+		}
+		// Port 0 at link level 0 is failed on every switch; a granted
+		// route climbing through it crossed a dead channel. (Higher
+		// levels are healthy, so only the first hop is constrained.)
+		if len(o.Ports) > 0 && o.Ports[0] == 0 {
+			t.Fatalf("outcome %d routed through failed port 0: ports %v", i, o.Ports)
+		}
+	}
+}

@@ -11,7 +11,7 @@
 //
 // # Invariants
 //
-// Callers rely on three properties, covered by misuse_test.go:
+// Callers rely on these properties, covered by misuse_test.go:
 //
 //   - Allocate of an occupied channel and Release of a free channel fail
 //     without mutating anything — double allocation is always caught.
@@ -19,6 +19,28 @@
 //     it claimed and returns with the state exactly as before the call.
 //   - Distinct States are fully independent (the scratch AND buffer is
 //     per-State), so parallel workers may each own one.
+//
+// # Fault mask
+//
+// A State additionally carries a persistent fault mask, separate from
+// the allocation bits: FailLink takes a channel out of service and
+// RepairLink returns it. The mask is ANDed into availability eagerly —
+// failing a channel clears its Ulink/Dlink bit immediately — so every
+// availability query (AvailBothInto, the atomic variants, raw
+// ULink/DLink rows, Available) sees failed channels as unavailable at
+// zero extra per-query cost, and every scheduler routes around faults
+// unchanged. The mask obeys its own invariants:
+//
+//   - Release of a failed channel is refused: its availability bit is
+//     never resurrected by teardown, so a fault survives the departure
+//     of whatever connection was crossing the link when it died.
+//   - Reset re-opens every healthy channel but keeps failed channels
+//     out of service.
+//   - FailLink forfeits any live allocation on the channel: callers
+//     that track connections (internal/fabric) must revoke holders of a
+//     failed channel; RepairLink returns the channel to service free.
+//   - OccupiedCount and Utilization count allocated channels only —
+//     "dead" (failed) is a distinct category reported by FailedCount.
 //
 // A State is NOT safe for concurrent use of its plain methods.
 // Concurrent callers must either serialize externally — internal/fabric
@@ -66,9 +88,10 @@ type State struct {
 	ulink   []*bitvec.Matrix // per link level: rows = switches at level h
 	dlink   []*bitvec.Matrix
 	scratch bitvec.Vector // reused AND buffer, width w
-	// failedU/failedD mark permanently failed channels (fault-injection
-	// experiments); Reset keeps them unavailable. Nil until the first
-	// MarkFailed call.
+	// failedU/failedD are the fault mask: bit set means the channel is
+	// out of service. Reset keeps masked channels unavailable, Release
+	// refuses to resurrect them, RepairLink clears them. Nil until the
+	// first FailLink call, so fault-free states pay nothing.
 	failedU []*bitvec.Matrix
 	failedD []*bitvec.Matrix
 }
@@ -94,7 +117,7 @@ func New(tree *topology.Tree) *State {
 func (s *State) Tree() *topology.Tree { return s.tree }
 
 // Reset marks every link channel available, except channels failed via
-// MarkFailed, which stay unavailable.
+// FailLink, which stay unavailable.
 func (s *State) Reset() {
 	for h := range s.ulink {
 		s.ulink[h].SetAll()
@@ -108,11 +131,14 @@ func (s *State) Reset() {
 	}
 }
 
-// MarkFailed permanently removes a channel from service: it becomes
-// unavailable now and stays unavailable across Reset. Marking an
-// already-failed channel is a no-op. Fault-injection experiments use
-// this to model broken links.
-func (s *State) MarkFailed(d Direction, h, idx, port int) {
+// FailLink removes a channel from service: it becomes unavailable now,
+// stays unavailable across Reset, and Release refuses to resurrect it.
+// It reports whether the channel was free when it failed; false means a
+// live allocation was forfeited, and callers that track connections
+// (internal/fabric) must revoke the holder — its eventual path release
+// skips the dead channel. Failing an already-failed channel is a no-op
+// (reported as true).
+func (s *State) FailLink(d Direction, h, idx, port int) bool {
 	if s.failedU == nil {
 		s.failedU = make([]*bitvec.Matrix, len(s.ulink))
 		s.failedD = make([]*bitvec.Matrix, len(s.dlink))
@@ -121,13 +147,46 @@ func (s *State) MarkFailed(d Direction, h, idx, port int) {
 			s.failedD[lvl] = bitvec.NewMatrix(s.dlink[lvl].Rows(), s.dlink[lvl].Width())
 		}
 	}
-	if d == Up {
-		s.failedU[h].Row(idx).Set(port)
-		s.ulink[h].Row(idx).Clear(port)
-	} else {
-		s.failedD[h].Row(idx).Set(port)
-		s.dlink[h].Row(idx).Clear(port)
+	mask, avail := s.failedU[h].Row(idx), s.ulink[h].Row(idx)
+	if d == Down {
+		mask, avail = s.failedD[h].Row(idx), s.dlink[h].Row(idx)
 	}
+	if mask.Get(port) {
+		return true
+	}
+	mask.Set(port)
+	wasFree := avail.Get(port)
+	avail.Clear(port)
+	return wasFree
+}
+
+// RepairLink returns a failed channel to service, free. It reports
+// whether the channel was actually failed (repairing a healthy channel
+// is a no-op). Any connection that crossed the link when it failed must
+// have been revoked first — the forfeited allocation is not restored.
+func (s *State) RepairLink(d Direction, h, idx, port int) bool {
+	if !s.Failed(d, h, idx, port) {
+		return false
+	}
+	if d == Up {
+		s.failedU[h].Row(idx).Clear(port)
+		s.ulink[h].Row(idx).Set(port)
+	} else {
+		s.failedD[h].Row(idx).Clear(port)
+		s.dlink[h].Row(idx).Set(port)
+	}
+	return true
+}
+
+// Failed reports whether the channel is out of service.
+func (s *State) Failed(d Direction, h, idx, port int) bool {
+	if s.failedU == nil {
+		return false
+	}
+	if d == Up {
+		return s.failedU[h].Row(idx).Get(port)
+	}
+	return s.failedD[h].Row(idx).Get(port)
 }
 
 // FailedCount returns the number of channels removed from service.
@@ -157,6 +216,12 @@ func (s *State) DLink(h, idx int) bitvec.Vector { return s.dlink[h].Row(idx) }
 // caller owns and which must have width Tree().Parents(). Use this (not
 // AvailBoth) whenever the result must survive a later availability query,
 // and for per-worker scratch in parallel schedulers.
+//
+// The fault mask is already ANDed in: FailLink clears a failed channel's
+// availability bit eagerly, so the two-operand AND here excludes dead
+// channels without a third operand on the hot path (the atomic variant
+// inherits the same property). BenchmarkAvailBothIntoFaulted pins that a
+// masked state costs the same as a healthy one.
 func (s *State) AvailBothInto(dst bitvec.Vector, h, src, mir int) {
 	dst.And(s.ulink[h].Row(src), s.dlink[h].Row(mir))
 }
@@ -193,10 +258,14 @@ func (s *State) matrix(d Direction) []*bitvec.Matrix {
 }
 
 // Allocate marks the channel occupied. It returns an error if the channel
-// is already occupied — schedulers rely on this to catch double allocation.
+// is already occupied — schedulers rely on this to catch double
+// allocation — or failed, with a diagnosis naming which.
 func (s *State) Allocate(d Direction, h, idx, port int) error {
 	row := s.matrix(d)[h].Row(idx)
 	if !row.Get(port) {
+		if s.Failed(d, h, idx, port) {
+			return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d is failed", d, h, idx, port)
+		}
 		return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d already occupied", d, h, idx, port)
 	}
 	row.Clear(port)
@@ -223,7 +292,8 @@ func (s *State) AtomicRelease(d Direction, h, idx, port int) {
 }
 
 // Release marks the channel available. It returns an error if the channel
-// was not occupied or has been failed via MarkFailed.
+// was not occupied or has been failed via FailLink — a fault is never
+// resurrected by teardown; only RepairLink returns a channel to service.
 func (s *State) Release(d Direction, h, idx, port int) error {
 	if s.failedU != nil {
 		failed := s.failedU
@@ -242,8 +312,11 @@ func (s *State) Release(d Direction, h, idx, port int) error {
 	return nil
 }
 
-// OccupiedCount returns the number of occupied channels (both directions)
-// across all levels.
+// OccupiedCount returns the number of allocated channels (both
+// directions) across all levels. Failed channels are dead, not
+// occupied: they are excluded here and reported by FailedCount, so the
+// two categories never blur. (A channel that was allocated when it
+// failed counts as dead from that moment — its allocation is forfeited.)
 func (s *State) OccupiedCount() int {
 	total := 0
 	for h := range s.ulink {
@@ -251,7 +324,7 @@ func (s *State) OccupiedCount() int {
 		total += cap - s.ulink[h].Count()
 		total += cap - s.dlink[h].Count()
 	}
-	return total
+	return total - s.FailedCount()
 }
 
 // ChannelCount returns the total number of channels (2 per physical link).

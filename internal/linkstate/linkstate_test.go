@@ -291,10 +291,10 @@ func BenchmarkSnapshotRestore(b *testing.B) {
 	}
 }
 
-func TestMarkFailedSurvivesReset(t *testing.T) {
+func TestFailLinkSurvivesReset(t *testing.T) {
 	s := newState(t, 3, 4, 4)
-	s.MarkFailed(Up, 0, 2, 1)
-	s.MarkFailed(Down, 1, 5, 3)
+	s.FailLink(Up, 0, 2, 1)
+	s.FailLink(Down, 1, 5, 3)
 	if s.Available(Up, 0, 2, 1) || s.Available(Down, 1, 5, 3) {
 		t.Fatal("failed channels still available")
 	}
@@ -310,15 +310,15 @@ func TestMarkFailedSurvivesReset(t *testing.T) {
 		t.Fatal("Reset lost healthy channels")
 	}
 	// Double-failing is a no-op.
-	s.MarkFailed(Up, 0, 2, 1)
+	s.FailLink(Up, 0, 2, 1)
 	if s.FailedCount() != 2 {
-		t.Fatal("double MarkFailed changed the count")
+		t.Fatal("double FailLink changed the count")
 	}
 }
 
 func TestFailedChannelCannotBeAllocatedOrReleased(t *testing.T) {
 	s := newState(t, 2, 4, 4)
-	s.MarkFailed(Up, 0, 0, 0)
+	s.FailLink(Up, 0, 0, 0)
 	if err := s.Allocate(Up, 0, 0, 0); err == nil {
 		t.Fatal("allocated a failed channel")
 	}
@@ -342,7 +342,7 @@ func TestSchedulingAvoidsFailedLinks(t *testing.T) {
 	s := newState(t, 2, 4, 4)
 	for p := 0; p < 4; p++ {
 		if p != 2 {
-			s.MarkFailed(Up, 0, 0, p)
+			s.FailLink(Up, 0, 0, p)
 		}
 	}
 	avail := s.ULink(0, 0)

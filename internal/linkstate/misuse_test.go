@@ -43,7 +43,7 @@ func TestMisuseReleaseOfFree(t *testing.T) {
 		t.Errorf("failed releases changed occupancy: %d", s.OccupiedCount())
 	}
 	// Releasing a failed channel is also refused.
-	s.MarkFailed(Up, 0, 0, 0)
+	s.FailLink(Up, 0, 0, 0)
 	if err := s.Release(Up, 0, 0, 0); err == nil {
 		t.Error("release of failed channel succeeded")
 	}

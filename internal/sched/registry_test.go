@@ -74,6 +74,33 @@ func TestParseErrors(t *testing.T) {
 	}
 }
 
+func TestParseErrorTextExact(t *testing.T) {
+	// The CLI (-fabric-scheduler) and ftserve surface these verbatim, so
+	// the full text is contract, not just the substrings above.
+	registered := strings.Join(FamilyNames(), ", ")
+	cases := []struct {
+		spec string
+		want string
+	}{
+		{"", "sched: empty scheduler spec (try one of: " + registered + ")"},
+		{"   ", "sched: empty scheduler spec (try one of: " + registered + ")"},
+		{"optimol", `sched: unknown scheduler "optimol" (did you mean optimal?) — registered: ` + registered},
+		{"stael", `sched: unknown scheduler "stael" (did you mean stale?) — registered: ` + registered},
+		{"level-wise,policy=random,policy=first-fit", `sched: level-wise: duplicate parameter "policy"`},
+		{"stale,window=4,window=8", `sched: stale: duplicate parameter "window"`},
+	}
+	for _, c := range cases {
+		_, err := Parse(c.spec)
+		if err == nil {
+			t.Errorf("Parse(%q): expected error, got nil", c.spec)
+			continue
+		}
+		if err.Error() != c.want {
+			t.Errorf("Parse(%q) error text:\n got %q\nwant %q", c.spec, err.Error(), c.want)
+		}
+	}
+}
+
 func TestAliasParamsCompose(t *testing.T) {
 	// Alias expansion must still accept (and validate) extra parameters.
 	e, err := Parse("local-random,retries=3")

@@ -20,10 +20,11 @@ fi
 
 go test -race ./...
 
-# Concurrency-focused pass: re-run the parallel engine and the fabric
-# manager under -race with a doubled count, shaking out interleavings a
-# single full-suite run can miss.
-go test -race -count=2 ./internal/parsched ./internal/fabric
+# Concurrency-focused pass: re-run the parallel engine, the fabric
+# manager (including the fault revoke/re-admit chaos tests), and the
+# fault-injection package under -race with a doubled count, shaking out
+# interleavings a single full-suite run can miss.
+go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults
 
 # Bench smoke: compile and run every benchmark for exactly one iteration
 # so bit-rot in the bench harnesses (including the parallel-engine and
