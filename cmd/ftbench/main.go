@@ -9,6 +9,11 @@
 // With -csv, each figure/table is additionally written as a CSV file into
 // the given directory for external plotting.
 //
+// With -cpuprofile / -memprofile, the run writes pprof profiles (CPU
+// sampled across the whole run, heap snapshotted at exit after a final
+// GC) for `go tool pprof`; they compose with every mode, so the fabric
+// closed-loop generator can be profiled the same way as the paper suite.
+//
 // With -fabric, ftbench instead runs a closed-loop load generator against
 // the concurrent serving layer (internal/fabric) and reports
 // admissions/sec; the -fabric-* flags size the tree, the client pool, and
@@ -25,6 +30,8 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"repro/internal/experiments"
@@ -57,7 +64,21 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection sweep: fabric closed-loop clients plus a seeded mid-run fault/repair schedule")
 	chaosRates := flag.String("chaos-rates", "0,0.01,0.05,0.1", "chaos: comma-separated link failure rates p to sweep")
 	chaosCycle := flag.Duration("chaos-cycle", 20*time.Millisecond, "chaos: fault/repair alternation period")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+		os.Exit(1)
+	}
+	// os.Exit skips deferred calls; route every exit through this so the
+	// CPU profile is flushed and the heap profile written.
+	exit := func(code int) {
+		stopProfiles()
+		os.Exit(code)
+	}
 
 	if *fabricMode || *chaosMode {
 		cfg := fabricBenchConfig{
@@ -68,7 +89,6 @@ func main() {
 			Scheduler: *fabricSched,
 			Parallel:  *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
 		}
-		var err error
 		if *chaosMode {
 			var rates []float64
 			if rates, err = parseRates(*chaosRates); err == nil {
@@ -81,21 +101,21 @@ func main() {
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
-		return
+		exit(0)
 	}
 
 	if *csvDir != "" {
 		if err := writeFiles(*csvDir, ".csv", *perms, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 	if *jsonDir != "" {
 		if err := writeFiles(*jsonDir, ".json", *perms, *seed); err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-			os.Exit(1)
+			exit(1)
 		}
 	}
 
@@ -108,11 +128,49 @@ func main() {
 	})
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
-		os.Exit(1)
+		exit(1)
 	}
 	if len(violations) > 0 {
-		os.Exit(2)
+		exit(2)
 	}
+	exit(0)
+}
+
+// startProfiles enables the requested pprof outputs and returns a stop
+// function that finishes the CPU profile and writes the heap profile;
+// every exit path must call it so the profiles are complete on disk.
+func startProfiles(cpu, mem string) (func(), error) {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			cpuF.Close()
+		}
+		if mem == "" {
+			return
+		}
+		f, err := os.Create(mem)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: memprofile: %v\n", err)
+			return
+		}
+		defer f.Close()
+		runtime.GC() // settle the live heap before the snapshot
+		if err := pprof.WriteHeapProfile(f); err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: memprofile: %v\n", err)
+		}
+	}, nil
 }
 
 // writeFiles exports the core evaluation tables in the given format

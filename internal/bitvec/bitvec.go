@@ -247,6 +247,17 @@ func (m *Matrix) Rows() int { return m.rows }
 // Width reports the per-row bit width.
 func (m *Matrix) Width() int { return m.width }
 
+// WordsPerRow reports how many 64-bit words back each row; 1 means a
+// whole row is a single machine word (width <= 64).
+func (m *Matrix) WordsPerRow() int { return m.wpr }
+
+// Words exposes the matrix's backing storage: row r occupies words
+// [r*WordsPerRow(), (r+1)*WordsPerRow()). The slice aliases the matrix —
+// mutations through it are mutations of the matrix. It exists so
+// single-word callers (linkstate's scheduling fast path) can operate on
+// whole rows without materializing Row vectors.
+func (m *Matrix) Words() []uint64 { return m.words }
+
 // Row returns row r as a Vector sharing the matrix's storage; mutations
 // through the vector update the matrix.
 func (m *Matrix) Row(r int) Vector {

@@ -2,6 +2,7 @@ package core
 
 import (
 	"fmt"
+	"math/bits"
 	"math/rand"
 
 	"repro/internal/bitvec"
@@ -69,9 +70,22 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 	avail := sc.prepAvail(tree)
 	var ops Counters
 
+	// Word fast path: when every availability row is one machine word
+	// (w <= 64), the per-level step collapses to one AND and a
+	// trailing-zeros pick. FirstFit IS lowest-set-bit, so the fast path is
+	// bit-identical to the Vector path (the golden tests pin this); other
+	// policies and tracing need the Vector form.
+	fast := st.WordRows() && s.Opts.Policy == FirstFit && s.Opts.Trace == nil
+
 	if s.Opts.Traversal == RequestMajor {
-		for _, i := range order {
-			s.scheduleOne(st, &outs[i], &ops, rng, avail)
+		if fast {
+			for _, i := range order {
+				s.scheduleOneFast(st, &outs[i], &ops)
+			}
+		} else {
+			for _, i := range order {
+				s.scheduleOne(st, &outs[i], &ops, rng, avail)
+			}
 		}
 		return sc.finishInto(sc.name, outs, ops)
 	}
@@ -89,6 +103,39 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 		} else if outs[i].H > maxH {
 			maxH = outs[i].H
 		}
+	}
+	if fast {
+		for h := 0; h < maxH; h++ {
+			for _, i := range order {
+				o, ls := &outs[i], &states[i]
+				if !ls.alive || h >= o.H {
+					continue
+				}
+				w := st.AvailBothWord(h, ls.cur.Sigma(), ls.cur.Delta())
+				ops.VectorReads += 2
+				ops.VectorANDs++
+				ops.Steps++
+				ops.PortPicks++
+				if w == 0 {
+					ls.alive = false
+					o.FailLevel = h
+					if s.Opts.Rollback {
+						s.rollback(st, o, &ops)
+					}
+					continue
+				}
+				p := bits.TrailingZeros64(w)
+				st.AllocateBoth(h, ls.cur.Sigma(), ls.cur.Delta(), p)
+				ops.Allocs += 2
+				o.Ports = append(o.Ports, p)
+				ls.cur.Advance(p)
+				if len(o.Ports) == o.H {
+					o.Granted = true
+					ls.alive = false
+				}
+			}
+		}
+		return sc.finishInto(sc.name, outs, ops)
 	}
 	for h := 0; h < maxH; h++ {
 		for _, i := range order {
@@ -130,6 +177,38 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 		}
 	}
 	return sc.finishInto(sc.name, outs, ops)
+}
+
+// scheduleOneFast is scheduleOne on the word fast path: FirstFit, no
+// trace, single-word rows. Counter accounting matches scheduleOne
+// step for step so Results stay identical across the two paths.
+func (s *LevelWise) scheduleOneFast(st *linkstate.State, o *Outcome, ops *Counters) {
+	if o.H == 0 {
+		o.Granted = true
+		return
+	}
+	var cur RouteCursor
+	cur.Start(st.Tree(), o.Src, o.Dst)
+	for h := 0; h < o.H; h++ {
+		w := st.AvailBothWord(h, cur.Sigma(), cur.Delta())
+		ops.VectorReads += 2
+		ops.VectorANDs++
+		ops.Steps++
+		ops.PortPicks++
+		if w == 0 {
+			o.FailLevel = h
+			if s.Opts.Rollback {
+				s.rollback(st, o, ops)
+			}
+			return
+		}
+		p := bits.TrailingZeros64(w)
+		st.AllocateBoth(h, cur.Sigma(), cur.Delta(), p)
+		ops.Allocs += 2
+		o.Ports = append(o.Ports, p)
+		cur.Advance(p)
+	}
+	o.Granted = true
 }
 
 // scheduleOne routes a single request through all its levels

@@ -1,0 +1,58 @@
+package core
+
+import (
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// TestWordFastPathMatchesVectorPath pins the single-word scheduling fast
+// path (AvailBothWord + trailing-zeros FirstFit + AllocateBoth)
+// bit-identical to the Vector path: outcomes, counters, and final link
+// state must agree. The Vector path is forced with a no-op Trace hook,
+// which disables the fast path without changing any scheduling decision.
+func TestWordFastPathMatchesVectorPath(t *testing.T) {
+	shapes := [][3]int{{3, 8, 8}, {3, 4, 4}, {3, 4, 2}, {2, 6, 3}}
+	variants := []struct {
+		name string
+		opts Options
+	}{
+		{"level-major", Options{}},
+		{"level-major/rollback", Options{Rollback: true}},
+		{"request-major", Options{Traversal: RequestMajor}},
+		{"request-major/rollback", Options{Traversal: RequestMajor, Rollback: true}},
+	}
+	for _, dims := range shapes {
+		tree := topology.MustNew(dims[0], dims[1], dims[2])
+		rng := rand.New(rand.NewSource(31))
+		// Oversubscribe so denials (and rollback) are exercised too.
+		reqs := make([]Request, 3*tree.Nodes())
+		for i := range reqs {
+			reqs[i] = Request{Src: rng.Intn(tree.Nodes()), Dst: rng.Intn(tree.Nodes())}
+		}
+		for _, v := range variants {
+			stFast, stSlow := linkstate.New(tree), linkstate.New(tree)
+			if !stFast.WordRows() {
+				t.Fatalf("FT%v: expected single-word rows", dims)
+			}
+			fast := &LevelWise{Opts: v.opts}
+			slowOpts := v.opts
+			slowOpts.Trace = func(TraceEvent) {}
+			slow := &LevelWise{Opts: slowOpts}
+			got := fast.Schedule(stFast, reqs)
+			want := slow.Schedule(stSlow, reqs)
+			if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+				t.Fatalf("FT%v %s: outcomes diverge between word and vector paths", dims, v.name)
+			}
+			if got.Ops != want.Ops {
+				t.Fatalf("FT%v %s: counters diverge: word %+v, vector %+v", dims, v.name, got.Ops, want.Ops)
+			}
+			if !stFast.Equal(stSlow) {
+				t.Fatalf("FT%v %s: final link state diverges between word and vector paths", dims, v.name)
+			}
+		}
+	}
+}

@@ -1,0 +1,87 @@
+package digits
+
+import "testing"
+
+// kernelShapes exercises the pow-of-two fast paths (m, w ∈ {2,4,8}), the
+// general paths (6, 3, 5), m != w, and degenerate radices.
+var kernelShapes = []Spec{
+	{L: 3, M: 8, W: 8},
+	{L: 4, M: 4, W: 4},
+	{L: 3, M: 6, W: 6},
+	{L: 3, M: 4, W: 2},
+	{L: 2, M: 6, W: 3},
+	{L: 3, M: 5, W: 7},
+	{L: 2, M: 1, W: 1},
+	{L: 1, M: 4, W: 4},
+}
+
+func TestKernelNodeSwitchMatchesSpec(t *testing.T) {
+	for _, s := range kernelShapes {
+		k := MustKernel(s)
+		if k.Nodes() != s.Nodes() {
+			t.Fatalf("%+v: kernel nodes %d, spec %d", s, k.Nodes(), s.Nodes())
+		}
+		for n := 0; n < s.Nodes(); n++ {
+			lab, wantPort := s.NodeSwitch(n)
+			wantIdx := s.Index(0, lab)
+			idx, port := k.NodeSwitch(n)
+			if idx != wantIdx || port != wantPort {
+				t.Fatalf("%+v node %d: kernel (%d,%d), spec (%d,%d)", s, n, idx, port, wantIdx, wantPort)
+			}
+		}
+	}
+}
+
+func TestKernelNodeAncestorLevelMatchesSpec(t *testing.T) {
+	for _, s := range kernelShapes {
+		k := MustKernel(s)
+		n := s.Nodes()
+		step := 1
+		if n > 512 {
+			step = n / 512
+		}
+		for a := 0; a < n; a += step {
+			for b := 0; b < n; b += step {
+				if got, want := k.NodeAncestorLevel(a, b), s.NodeAncestorLevel(a, b); got != want {
+					t.Fatalf("%+v LCA(%d,%d): kernel %d, spec %d", s, a, b, got, want)
+				}
+			}
+		}
+	}
+}
+
+func TestKernelUpParentArithMatchesLabels(t *testing.T) {
+	for _, s := range kernelShapes {
+		k := MustKernel(s)
+		for h := 0; h < s.LinkLevels(); h++ {
+			for idx := 0; idx < s.SwitchesAt(h); idx++ {
+				lab := s.LabelOf(h, idx)
+				for p := 0; p < s.W; p++ {
+					want := s.Index(h+1, s.Up(h, lab, p))
+					if got := k.UpParentArith(h, idx, p); got != want {
+						t.Fatalf("%+v Up(h=%d, idx=%d, p=%d): arith %d, labels %d", s, h, idx, p, got, want)
+					}
+				}
+			}
+		}
+	}
+}
+
+func TestKernelPanicsOutOfRange(t *testing.T) {
+	k := MustKernel(Spec{L: 2, M: 4, W: 4})
+	for _, f := range []func(){
+		func() { k.NodeSwitch(-1) },
+		func() { k.NodeSwitch(16) },
+		func() { k.NodeAncestorLevel(0, 16) },
+		func() { k.NodeAncestorLevel(-1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("expected panic")
+				}
+			}()
+			f()
+		}()
+	}
+}

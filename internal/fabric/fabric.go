@@ -20,6 +20,12 @@
 // reject notifications are staged under the lock and delivered after it
 // is released, so client wakeups never extend the critical section.
 //
+// The client hot paths are decoupled from the scheduling lock: Connect
+// enqueues under a queue-only lock that no epoch ever holds, and
+// Release parks the handle in a lock-free MPSC ring (Config.ReleaseRing)
+// that the flusher drains at each epoch boundary, so both are a few
+// atomic operations regardless of how long a scheduling pass runs.
+//
 // Robustness: the admission queue is bounded (Config.QueueLimit) and
 // exerts backpressure by blocking Connect until a slot frees; a queued
 // request leaves cleanly when its context is cancelled or the configured
@@ -57,6 +63,7 @@ const (
 	DefaultQueueLimit    = 1024
 	DefaultRepairRetries = 8
 	DefaultRepairBackoff = 2 * time.Millisecond
+	DefaultReleaseRing   = 1024
 )
 
 // Sentinel errors returned by Connect and Release. Scheduler denials are
@@ -154,6 +161,16 @@ type Config struct {
 	// queue (default DefaultRepairBackoff). The first attempt is
 	// immediate: a revoked connection joins the very next epoch.
 	RepairBackoff time.Duration
+	// ReleaseRing sizes the lock-free release ring (rounded up to a
+	// power of two). The Release fast path parks the handle there — two
+	// atomic loads and one CAS, never the manager lock — and the flusher
+	// retires it at the next epoch boundary, where the freed channels
+	// are visible to the next scheduling pass. 0 means
+	// DefaultReleaseRing; a negative value disables the ring, making
+	// every Release synchronous under the manager lock. A full ring is
+	// backpressure-free: the overflowing Release just takes the
+	// synchronous path.
+	ReleaseRing int
 }
 
 // EventKind classifies a Trace event.
@@ -240,11 +257,12 @@ type delivery struct {
 	r result
 }
 
-// Handle lifecycle states (guarded by the manager's mu). A handle is
-// born active; a fault crossing its route revokes it to repairing (its
-// channels returned, a repair ticket queued); a successful re-admission
-// returns it to active on a new route; exhausting Config.RepairRetries,
-// manager shutdown, or the owner's Release while repairing kills it.
+// Handle lifecycle states. A handle is born active; a fault crossing
+// its route revokes it to repairing (its channels returned, a repair
+// ticket queued); a successful re-admission returns it to active on a
+// new route; exhausting Config.RepairRetries, manager shutdown, or the
+// owner's Release while repairing kills it. Transitions happen under
+// m.mu; the atomic makes the lock-free Release fast path's read safe.
 const (
 	handleActive int32 = iota
 	handleRepairing
@@ -259,11 +277,12 @@ type Handle struct {
 	m        *Manager
 	src, dst int
 	released atomic.Bool
+	// state transitions only under m.mu; loads may be lock-free.
+	state atomic.Int32
 
 	// Guarded by m.mu: the repair loop rewrites the route and walks the
 	// state machine above.
 	ports     []int
-	state     int32
 	attempts  int       // repair scheduling attempts so far
 	revokedAt time.Time // when the current repair began
 	repairErr error     // terminal cause once state == handleDead
@@ -297,9 +316,7 @@ func (h *Handle) Err() error {
 // Repairing reports whether the handle is currently revoked and waiting
 // on the repair loop.
 func (h *Handle) Repairing() bool {
-	h.m.mu.Lock()
-	defer h.m.mu.Unlock()
-	return h.state == handleRepairing
+	return h.state.Load() == handleRepairing
 }
 
 // Release returns the connection's channels to the fabric.
@@ -323,11 +340,12 @@ type Manager struct {
 	done    chan struct{} // flusher exited
 	closeMu sync.Once
 
-	mu         sync.Mutex // guards st, pending, oldest, closed, lastEngine, conns, failed, handle fields
+	// mu is the scheduling lock: it guards st, lastEngine, conns, failed,
+	// the mutable handle fields, and serializes the release-ring consumer
+	// (drainReleasesLocked). The admission queue is NOT under mu — see
+	// qmu — so Connect never contends with an epoch's scheduling pass.
+	mu         sync.Mutex
 	st         *linkstate.State
-	pending    []*ticket
-	oldest     time.Time // enqueue time of pending[0]
-	closed     bool
 	lastEngine string // scheduler that ran the most recent epoch
 	// conns registers every live handle (active or repairing) so fault
 	// injection can find the connections a failed component strands.
@@ -336,11 +354,28 @@ type Manager struct {
 	// the linkstate fault mask.
 	failed map[faults.Channel]struct{}
 
-	// Flusher-owned epoch buffers, reused across flushes so steady-state
-	// epochs allocate only the Handles they grant.
+	// qmu guards the admission queue (pending, oldest) and orders writes
+	// of closed against enqueues, keeping Connect's critical section to
+	// an append — a few pointer writes — while the flusher schedules
+	// under mu. Lock order: mu before qmu, never the reverse.
+	qmu     sync.Mutex
+	pending []*ticket
+	oldest  time.Time   // enqueue time of pending[0]
+	closed  atomic.Bool // set under qmu; loads may be lock-free
+
+	// relRing parks fast-path releases until a mu holder drains them
+	// (epoch flush, Stats, Fail, or a synchronous Release). Nil when
+	// Config.ReleaseRing is negative.
+	relRing *releaseRing
+
+	// Flusher-owned epoch buffers (guarded by mu), reused across flushes
+	// so steady-state epochs allocate only the Handles they grant.
+	// qspare ping-pongs with pending's backing array: each flush swaps
+	// the queue out under qmu and donates the drained batch back.
 	livebuf []*ticket
 	reqbuf  []core.Request
 	delbuf  []delivery
+	qspare  []*ticket
 
 	offered, granted, rejected, cancelled atomic.Uint64
 	released, overflow, epochs            atomic.Uint64
@@ -355,11 +390,12 @@ type Manager struct {
 	repairFailed, repairAborted atomic.Uint64
 	pendingRepairs              atomic.Int64
 
-	histMu      sync.Mutex
-	epochSize   ring
-	epochLat    ring
-	repairLat   ring // revoke → successful re-admission, milliseconds
-	repairDepth ring // scheduling attempts per successful repair
+	// Histogram stripes: recording locks one stripe, Stats snapshots
+	// stripes one at a time and summarizes outside every lock.
+	epochSize   *shardedRing
+	epochLat    *shardedRing
+	repairLat   *shardedRing // revoke → successful re-admission, milliseconds
+	repairDepth *shardedRing // scheduling attempts per successful repair
 }
 
 // New validates the config, applies defaults, and starts the manager's
@@ -425,10 +461,17 @@ func New(cfg Config) (*Manager, error) {
 		st:           linkstate.New(cfg.Tree),
 		conns:        make(map[*Handle]struct{}),
 		failed:       make(map[faults.Channel]struct{}),
-		epochSize:    newRing(4096),
-		epochLat:     newRing(4096),
-		repairLat:    newRing(4096),
-		repairDepth:  newRing(4096),
+		epochSize:    newShardedRing(4096),
+		epochLat:     newShardedRing(4096),
+		repairLat:    newShardedRing(4096),
+		repairDepth:  newShardedRing(4096),
+	}
+	ringSize := cfg.ReleaseRing
+	if ringSize == 0 {
+		ringSize = DefaultReleaseRing
+	}
+	if ringSize > 0 {
+		m.relRing = newReleaseRing(ringSize)
 	}
 	go m.flusher()
 	return m, nil
@@ -470,9 +513,11 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 		enq:  time.Now(),
 		resp: make(chan result, 1),
 	}
-	m.mu.Lock()
-	if m.closed {
-		m.mu.Unlock()
+	// The enqueue touches only the queue lock, never the scheduling
+	// lock: an epoch in flight does not block admission.
+	m.qmu.Lock()
+	if m.closed.Load() {
+		m.qmu.Unlock()
 		<-m.slots
 		m.overflow.Add(1)
 		return nil, ErrDraining
@@ -483,7 +528,7 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 	m.pending = append(m.pending, t)
 	m.offered.Add(1)
 	wake := len(m.pending) == 1 || len(m.pending) >= m.cfg.BatchSize
-	m.mu.Unlock()
+	m.qmu.Unlock()
 	if wake {
 		m.wake()
 	}
@@ -513,6 +558,13 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 // returns ErrReleased without touching the state. Release keeps working
 // after Close so clients can drain held circuits during shutdown.
 //
+// The common case never takes the manager lock: the handle parks in the
+// lock-free release ring and the flusher retires it at the next epoch
+// boundary, so its channels are back in service before the next
+// scheduling pass. Observable state (Stats, link utilization) reflects
+// a parked release no later than the next epoch or Stats call, whichever
+// drains first.
+//
 // Releasing a handle the repair loop is re-admitting cancels the repair
 // (its channels were already returned at revocation) and returns nil;
 // releasing a handle the repair loop already gave up on returns the
@@ -528,35 +580,108 @@ func (m *Manager) Release(h *Handle) error {
 	if !h.released.CompareAndSwap(false, true) {
 		return ErrReleased
 	}
+	// Fast path: an active handle on a running manager parks in the ring
+	// — two atomic loads and one CAS. Everything else goes synchronous:
+	// repairing and dead handles need their verdict now, a closed
+	// manager may have no flusher left to drain for it, and a full or
+	// disabled ring degrades to the lock rather than blocking.
+	if m.relRing != nil && h.state.Load() == handleActive && !m.closed.Load() && m.relRing.push(h) {
+		return nil
+	}
+	return m.releaseSlow(h)
+}
+
+// releaseSlow is the synchronous Release path. It drains the ring first
+// so releases retire in roughly the order their owners issued them.
+func (m *Manager) releaseSlow(h *Handle) error {
 	m.mu.Lock()
-	switch h.state {
+	m.drainReleasesLocked()
+	var err error
+	if h.state.Load() == handleDead {
+		err = h.repairErr // repair loop already retired it; report why
+	} else {
+		m.finishReleaseLocked(h)
+	}
+	m.mu.Unlock()
+	return err
+}
+
+// drainReleasesLocked retires every handle parked in the release ring.
+// Caller holds m.mu — the mutex is what makes this the ring's single
+// consumer. Epoch flushes drain before scheduling, so channels freed by
+// the fast path are available to the pass that follows.
+func (m *Manager) drainReleasesLocked() {
+	if m.relRing == nil {
+		return
+	}
+	for {
+		h := m.relRing.pop()
+		if h == nil {
+			return
+		}
+		m.finishReleaseLocked(h)
+	}
+}
+
+// finishReleaseLocked performs the bookkeeping half of a Release under
+// m.mu: return the route's channels, unregister the handle, trace,
+// count. The handle state is re-read here because a fault may have
+// revoked the connection between the owner's Release and this drain —
+// its channels were already returned at revocation, so the queued
+// repair is aborted instead (dropping the handle from conns starves the
+// repair ticket and any pending backoff timer, which is the
+// cancellation). A handle already dead was fully retired by the repair
+// loop and holds nothing.
+func (m *Manager) finishReleaseLocked(h *Handle) {
+	switch h.state.Load() {
 	case handleRepairing:
-		// The route was torn down at revocation; dropping the handle from
-		// conns and marking it dead starves the queued repair ticket (and
-		// any pending backoff timer), which is the cancellation.
-		h.state = handleDead
+		h.state.Store(handleDead)
 		delete(m.conns, h)
 		m.pendingRepairs.Add(-1)
 		m.repairAborted.Add(1)
-		m.mu.Unlock()
-		return nil
+		return
 	case handleDead:
-		err := h.repairErr
-		m.mu.Unlock()
-		return err
+		return
 	}
-	err := m.st.ReleasePath(h.src, h.dst, h.ports)
+	m.releaseRouteLocked(h)
 	delete(m.conns, h)
-	if err == nil && m.cfg.Trace != nil {
+	if m.cfg.Trace != nil {
 		m.cfg.Trace(Event{Kind: EventRelease, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
-	}
-	m.mu.Unlock()
-	if err != nil {
-		return fmt.Errorf("fabric: release invariant violation: %w", err)
 	}
 	m.released.Add(1)
 	m.active.Add(-1)
-	return nil
+}
+
+// releaseRouteLocked returns an active handle's channels to the fabric.
+// On a healthy fabric the whole path releases in one call; with faults
+// present the Theorem 2 walk is replayed and failed channels skipped —
+// they are masked out of the availability state and must not be
+// resurrected. (An active route normally never crosses a failed channel
+// — Fail revokes such connections — except when the owner's Release
+// raced the fault into the ring; the revoke walk skips released handles
+// and this walk finishes the teardown.) A failure here is an accounting
+// invariant violation, not a runtime condition.
+func (m *Manager) releaseRouteLocked(h *Handle) {
+	if len(m.failed) == 0 {
+		if err := m.st.ReleasePath(h.src, h.dst, h.ports); err != nil {
+			panic(fmt.Sprintf("fabric: release invariant violation: %v", err))
+		}
+		return
+	}
+	var c topology.RouteCursor
+	c.Start(m.cfg.Tree, h.src, h.dst)
+	c.Walk(h.ports, func(level, sigma, delta, port int) {
+		if !m.st.Failed(linkstate.Up, level, sigma, port) {
+			if err := m.st.Release(linkstate.Up, level, sigma, port); err != nil {
+				panic(fmt.Sprintf("fabric: release invariant violation: %v", err))
+			}
+		}
+		if !m.st.Failed(linkstate.Down, level, delta, port) {
+			if err := m.st.Release(linkstate.Down, level, delta, port); err != nil {
+				panic(fmt.Sprintf("fabric: release invariant violation: %v", err))
+			}
+		}
+	})
 }
 
 // Close stops admission, drains queued requests through a final epoch,
@@ -564,13 +689,20 @@ func (m *Manager) Release(h *Handle) error {
 // valid and releasable after Close. Close is idempotent.
 func (m *Manager) Close(ctx context.Context) error {
 	m.closeMu.Do(func() {
-		m.mu.Lock()
-		m.closed = true
-		m.mu.Unlock()
+		m.qmu.Lock()
+		m.closed.Store(true)
+		m.qmu.Unlock()
 		close(m.closing)
 	})
 	select {
 	case <-m.done:
+		// The flusher drained the release ring on exit, but a Release
+		// that read closed=false concurrently with shutdown may have
+		// parked a handle after that final drain; sweep those up so the
+		// fabric is fully drained when Close returns.
+		m.mu.Lock()
+		m.drainReleasesLocked()
+		m.mu.Unlock()
 		return nil
 	case <-ctx.Done():
 		return ctx.Err()
@@ -593,10 +725,20 @@ func (m *Manager) flusher() {
 		<-timer.C
 	}
 	for {
+		// Every wake drains the release ring first: epoch boundaries are
+		// where fast-path releases land, so freed channels are visible
+		// to both the flush decision and any scheduling pass that
+		// follows. The {n, closed} snapshot is taken under qmu (with mu
+		// held), making the exit decision atomic against both Connect's
+		// enqueue and Fail/requeue's repair-ticket appends.
 		m.mu.Lock()
+		m.drainReleasesLocked()
+		m.qmu.Lock()
 		n := len(m.pending)
-		closed := m.closed
-		if n > 0 && (closed || n >= m.cfg.BatchSize || time.Since(m.oldest) >= m.cfg.MaxWait) {
+		oldest := m.oldest
+		closed := m.closed.Load()
+		m.qmu.Unlock()
+		if n > 0 && (closed || n >= m.cfg.BatchSize || time.Since(oldest) >= m.cfg.MaxWait) {
 			dels := m.flushLocked()
 			m.mu.Unlock()
 			m.deliver(dels)
@@ -604,7 +746,7 @@ func (m *Manager) flusher() {
 		}
 		var wait time.Duration
 		if n > 0 {
-			wait = m.cfg.MaxWait - time.Since(m.oldest)
+			wait = m.cfg.MaxWait - time.Since(oldest)
 		}
 		m.mu.Unlock()
 		if n == 0 {
@@ -642,14 +784,19 @@ func (m *Manager) flusher() {
 // The returned deliveries (aliasing m.delbuf) must be sent by the caller
 // after unlocking.
 func (m *Manager) flushLocked() []delivery {
+	// Swap the queue out under qmu: Connect keeps enqueueing into the
+	// spare array while this epoch schedules under mu.
+	m.qmu.Lock()
 	batch := m.pending
+	m.pending = m.qspare[:0]
+	m.qmu.Unlock()
 	live := m.livebuf[:0]
 	for _, t := range batch {
 		if t.h != nil {
 			// Repair ticket: live while its handle still wants repairing
 			// (Release of the handle is the cancellation path). It holds no
 			// queue slot and nobody is waiting on a resp channel.
-			if t.h.state == handleRepairing {
+			if t.h.state.Load() == handleRepairing {
 				live = append(live, t)
 			}
 			continue
@@ -666,10 +813,13 @@ func (m *Manager) flushLocked() []delivery {
 			<-m.slots // every departed client ticket frees its queue slot
 		}
 	}
-	// Recycle the queue's backing array: tickets travel on via live and
-	// the staged deliveries, never through batch, so Connect may append
-	// into it again as soon as the lock drops.
-	m.pending = batch[:0]
+	// Ping-pong the backing arrays: the drained batch becomes the next
+	// flush's spare. Tickets travel on via live and the staged
+	// deliveries; clear the refs so the spare retains nothing.
+	for i := range batch {
+		batch[i] = nil
+	}
+	m.qspare = batch[:0]
 	m.livebuf = live
 	if len(live) == 0 {
 		return nil
@@ -727,10 +877,8 @@ func (m *Manager) flushLocked() []delivery {
 	}
 	m.delbuf = dels
 	latMS := float64(time.Since(live[0].enq)) / float64(time.Millisecond)
-	m.histMu.Lock()
 	m.epochSize.add(float64(len(live)))
 	m.epochLat.add(latMS)
-	m.histMu.Unlock()
 	// Drop ticket references from the reused buffer; the deliveries carry
 	// them the rest of the way.
 	for i := range live {

@@ -33,10 +33,13 @@ func (m *Manager) Fail(fs *faults.FaultSet) (failed, revoked int, err error) {
 	}
 	chans := fs.Channels(m.cfg.Tree)
 	m.mu.Lock()
-	if m.closed {
+	if m.closed.Load() {
 		m.mu.Unlock()
 		return 0, 0, ErrClosed
 	}
+	// Retire parked releases before the revoke walk so an already-
+	// released connection is not revoked into a pointless repair.
+	m.drainReleasesLocked()
 	fresh := make(map[faults.Channel]struct{}, len(chans))
 	for _, c := range chans {
 		if _, already := m.failed[c]; already {
@@ -49,7 +52,11 @@ func (m *Manager) Fail(fs *faults.FaultSet) (failed, revoked int, err error) {
 	}
 	if len(fresh) > 0 {
 		for h := range m.conns {
-			if h.state == handleActive && m.routeCrossesLocked(h, fresh) {
+			// A handle whose owner released it concurrently (parked in
+			// the ring after the drain above) is skipped: its channels
+			// are returned by the fault-aware releaseRouteLocked walk at
+			// the next drain, not by a repair it no longer wants.
+			if h.state.Load() == handleActive && !h.released.Load() && m.routeCrossesLocked(h, fresh) {
 				m.revokeLocked(h)
 				revoked++
 			}
@@ -201,7 +208,7 @@ func (m *Manager) revokeLocked(h *Handle) {
 	if m.cfg.Trace != nil {
 		m.cfg.Trace(Event{Kind: EventRevoke, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
 	}
-	h.state = handleRepairing
+	h.state.Store(handleRepairing)
 	h.attempts = 0
 	h.revokedAt = time.Now()
 	h.ports = h.ports[:0]
@@ -209,10 +216,12 @@ func (m *Manager) revokeLocked(h *Handle) {
 	m.active.Add(-1)
 	m.pendingRepairs.Add(1)
 	t := &ticket{req: core.Request{Src: h.src, Dst: h.dst}, enq: time.Now(), h: h}
+	m.qmu.Lock()
 	if len(m.pending) == 0 {
 		m.oldest = t.enq
 	}
 	m.pending = append(m.pending, t)
+	m.qmu.Unlock()
 }
 
 // repairVerdictLocked applies one epoch's outcome to a repair ticket.
@@ -225,24 +234,22 @@ func (m *Manager) repairVerdictLocked(t *ticket, o *core.Outcome, epoch uint64) 
 	h := t.h
 	if o.Granted {
 		h.ports = append(h.ports[:0], o.Ports...)
-		h.state = handleActive
+		h.state.Store(handleActive)
 		m.repaired.Add(1)
 		m.active.Add(1)
 		m.pendingRepairs.Add(-1)
 		if m.cfg.Trace != nil {
 			m.cfg.Trace(Event{Kind: EventRepair, Src: h.src, Dst: h.dst, Ports: o.Ports, FailLevel: -1, Epoch: epoch})
 		}
-		m.histMu.Lock()
 		m.repairLat.add(float64(time.Since(h.revokedAt)) / float64(time.Millisecond))
 		m.repairDepth.add(float64(h.attempts + 1))
-		m.histMu.Unlock()
 		return
 	}
 	if len(o.Ports) > 0 {
 		m.releaseRetainedLocked(o)
 	}
 	h.attempts++
-	if m.closed {
+	if m.closed.Load() {
 		m.killRepairLocked(h, fmt.Errorf("fabric: repair aborted: %w", ErrClosed), &m.repairAborted)
 		return
 	}
@@ -261,7 +268,7 @@ func (m *Manager) repairVerdictLocked(t *ticket, o *core.Outcome, epoch uint64) 
 // killRepairLocked retires a repairing handle with a terminal error,
 // bumping the given outcome counter. Caller holds m.mu.
 func (m *Manager) killRepairLocked(h *Handle, cause error, counter interface{ Add(uint64) uint64 }) {
-	h.state = handleDead
+	h.state.Store(handleDead)
 	h.repairErr = cause
 	delete(m.conns, h)
 	m.pendingRepairs.Add(-1)
@@ -275,20 +282,22 @@ func (m *Manager) killRepairLocked(h *Handle, cause error, counter interface{ Ad
 func (m *Manager) requeueRepair(t *ticket) {
 	m.mu.Lock()
 	h := t.h
-	if h.state != handleRepairing {
+	if h.state.Load() != handleRepairing {
 		m.mu.Unlock() // released by its owner mid-backoff; already retired
 		return
 	}
-	if m.closed {
+	if m.closed.Load() {
 		m.killRepairLocked(h, fmt.Errorf("fabric: repair aborted: %w", ErrClosed), &m.repairAborted)
 		m.mu.Unlock()
 		return
 	}
 	t.enq = time.Now()
+	m.qmu.Lock()
 	if len(m.pending) == 0 {
 		m.oldest = t.enq
 	}
 	m.pending = append(m.pending, t)
+	m.qmu.Unlock()
 	m.mu.Unlock()
 	m.wake()
 }

@@ -1,0 +1,69 @@
+package fabric
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// BenchmarkFabricRelease measures the steady-state circuit churn path a
+// serving client pays: release one held connection, then re-admit the
+// same endpoint pair through a single-request epoch. Release cost is the
+// target — the connect half is the fixed epoch machinery both before and
+// after the release pipeline changes.
+func BenchmarkFabricRelease(b *testing.B) {
+	shapes := []struct{ l, m, w int }{{3, 8, 8}, {4, 4, 4}}
+	for _, sh := range shapes {
+		b.Run(fmt.Sprintf("FT%d-%d-%d", sh.l, sh.m, sh.w), func(b *testing.B) {
+			tree := topology.MustNew(sh.l, sh.m, sh.w)
+			m, err := New(Config{Tree: tree, BatchSize: 1, MaxWait: 50 * time.Microsecond})
+			if err != nil {
+				b.Fatal(err)
+			}
+			ctx := context.Background()
+			defer m.Close(ctx)
+
+			// A sparse pool of held circuits between distinct hosts keeps
+			// re-admission of a just-released pair effectively always routable.
+			rng := rand.New(rand.NewSource(11))
+			hosts := rng.Perm(tree.Nodes())
+			const pool = 64
+			hs := make([]*Handle, pool)
+			pairs := make([][2]int, pool)
+			for i := 0; i < pool; i++ {
+				pairs[i] = [2]int{hosts[2*i], hosts[2*i+1]}
+				h, err := m.Connect(ctx, pairs[i][0], pairs[i][1])
+				if err != nil {
+					b.Fatalf("warmup connect %d: %v", i, err)
+				}
+				hs[i] = h
+			}
+
+			misses := 0
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				k := i % pool
+				if hs[k] != nil {
+					if err := m.Release(hs[k]); err != nil {
+						b.Fatalf("release: %v", err)
+					}
+				}
+				h, err := m.Connect(ctx, pairs[k][0], pairs[k][1])
+				if err != nil {
+					hs[k] = nil
+					misses++
+					continue
+				}
+				hs[k] = h
+			}
+			b.StopTimer()
+			if misses > b.N/10 {
+				b.Fatalf("too many admission misses: %d of %d", misses, b.N)
+			}
+		})
+	}
+}

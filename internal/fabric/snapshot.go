@@ -118,11 +118,16 @@ type Stats struct {
 }
 
 // Stats returns a snapshot of the manager's counters, queue, epoch
-// distributions, and live link utilization.
+// distributions, and live link utilization. Parked fast-path releases
+// are drained first, so the snapshot reflects every Release that
+// returned before the call. No lock is held across the distribution
+// summaries: histogram samples are copied stripe by stripe and the
+// sort/percentile pass runs outside, so a large snapshot never stalls
+// the flusher or a client.
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
+	m.drainReleasesLocked()
 	util := m.st.Utilization()
-	depth := len(m.pending)
 	lastEngine := m.lastEngine
 	faulty := len(m.failed)
 	capacity := 1.0
@@ -130,12 +135,13 @@ func (m *Manager) Stats() Stats {
 		capacity = float64(total-m.st.FailedCount()) / float64(total)
 	}
 	m.mu.Unlock()
-	m.histMu.Lock()
-	size := distOf(m.epochSize.samples())
-	lat := distOf(m.epochLat.samples())
-	repLat := distOf(m.repairLat.samples())
-	repDepth := distOf(m.repairDepth.samples())
-	m.histMu.Unlock()
+	m.qmu.Lock()
+	depth := len(m.pending)
+	m.qmu.Unlock()
+	size := distOf(m.epochSize.snapshot())
+	lat := distOf(m.epochLat.snapshot())
+	repLat := distOf(m.repairLat.snapshot())
+	repDepth := distOf(m.repairDepth.snapshot())
 	return Stats{
 		Offered:        m.offered.Load(),
 		Granted:        m.granted.Load(),

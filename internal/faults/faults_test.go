@@ -235,6 +235,48 @@ func TestGoldenEmptyFaultSetBitIdentical(t *testing.T) {
 	}
 }
 
+// TestGoldenFaultSetArithmeticCursorBitIdentical extends the cursor
+// golden test to degraded fabrics: with the same non-empty FaultSet
+// applied to both states, every registry engine must stay bit-identical
+// between the table-driven topology kernel and the Theorem 1 arithmetic
+// cursor — faults change which ports are available, never how the two
+// cursor implementations walk the tree.
+func TestGoldenFaultSetArithmeticCursorBitIdentical(t *testing.T) {
+	shapes := [][3]int{{2, 4, 4}, {3, 4, 2}, {2, 6, 3}}
+	for _, info := range sched.List() {
+		for _, dims := range shapes {
+			tab := topology.MustNew(dims[0], dims[1], dims[2])
+			ari := tab.WithArithmeticCursor()
+			fs := &FaultSet{}
+			for h := 0; h < tab.LinkLevels(); h++ {
+				fs.Links = append(fs.Links,
+					LinkFault{Level: h, Switch: h % tab.SwitchesAt(h), Port: 0},
+					LinkFault{Level: h, Switch: (h + 1) % tab.SwitchesAt(h), Port: tab.Parents() - 1, Direction: Down})
+			}
+			stTab, stAri := linkstate.New(tab), linkstate.New(ari)
+			fs.Apply(stTab)
+			fs.Apply(stAri)
+			rng := rand.New(rand.NewSource(4321))
+			reqs := make([]core.Request, 60)
+			for i := range reqs {
+				reqs[i] = core.Request{Src: rng.Intn(tab.Nodes()), Dst: rng.Intn(tab.Nodes())}
+			}
+			want := sched.MustParse(info.Family).Schedule(stTab, reqs)
+			got := sched.MustParse(info.Family).Schedule(stAri, reqs)
+			if got.Granted != want.Granted || got.Total != want.Total {
+				t.Fatalf("%s on FT%v: %d/%d granted with arithmetic cursor, want %d/%d",
+					info.Family, dims, got.Granted, got.Total, want.Granted, want.Total)
+			}
+			if !reflect.DeepEqual(got.Outcomes, want.Outcomes) {
+				t.Fatalf("%s on FT%v: outcomes diverge between cursors on a faulted fabric", info.Family, dims)
+			}
+			if !stTab.Equal(stAri) {
+				t.Fatalf("%s on FT%v: final link state diverges between cursors on a faulted fabric", info.Family, dims)
+			}
+		}
+	}
+}
+
 // TestDegradedSchedulingRoutesAround checks the diversity argument from
 // the paper actually cashes out: with one of w=4 upward channels failed
 // per level-0 switch, the level-wise scheduler still grants a modest

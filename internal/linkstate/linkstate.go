@@ -94,6 +94,11 @@ type State struct {
 	// first FailLink call, so fault-free states pay nothing.
 	failedU []*bitvec.Matrix
 	failedD []*bitvec.Matrix
+	// uw/dw alias the matrices' backing words when each row is a single
+	// machine word (w <= 64): uw[h][idx] IS Ulink(h, idx), so the word
+	// fast path (AvailBothWord, AllocateBoth) and the Vector API mutate
+	// the same storage and can never diverge. Nil when rows span words.
+	uw, dw [][]uint64
 }
 
 // New returns a State for the tree with every link available.
@@ -109,8 +114,52 @@ func New(tree *topology.Tree) *State {
 		s.ulink[h] = bitvec.NewMatrix(rows, tree.Parents())
 		s.dlink[h] = bitvec.NewMatrix(rows, tree.Parents())
 	}
+	if tree.Parents() <= 64 && tree.LinkLevels() > 0 {
+		s.uw = make([][]uint64, tree.LinkLevels())
+		s.dw = make([][]uint64, tree.LinkLevels())
+		for h := range s.ulink {
+			s.uw[h] = s.ulink[h].Words()
+			s.dw[h] = s.dlink[h].Words()
+		}
+	}
 	s.Reset()
 	return s
+}
+
+// WordRows reports whether every availability row fits a single machine
+// word (w <= 64), enabling the word fast path below.
+func (s *State) WordRows() bool { return s.uw != nil }
+
+// AvailBothWord is the word-form of AvailBothInto for WordRows states:
+// it returns Ulink(h,src) AND Dlink(h,mir) as one uint64. Bit order is
+// identical to the Vector form, so FirstFit (lowest set bit) picks the
+// same port either way — the golden tests pin the two paths
+// bit-identical. The fault mask is pre-folded into the availability
+// bits exactly as for AvailBothInto.
+func (s *State) AvailBothWord(h, src, mir int) uint64 {
+	return s.uw[h][src] & s.dw[h][mir]
+}
+
+// AllocateBoth claims the level-h upward channel at the source-side
+// switch sigma and the downward channel of the same port at the mirror
+// switch delta — the per-level pair every grant allocates — in one step.
+// The caller must have verified the port free on both sides (bit set in
+// AvailBothWord); a non-free channel here is an invariant violation and
+// panics rather than corrupting occupancy.
+func (s *State) AllocateBoth(h, sigma, delta, port int) {
+	bit := uint64(1) << uint(port)
+	u := &s.uw[h][sigma]
+	d := &s.dw[h][delta]
+	if *u&bit == 0 || *d&bit == 0 {
+		allocateBothPanic(h, sigma, delta, port)
+	}
+	*u &^= bit
+	*d &^= bit
+}
+
+// allocateBothPanic is outlined so AllocateBoth stays inlinable.
+func allocateBothPanic(h, sigma, delta, port int) {
+	panic(fmt.Sprintf("linkstate: AllocateBoth of non-free port %d at level %d (σ=%d, δ=%d)", port, h, sigma, delta))
 }
 
 // Tree returns the topology this state belongs to.

@@ -93,6 +93,29 @@ func TestGoldenRegistryMatchesConstructors(t *testing.T) {
 	}
 }
 
+// TestGoldenArithmeticCursorBitIdentical pins every registry scheduler
+// family bit-identical between the table-driven topology kernel and the
+// Theorem 1 arithmetic cursor (topology.WithArithmeticCursor): same
+// grants, ports, fail levels, and final link state on shared random
+// batches, across pow-of-two, non-pow-of-two, and m != w shapes.
+func TestGoldenArithmeticCursorBitIdentical(t *testing.T) {
+	shapes := [][3]int{{2, 4, 4}, {3, 4, 2}, {2, 6, 3}}
+	for _, info := range List() {
+		for _, dims := range shapes {
+			tab := topology.MustNew(dims[0], dims[1], dims[2])
+			ari := tab.WithArithmeticCursor()
+			reqs := randomBatch(tab, rand.New(rand.NewSource(77)), 60)
+			stTab, stAri := linkstate.New(tab), linkstate.New(ari)
+			want := MustParse(info.Family).Schedule(stTab, reqs)
+			got := MustParse(info.Family).Schedule(stAri, reqs)
+			sameResult(t, info.Family+"/arithmetic-cursor", got, want)
+			if !stTab.Equal(stAri) {
+				t.Fatalf("%s on FT%v: final link state diverges between table and arithmetic cursors", info.Family, dims)
+			}
+		}
+	}
+}
+
 // TestGoldenScheduleInto proves the Engine adapter's Scratch path is
 // also bit-identical (and shares state with the plain path).
 func TestGoldenScheduleInto(t *testing.T) {

@@ -24,8 +24,15 @@ type RouteCursor struct {
 // switches.
 func (c *RouteCursor) Start(tree *Tree, src, dst int) {
 	c.tree = tree
-	c.sigma, _ = tree.NodeSwitch(src)
-	c.delta, _ = tree.NodeSwitch(dst)
+	if tree.mPow2 && !tree.arith && uint(src) < uint(tree.nodes) && uint(dst) < uint(tree.nodes) {
+		c.sigma = src >> tree.mShift
+		c.delta = dst >> tree.mShift
+	} else {
+		// General radix, the arithmetic view, or out-of-range endpoints
+		// (NodeSwitch owns the panic).
+		c.sigma, _ = tree.NodeSwitch(src)
+		c.delta, _ = tree.NodeSwitch(dst)
+	}
 	c.level = 0
 }
 
@@ -50,9 +57,27 @@ func (c *RouteCursor) Level() int { return c.level }
 
 // Advance crosses the current level via upward port p: both sides climb
 // to their level+1 parents (the same port index on each, per Theorem 2).
+// The two parent lookups are fused by hand — one shared level offset
+// into the tree's contiguous parent table, shift/mask indexing when w is
+// a power of two — because this is the single hottest operation in every
+// scheduler's inner loop.
 func (c *RouteCursor) Advance(p int) {
-	c.sigma = c.tree.UpParent(c.level, c.sigma, p)
-	c.delta = c.tree.UpParent(c.level, c.delta, p)
+	t := c.tree
+	if t.arith {
+		c.sigma = t.kern.UpParentArith(c.level, c.sigma, p)
+		c.delta = t.kern.UpParentArith(c.level, c.delta, p)
+		c.level++
+		return
+	}
+	base := int(t.upOff[c.level])
+	if t.wPow2 {
+		c.sigma = int(t.upFlat[base+(c.sigma<<t.wShift|p)])
+		c.delta = int(t.upFlat[base+(c.delta<<t.wShift|p)])
+	} else {
+		w := t.spec.W
+		c.sigma = int(t.upFlat[base+c.sigma*w+p])
+		c.delta = int(t.upFlat[base+c.delta*w+p])
+	}
 	c.level++
 }
 

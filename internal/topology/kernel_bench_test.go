@@ -1,0 +1,82 @@
+package topology
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+)
+
+// benchPairs builds a deterministic random src/dst workload plus one
+// upward-port choice per level, shared by the cursor benchmarks.
+func benchPairs(tree *Tree, n int) (src, dst []int, ports [][]int) {
+	rng := rand.New(rand.NewSource(7))
+	src = make([]int, n)
+	dst = make([]int, n)
+	ports = make([][]int, n)
+	for i := range src {
+		src[i] = rng.Intn(tree.Nodes())
+		dst[i] = rng.Intn(tree.Nodes())
+		h := tree.AncestorLevel(src[i], dst[i])
+		ports[i] = make([]int, h)
+		for j := range ports[i] {
+			ports[i][j] = rng.Intn(tree.Parents())
+		}
+	}
+	return src, dst, ports
+}
+
+// BenchmarkRouteCursor measures the scheduler-hot cursor walk: Start at
+// the endpoints' level-0 switches and Advance through every level below
+// the common ancestor — the σ/δ lockstep arithmetic every scheduler,
+// teardown, and verification replay pays per request.
+func BenchmarkRouteCursor(b *testing.B) {
+	shapes := []struct{ l, m, w int }{{3, 8, 8}, {4, 4, 4}, {3, 6, 6}}
+	for _, sh := range shapes {
+		tree := MustNew(sh.l, sh.m, sh.w)
+		src, dst, ports := benchPairs(tree, 1024)
+		for _, v := range []struct {
+			name string
+			tree *Tree
+		}{
+			{fmt.Sprintf("FT%d-%d-%d", sh.l, sh.m, sh.w), tree},
+			{fmt.Sprintf("FT%d-%d-%d/arith", sh.l, sh.m, sh.w), tree.WithArithmeticCursor()},
+		} {
+			b.Run(v.name, func(b *testing.B) {
+				tree := v.tree
+				var cur RouteCursor
+				sink := 0
+				for i := 0; i < b.N; i++ {
+					k := i & 1023
+					cur.Start(tree, src[k], dst[k])
+					for _, p := range ports[k] {
+						cur.Advance(p)
+					}
+					sink += cur.Sigma()
+				}
+				if sink < 0 {
+					b.Fatal("impossible")
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkNodeAncestorLevel measures the lowest-common-ancestor query
+// that prices every request before any level is visited.
+func BenchmarkNodeAncestorLevel(b *testing.B) {
+	shapes := []struct{ l, m, w int }{{3, 8, 8}, {4, 4, 4}, {3, 6, 6}}
+	for _, sh := range shapes {
+		tree := MustNew(sh.l, sh.m, sh.w)
+		src, dst, _ := benchPairs(tree, 1024)
+		b.Run(fmt.Sprintf("FT%d-%d-%d", sh.l, sh.m, sh.w), func(b *testing.B) {
+			sink := 0
+			for i := 0; i < b.N; i++ {
+				k := i & 1023
+				sink += tree.AncestorLevel(src[k], dst[k])
+			}
+			if sink < 0 {
+				b.Fatal("impossible")
+			}
+		})
+	}
+}

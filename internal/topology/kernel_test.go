@@ -1,0 +1,96 @@
+package topology
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// checkCursorAgreement walks one request over both the table-driven tree
+// and its arithmetic view and requires lockstep agreement at every level.
+func checkCursorAgreement(t *testing.T, tab, ari *Tree, src, dst int, rng *rand.Rand) {
+	t.Helper()
+	if gs, ga := tab.AncestorLevel(src, dst), ari.AncestorLevel(src, dst); gs != ga {
+		t.Fatalf("%s: AncestorLevel(%d,%d): table %d, arithmetic %d", tab, src, dst, gs, ga)
+	}
+	si, sp := tab.NodeSwitch(src)
+	ai, ap := ari.NodeSwitch(src)
+	if si != ai || sp != ap {
+		t.Fatalf("%s: NodeSwitch(%d): table (%d,%d), arithmetic (%d,%d)", tab, src, si, sp, ai, ap)
+	}
+	h := tab.AncestorLevel(src, dst)
+	var ct, ca RouteCursor
+	ct.Start(tab, src, dst)
+	ca.Start(ari, src, dst)
+	for lvl := 0; lvl < h; lvl++ {
+		p := rng.Intn(tab.Parents())
+		ct.Advance(p)
+		ca.Advance(p)
+		if ct.Sigma() != ca.Sigma() || ct.Delta() != ca.Delta() || ct.Level() != ca.Level() {
+			t.Fatalf("%s: %d→%d after port %d at level %d: table (σ=%d,δ=%d,l=%d), arithmetic (σ=%d,δ=%d,l=%d)",
+				tab, src, dst, p, lvl, ct.Sigma(), ct.Delta(), ct.Level(), ca.Sigma(), ca.Delta(), ca.Level())
+		}
+	}
+}
+
+// TestCursorTableMatchesArithmeticRandomShapes is the property test for
+// the topology kernel: across randomized FT(l, m, w) shapes — including
+// m != w and non-power-of-two radices — the table-driven cursor and the
+// Theorem 1 arithmetic cursor agree on every query the schedulers make.
+func TestCursorTableMatchesArithmeticRandomShapes(t *testing.T) {
+	rng := rand.New(rand.NewSource(42))
+	for iter := 0; iter < 60; iter++ {
+		l := 2 + rng.Intn(3)
+		m := 2 + rng.Intn(7)
+		w := 2 + rng.Intn(7)
+		tab := MustNew(l, m, w)
+		ari := tab.WithArithmeticCursor()
+		// Exhaustive UpParent agreement: every level, switch, and port.
+		for h := 0; h < tab.LinkLevels(); h++ {
+			for idx := 0; idx < tab.SwitchesAt(h); idx++ {
+				for p := 0; p < w; p++ {
+					if gt, ga := tab.UpParent(h, idx, p), ari.UpParent(h, idx, p); gt != ga {
+						t.Fatalf("%s: UpParent(%d,%d,%d): table %d, arithmetic %d", tab, h, idx, p, gt, ga)
+					}
+				}
+			}
+		}
+		for reqs := 0; reqs < 64; reqs++ {
+			checkCursorAgreement(t, tab, ari, rng.Intn(tab.Nodes()), rng.Intn(tab.Nodes()), rng)
+		}
+	}
+}
+
+// FuzzCursorTableMatchesArithmetic fuzzes shape and endpoints; the seed
+// corpus covers the pow-of-two fast paths, m != w, and non-power-of-two
+// w, and `go test` replays it as a unit test.
+func FuzzCursorTableMatchesArithmetic(f *testing.F) {
+	f.Add(3, 8, 8, 11, 200, int64(1))
+	f.Add(4, 4, 4, 0, 255, int64(2))
+	f.Add(3, 6, 6, 9, 9, int64(3))
+	f.Add(3, 4, 2, 63, 1, int64(4))
+	f.Add(2, 6, 3, 35, 0, int64(5))
+	f.Add(3, 5, 7, 100, 101, int64(6))
+	f.Fuzz(func(t *testing.T, l, m, w, src, dst int, seed int64) {
+		l = 1 + abs(l)%4
+		m = 1 + abs(m)%8
+		w = 1 + abs(w)%8
+		tab, err := New(l, m, w)
+		if err != nil {
+			t.Skip()
+		}
+		ari := tab.WithArithmeticCursor()
+		src = abs(src) % tab.Nodes()
+		dst = abs(dst) % tab.Nodes()
+		checkCursorAgreement(t, tab, ari, src, dst, rand.New(rand.NewSource(seed)))
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		x = -x
+	}
+	if x < 0 { // -MinInt overflows back to MinInt
+		return 0
+	}
+	return x
+}

@@ -14,6 +14,7 @@ package topology
 import (
 	"fmt"
 	"io"
+	"math/bits"
 
 	"repro/internal/digits"
 )
@@ -21,13 +22,39 @@ import (
 // Tree is an immutable fat tree FT(l, m, w). All switch references are
 // (level, dense index) pairs; nodes are integers 0..Nodes()-1 attached
 // below level-0 switches.
+//
+// The hot-path queries — UpParent, NodeSwitch, AncestorLevel, and
+// everything RouteCursor composes from them — run on a precomputed
+// kernel (digits.Kernel): one contiguous parent table for all levels,
+// cached stride/digit tables, and shift/mask forms when m or w is a
+// power of two. WithArithmeticCursor returns a view that answers the
+// same queries from the Theorem 1 digit arithmetic instead; the golden
+// tests pin the two bit-identical.
 type Tree struct {
 	spec digits.Spec
+	kern *digits.Kernel
 
-	// up[h][idx*W+p] is the level-h+1 parent index reached by taking
-	// upward port p from level-h switch idx; upChild[h][idx*W+p] is the
-	// downward (child) port at that parent leading back.
-	up      [][]int32
+	// upFlat holds every level's parent table contiguously: the level-h
+	// row block starts at upOff[h], and upFlat[upOff[h]+idx*W+p] is the
+	// level-h+1 parent index reached by taking upward port p from level-h
+	// switch idx. One slice for all levels keeps the cursor's working set
+	// cache-resident.
+	upFlat []int32
+	upOff  []int32
+	// Hot-path mirrors of kernel scalars, flattened into the Tree so the
+	// cursor methods touch one cache line instead of chasing t.kern:
+	// power-of-two shift/mask forms of w and m, the cached node count,
+	// and the XOR bit-length → ancestor-level table (nil unless m is a
+	// power of two).
+	wPow2          bool
+	mPow2          bool
+	wShift, mShift uint
+	mMask          int
+	nodes          int
+	lcaByLen       []int8
+
+	// upChild[h][idx*W+p] is the downward (child) port at the parent
+	// leading back to level-h switch idx via upward port p.
 	upChild [][]int32
 
 	// down[h][idx*M+c] is the level-h child index reached by taking
@@ -35,6 +62,10 @@ type Tree struct {
 	// is the upward port at that child leading back.
 	down     [][]int32
 	downPort [][]int32
+
+	// arith switches the hot-path queries from the precomputed tables to
+	// the digit arithmetic (see WithArithmeticCursor).
+	arith bool
 }
 
 // New constructs FT(l, m, w). It returns an error for invalid parameters
@@ -49,17 +80,33 @@ func New(l, m, w int) (*Tree, error) {
 	if n := spec.Nodes(); n > maxNodes {
 		return nil, fmt.Errorf("topology: FT(%d,%d,%d) has %d nodes, exceeds limit %d", l, m, w, n, maxNodes)
 	}
+	kern, err := digits.NewKernel(spec)
+	if err != nil {
+		return nil, err
+	}
 	t := &Tree{
 		spec:     spec,
-		up:       make([][]int32, spec.LinkLevels()),
+		kern:     kern,
+		upOff:    make([]int32, spec.LinkLevels()+1),
+		wPow2:    kern.WPow2(),
+		wShift:   kern.WShift(),
+		nodes:    kern.Nodes(),
 		upChild:  make([][]int32, spec.LinkLevels()),
 		down:     make([][]int32, spec.LinkLevels()),
 		downPort: make([][]int32, spec.LinkLevels()),
 	}
+	t.mPow2, t.mShift, t.mMask, t.lcaByLen = kern.LCAParams()
+	total := 0
+	for h := 0; h < spec.LinkLevels(); h++ {
+		t.upOff[h] = int32(total)
+		total += spec.SwitchesAt(h) * w
+	}
+	t.upOff[spec.LinkLevels()] = int32(total)
+	t.upFlat = make([]int32, total)
 	for h := 0; h < spec.LinkLevels(); h++ {
 		nLow := spec.SwitchesAt(h)
 		nHigh := spec.SwitchesAt(h + 1)
-		t.up[h] = make([]int32, nLow*w)
+		up := t.upFlat[t.upOff[h]:t.upOff[h+1]]
 		t.upChild[h] = make([]int32, nLow*w)
 		t.down[h] = make([]int32, nHigh*m)
 		t.downPort[h] = make([]int32, nHigh*m)
@@ -74,7 +121,7 @@ func New(l, m, w int) (*Tree, error) {
 				work := lab.Clone()
 				child := spec.UpInPlace(h, work, p)
 				parent := spec.Index(h+1, work)
-				t.up[h][idx*w+p] = int32(parent)
+				up[idx*w+p] = int32(parent)
 				t.upChild[h][idx*w+p] = int32(child)
 				t.down[h][parent*m+child] = int32(idx)
 				t.downPort[h][parent*m+child] = int32(p)
@@ -107,7 +154,23 @@ func (t *Tree) Children() int { return t.spec.M }
 func (t *Tree) Parents() int { return t.spec.W }
 
 // Nodes returns the number of processing nodes m^l.
-func (t *Tree) Nodes() int { return t.spec.Nodes() }
+func (t *Tree) Nodes() int { return t.kern.Nodes() }
+
+// Kernel returns the tree's precomputed digit/stride tables.
+func (t *Tree) Kernel() *digits.Kernel { return t.kern }
+
+// WithArithmeticCursor returns a view of the tree whose hot-path queries
+// — UpParent, NodeSwitch, AncestorLevel, and every RouteCursor walk over
+// them — use the Theorem 1 digit arithmetic (div/mod per level) instead
+// of the precomputed kernel tables. The view shares all storage with the
+// receiver. It exists as the reference the golden and fuzz tests pin the
+// table-driven kernel against: every scheduler family must produce
+// bit-identical results over either view.
+func (t *Tree) WithArithmeticCursor() *Tree {
+	c := *t
+	c.arith = true
+	return &c
+}
 
 // SwitchesAt returns the number of switches at a level.
 func (t *Tree) SwitchesAt(level int) int { return t.spec.SwitchesAt(level) }
@@ -135,7 +198,13 @@ func (t *Tree) TotalLinks() int {
 // UpParent returns the level-h+1 switch index reached by taking upward
 // port p from level-h switch idx.
 func (t *Tree) UpParent(h, idx, p int) int {
-	return int(t.up[h][idx*t.spec.W+p])
+	if t.arith {
+		return t.kern.UpParentArith(h, idx, p)
+	}
+	if t.wPow2 {
+		return int(t.upFlat[int(t.upOff[h])+(idx<<t.wShift|p)])
+	}
+	return int(t.upFlat[int(t.upOff[h])+idx*t.spec.W+p])
 }
 
 // UpParentDownPort returns the downward port at the parent that leads back
@@ -159,10 +228,13 @@ func (t *Tree) DownChildUpPort(h, idx, c int) int {
 // NodeSwitch returns the level-0 switch index of node n and the child port
 // it occupies. The dense level-0 index is n/m directly (Index is the
 // inverse of LabelOf), so no Label is materialized — this sits on every
-// scheduler's per-request hot path.
+// scheduler's per-request hot path (shift/mask when m is a power of two).
 func (t *Tree) NodeSwitch(n int) (switchIdx, port int) {
-	if n < 0 || n >= t.Nodes() {
-		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.Nodes()))
+	if uint(n) >= uint(t.nodes) {
+		panic(fmt.Sprintf("topology: node %d out of range [0,%d)", n, t.nodes))
+	}
+	if t.mPow2 && !t.arith {
+		return n >> t.mShift, n & t.mMask
 	}
 	return n / t.spec.M, n % t.spec.M
 }
@@ -170,7 +242,18 @@ func (t *Tree) NodeSwitch(n int) (switchIdx, port int) {
 // AncestorLevel returns the lowest-common-ancestor level H of the level-0
 // switches of two nodes: the request from a to b needs upward ports
 // P_0..P_{H-1}. H == 0 means both nodes share a level-0 switch.
-func (t *Tree) AncestorLevel(a, b int) int { return t.spec.NodeAncestorLevel(a, b) }
+func (t *Tree) AncestorLevel(a, b int) int {
+	if t.arith {
+		return t.spec.NodeAncestorLevel(a, b)
+	}
+	if t.lcaByLen != nil {
+		if uint(a) >= uint(t.nodes) || uint(b) >= uint(t.nodes) {
+			panic(fmt.Sprintf("digits: nodes (%d,%d) out of range [0,%d)", a, b, t.nodes))
+		}
+		return int(t.lcaByLen[bits.Len(uint((a>>t.mShift)^(b>>t.mShift)))])
+	}
+	return t.kern.NodeAncestorLevel(a, b)
+}
 
 // Hop is one switch visited by a path.
 type Hop struct {

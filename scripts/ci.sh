@@ -30,3 +30,15 @@ go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults
 # so bit-rot in the bench harnesses (including the parallel-engine and
 # zero-allocation benches) fails CI without costing bench-grade runtime.
 go test -run '^$' -bench . -benchtime 1x ./...
+
+# Hot-path smoke: the cursor-advance and fabric-release benches exercise
+# the table-driven topology kernel and the lock-free release ring end to
+# end (including the /arith oracle variants); run them explicitly so a
+# rename never silently drops them from the net above.
+go test -run '^$' -bench 'BenchmarkRouteCursor' -benchtime 1x ./internal/topology
+go test -run '^$' -bench 'BenchmarkFabricRelease' -benchtime 1x ./internal/fabric
+
+# Allocation-regression guard: the scheduling hot path must stay at zero
+# allocations per request; -count=2 re-runs it against warm scratch
+# state, which is where a regression would hide.
+go test -run 'TestScheduleIntoZeroAllocs' -count=2 ./internal/core
