@@ -61,6 +61,10 @@ func main() {
 	fabricWorkers := flag.Int("fabric-workers", 0, "fabric bench: parallel engine workers (0 = GOMAXPROCS)")
 	fabricRacy := flag.Bool("fabric-racy", false, "fabric bench: lock-free racy engine mode instead of deterministic")
 	fabricTimeout := flag.Duration("fabric-timeout", 0, "fabric bench: per-Connect admission timeout; a wedged server fails the run (0 = wait forever)")
+	planesFlag := flag.String("planes", "", "run the federation sweep over these comma-separated plane counts (e.g. \"1,2,4\") with the -fabric-* shape/client flags")
+	planePolicies := flag.String("plane-policies", "round-robin", "federation sweep: comma-separated plane selection policies")
+	planesConfig := flag.String("planes-config", "", "federation sweep: run one point from this multi-plane JSON config (from `fttopo gen`) instead of the -planes grid")
+	planesJSON := flag.String("planes-json", "", "federation sweep: also write the results as JSON to this file")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection sweep: fabric closed-loop clients plus a seeded mid-run fault/repair schedule")
 	chaosRates := flag.String("chaos-rates", "0,0.01,0.05,0.1", "chaos: comma-separated link failure rates p to sweep")
 	chaosCycle := flag.Duration("chaos-cycle", 20*time.Millisecond, "chaos: fault/repair alternation period")
@@ -78,6 +82,32 @@ func main() {
 	exit := func(code int) {
 		stopProfiles()
 		os.Exit(code)
+	}
+
+	if *planesFlag != "" || *planesConfig != "" {
+		fcfg := fedBenchConfig{
+			fabricBenchConfig: fabricBenchConfig{
+				Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
+				Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
+				MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
+				Timeout: *fabricTimeout, Scheduler: *fabricSched,
+			},
+			ConfigPath: *planesConfig,
+			JSONPath:   *planesJSON,
+			Policies:   splitList(*planePolicies),
+		}
+		if *planesFlag != "" {
+			if fcfg.PlaneCounts, err = parsePlaneCounts(*planesFlag); err == nil {
+				err = federationBench(os.Stdout, fcfg)
+			}
+		} else {
+			err = federationBench(os.Stdout, fcfg)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			exit(1)
+		}
+		exit(0)
 	}
 
 	if *fabricMode || *chaosMode {

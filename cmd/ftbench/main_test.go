@@ -1,6 +1,7 @@
 package main
 
 import (
+	"encoding/json"
 	"errors"
 	"os"
 	"path/filepath"
@@ -9,6 +10,7 @@ import (
 	"time"
 
 	"repro/internal/fabric"
+	"repro/internal/federation"
 )
 
 func TestWriteFilesCSVAndJSON(t *testing.T) {
@@ -109,6 +111,114 @@ func TestChaosBench(t *testing.T) {
 		if !strings.Contains(got, want) {
 			t.Errorf("chaos summary missing %q:\n%s", want, got)
 		}
+	}
+}
+
+// TestFederationBenchSweep runs a short 1-vs-2-plane sweep end to end,
+// checking the per-plane grant report, the imbalance ratio, and the
+// JSON dump.
+func TestFederationBenchSweep(t *testing.T) {
+	jsonPath := filepath.Join(t.TempDir(), "bench.json")
+	var out strings.Builder
+	err := federationBench(&out, fedBenchConfig{
+		fabricBenchConfig: fabricBenchConfig{
+			Levels: 3, Children: 4, Parents: 4,
+			Clients: 8, Batch: 8, Open: 2,
+			MaxWait: 200 * time.Microsecond, Duration: 100 * time.Millisecond, Seed: 1,
+		},
+		PlaneCounts: []int{1, 2},
+		Policies:    []string{"round-robin", "least-loaded"},
+		JSONPath:    jsonPath,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"planes=1", "planes=2", "policy=round-robin", "policy=least-loaded",
+		"per-plane grants", "imbalance", "grants/sec"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("sweep summary missing %q:\n%s", want, got)
+		}
+	}
+	var results []fedResult
+	data, err := os.ReadFile(jsonPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.Unmarshal(data, &results); err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 4 {
+		t.Fatalf("JSON has %d points, want 4", len(results))
+	}
+	for _, res := range results {
+		if res.Granted == 0 || len(res.PerPlane) != res.Planes {
+			t.Errorf("sweep point %+v", res)
+		}
+	}
+}
+
+// TestFederationBenchFromConfig runs the single point an explicit
+// config file describes — the `fttopo gen | ftbench -planes-config`
+// pipeline.
+func TestFederationBenchFromConfig(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "fabric.json")
+	fc := federation.Generate(2, 2, 4, 4, "", "least-loaded")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := fc.Write(f); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	var out strings.Builder
+	err = federationBench(&out, fedBenchConfig{
+		fabricBenchConfig: fabricBenchConfig{
+			Clients: 4, Batch: 1, Open: 1,
+			MaxWait: 200 * time.Microsecond, Duration: 50 * time.Millisecond, Seed: 1,
+		},
+		ConfigPath: path,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "planes=2 policy=least-loaded") {
+		t.Errorf("config-driven sweep summary:\n%s", out.String())
+	}
+}
+
+func TestFederationBenchValidation(t *testing.T) {
+	base := fabricBenchConfig{Levels: 2, Children: 4, Parents: 4,
+		Clients: 1, Open: 1, Duration: time.Millisecond}
+	if err := federationBench(os.Stdout, fedBenchConfig{fabricBenchConfig: base, PlaneCounts: []int{0}}); err == nil {
+		t.Error("0-plane point accepted")
+	}
+	if err := federationBench(os.Stdout, fedBenchConfig{fabricBenchConfig: base, PlaneCounts: []int{1}, Policies: []string{"fastest"}}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if err := federationBench(os.Stdout, fedBenchConfig{fabricBenchConfig: base, ConfigPath: "/does/not/exist.json"}); err == nil {
+		t.Error("missing config accepted")
+	}
+	if err := federationBench(os.Stdout, fedBenchConfig{PlaneCounts: []int{1}}); err == nil {
+		t.Error("zero clients accepted")
+	}
+}
+
+func TestParsePlaneCounts(t *testing.T) {
+	counts, err := parsePlaneCounts(" 1, 2,4 ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(counts) != 3 || counts[0] != 1 || counts[1] != 2 || counts[2] != 4 {
+		t.Fatalf("counts = %v", counts)
+	}
+	if _, err := parsePlaneCounts("1,x"); err == nil {
+		t.Error("parsePlaneCounts(1,x) accepted")
+	}
+	if got := splitList(" a, ,b "); len(got) != 2 || got[0] != "a" || got[1] != "b" {
+		t.Errorf("splitList = %v", got)
 	}
 }
 

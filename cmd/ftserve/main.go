@@ -1,37 +1,44 @@
-// Command ftserve runs the fabric manager as an HTTP daemon: the
-// centralized circuit-setup service the paper motivates, serving many
-// concurrent clients over a single fat tree's live link state.
+// Command ftserve runs the fabric as an HTTP daemon: the centralized
+// circuit-setup service the paper motivates, serving many concurrent
+// clients over one or more independent scheduling planes behind a
+// federation router.
 //
 // Usage:
 //
-//	ftserve [-addr :8080] [-levels 3] [-children 8] [-parents 8]
+//	ftserve [-addr :8080] [-planes 1] [-policy hash]
+//	        [-levels 3] [-children 8] [-parents 8]
 //	        [-batch 32] [-maxwait 2ms] [-queue 1024] [-timeout 0]
-//	        [-scheduler level-wise,rollback] [-pprof]
+//	        [-scheduler level-wise,rollback] [-config fabric.json]
+//	        [-validate] [-pprof]
 //
+// -planes builds N identical planes from the shape flags; -config loads
+// a multi-plane JSON config emitted by `fttopo gen` instead ("-" reads
+// stdin) and overrides the shape flags. -policy picks the plane
+// selection policy (hash | round-robin | random | least-loaded).
+// -validate checks the configuration and exits without serving.
 // -scheduler names the admission engine in internal/sched's registry
-// grammar ("family,key=value,flag"): sequential engines such as
-// "level-wise,rollback" or "backtrack,depth=2", and the parallel engine
-// via "parallel,mode=racy,workers=8" (which replaces the former
-// -parallel/-workers/-racy flags). The registered engines are printed at
-// startup. -pprof mounts the net/http/pprof profiling handlers under
-// /debug/pprof/.
+// grammar ("family,key=value,flag"). -pprof mounts the net/http/pprof
+// profiling handlers under /debug/pprof/.
 //
 // Endpoints (JSON over stdlib net/http):
 //
-//	POST /connect  {"src":0,"dst":37}   → 200 {"id":1,"src":0,"dst":37,"ports":[2,0,1]}
+//	POST /connect  {"src":0,"dst":37}   → 200 {"id":1,"src":0,"dst":37,"ports":[2,0,1],"plane":"plane0"}
 //	                                      409 {"error":"unroutable","fail_level":1}
 //	POST /release  {"id":1}             → 200 {"id":1,"released":true}
-//	POST /fault    {"links":[{"level":0,"switch":1,"port":2}]}
+//	POST /fault    {"plane":"plane0","links":[{"level":0,"switch":1,"port":2}]}
 //	                                    → 200 {"failed":2,"revoked":1} (inject faults)
-//	POST /fault    {"repair":true,"links":[...]} → repair those components
-//	POST /fault    {"repair":true}      → repair everything
-//	GET  /faults                        → 200 current fault set + degraded capacity
-//	GET  /stats                         → 200 fabric counters + epoch distributions
-//	                                          + engine choice + revoke/repair counters
-//	GET  /healthz                       → 200 {"status":"ok"|"degraded",...} liveness probe
+//	POST /fault    {"plane":"plane0","repair":true,"links":[...]} → repair those components
+//	POST /fault    {"plane":"plane0","repair":true} → repair the plane entirely and re-admit it
+//	POST /fault    {"plane":"plane0","kill":true}   → fail the whole plane
+//	GET  /faults                        → 200 per-plane fault sets + degraded capacity
+//	GET  /stats                         → 200 federated counters + per-plane fabric breakdown
+//	GET  /healthz                       → 200 {"status":"ok"|"degraded",...} liveness probe;
+//	                                      degraded while any plane has failed channels or
+//	                                      outstanding repair tickets
 //
-// SIGINT/SIGTERM drain in-flight requests, flush the admission queue
-// through a final epoch, and exit.
+// The "plane" field may be omitted on a single-plane federation.
+// SIGINT/SIGTERM drain in-flight requests, then drain every plane
+// concurrently under one deadline, and exit.
 package main
 
 import (
@@ -51,12 +58,17 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/federation"
 	"repro/internal/sched"
 	"repro/internal/topology"
 )
 
 func main() {
 	addr := flag.String("addr", ":8080", "listen address")
+	planes := flag.Int("planes", 1, "number of identical planes built from the shape flags")
+	policy := flag.String("policy", "hash", "plane selection policy (hash|round-robin|random|least-loaded)")
+	configPath := flag.String("config", "", "multi-plane JSON config (from `fttopo gen`; \"-\" reads stdin; overrides shape flags)")
+	validate := flag.Bool("validate", false, "validate the configuration and exit without serving")
 	levels := flag.Int("levels", 3, "switch levels l")
 	children := flag.Int("children", 8, "children per switch m")
 	parents := flag.Int("parents", 8, "parents per switch w")
@@ -68,33 +80,27 @@ func main() {
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
 	flag.Parse()
 
-	tree, err := topology.New(*levels, *children, *parents)
+	cfg, err := buildConfig(*configPath, *planes, *policy, *levels, *children, *parents,
+		*batch, *maxWait, *queue, *timeout, *schedSpec)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
 	}
-	eng, err := sched.Parse(*schedSpec)
-	if err != nil {
-		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
-		os.Exit(1)
+	if *validate {
+		fmt.Printf("ftserve: config ok: %d plane(s), policy %s, %d nodes\n",
+			len(cfg.Planes), cfg.Policy, cfg.Planes[0].Fabric.Tree.Nodes())
+		return
 	}
 	for _, info := range sched.List() {
 		log.Printf("ftserve: engine %-10s %s (example: %s)", info.Family, info.Summary, info.Example)
 	}
-	fab, err := fabric.New(fabric.Config{
-		Tree:          tree,
-		SchedulerSpec: *schedSpec,
-		BatchSize:     *batch,
-		MaxWait:       *maxWait,
-		QueueLimit:    *queue,
-		AdmitTimeout:  *timeout,
-	})
+	router, err := federation.New(cfg)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
 	}
 
-	sv := newServer(fab, tree)
+	sv := newServer(router)
 	sv.enablePprof = *pprofFlag
 	srv := &http.Server{Addr: *addr, Handler: sv.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
@@ -106,32 +112,73 @@ func main() {
 		if err := srv.Shutdown(shutdownCtx); err != nil {
 			log.Printf("ftserve: shutdown: %v", err)
 		}
-		if err := fab.Close(shutdownCtx); err != nil {
+		// One deadline for the whole fleet: Close drains every plane
+		// concurrently, so the slowest plane bounds the wait, not the sum.
+		if err := router.Close(shutdownCtx); err != nil {
 			log.Printf("ftserve: fabric drain: %v", err)
 		}
 	}()
-	log.Printf("ftserve: serving %s on %s (engine %s, batch %d, maxwait %s)", tree, *addr, eng.Name(), *batch, *maxWait)
+	log.Printf("ftserve: serving %d plane(s) of %s on %s (policy %s, %d nodes)",
+		router.PlaneCount(), cfg.Planes[0].Fabric.Tree, *addr, cfg.Policy, router.Nodes())
 	if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
 	}
 }
 
-// server maps HTTP requests onto one fabric manager, translating granted
-// handles to numeric connection ids clients can release later.
+// buildConfig resolves the federation config: a `fttopo gen` file when
+// -config is given, otherwise -planes identical planes from the shape
+// flags.
+func buildConfig(configPath string, planes int, policy string, levels, children, parents,
+	batch int, maxWait time.Duration, queue int, timeout time.Duration, schedSpec string) (federation.Config, error) {
+	if configPath != "" {
+		fc, err := federation.LoadFile(configPath)
+		if err != nil {
+			return federation.Config{}, err
+		}
+		return fc.Build()
+	}
+	if planes < 1 {
+		return federation.Config{}, fmt.Errorf("need at least 1 plane, got %d", planes)
+	}
+	pol, err := federation.ParsePolicy(policy)
+	if err != nil {
+		return federation.Config{}, err
+	}
+	cfg := federation.Config{Policy: pol}
+	for i := 0; i < planes; i++ {
+		tree, err := topology.New(levels, children, parents)
+		if err != nil {
+			return federation.Config{}, err
+		}
+		cfg.Planes = append(cfg.Planes, federation.PlaneConfig{
+			Fabric: fabric.Config{
+				Tree:          tree,
+				SchedulerSpec: schedSpec,
+				BatchSize:     batch,
+				MaxWait:       maxWait,
+				QueueLimit:    queue,
+				AdmitTimeout:  timeout,
+			},
+		})
+	}
+	return cfg, nil
+}
+
+// server maps HTTP requests onto the federation router, translating
+// granted handles to numeric connection ids clients can release later.
 type server struct {
-	fab  *fabric.Manager
-	tree *topology.Tree
+	router *federation.Router
 	// enablePprof mounts the net/http/pprof handlers in routes.
 	enablePprof bool
 
 	mu     sync.Mutex
 	nextID uint64
-	open   map[uint64]*fabric.Handle
+	open   map[uint64]*federation.Handle
 }
 
-func newServer(fab *fabric.Manager, tree *topology.Tree) *server {
-	return &server{fab: fab, tree: tree, open: make(map[uint64]*fabric.Handle)}
+func newServer(router *federation.Router) *server {
+	return &server{router: router, open: make(map[uint64]*federation.Handle)}
 }
 
 func (s *server) routes() http.Handler {
@@ -164,6 +211,7 @@ type connectResponse struct {
 	Src   int    `json:"src"`
 	Dst   int    `json:"dst"`
 	Ports []int  `json:"ports"`
+	Plane string `json:"plane"`
 }
 
 type errorResponse struct {
@@ -177,14 +225,19 @@ func (s *server) handleConnect(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	h, err := s.fab.Connect(r.Context(), req.Src, req.Dst)
+	h, err := s.router.Connect(r.Context(), req.Src, req.Dst)
 	if err != nil {
 		var ue *fabric.UnroutableError
 		switch {
 		case errors.As(err, &ue):
 			lvl := ue.FailLevel
 			writeJSON(w, http.StatusConflict, errorResponse{Error: "unroutable", FailLevel: &lvl})
-		case errors.Is(err, fabric.ErrAdmitTimeout), errors.Is(err, fabric.ErrClosed):
+		case errors.Is(err, fabric.ErrUnroutable):
+			// A federated denial without a single conflict level (every
+			// candidate plane refused).
+			writeJSON(w, http.StatusConflict, errorResponse{Error: "unroutable"})
+		case errors.Is(err, fabric.ErrAdmitTimeout), errors.Is(err, fabric.ErrClosed),
+			errors.Is(err, federation.ErrClosed):
 			writeJSON(w, http.StatusServiceUnavailable, errorResponse{Error: err.Error()})
 		case errors.Is(err, context.Canceled), errors.Is(err, context.DeadlineExceeded):
 			// Client went away; the response is best-effort.
@@ -199,7 +252,7 @@ func (s *server) handleConnect(w http.ResponseWriter, r *http.Request) {
 	id := s.nextID
 	s.open[id] = h
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, connectResponse{ID: id, Src: h.Src(), Dst: h.Dst(), Ports: h.Ports()})
+	writeJSON(w, http.StatusOK, connectResponse{ID: id, Src: h.Src(), Dst: h.Dst(), Ports: h.Ports(), Plane: h.Plane()})
 }
 
 type releaseRequest struct {
@@ -225,7 +278,7 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusNotFound, errorResponse{Error: fmt.Sprintf("no open connection %d", req.ID)})
 		return
 	}
-	if err := s.fab.Release(h); err != nil {
+	if err := h.Release(); err != nil {
 		writeJSON(w, http.StatusConflict, errorResponse{Error: err.Error()})
 		return
 	}
@@ -233,21 +286,44 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 // faultRequest is the POST /fault body: a faults.FaultSet (links and
-// switches) plus the repair switch. With repair=false the set is
-// injected; with repair=true it is healed — or, when the set is empty,
-// everything is healed.
+// switches) plus the plane it targets and the repair/kill switches.
+// With repair=false the set is injected; with repair=true it is healed
+// — or, when the set is empty, the whole plane is repaired and
+// re-admitted to candidate selection. kill=true fails the entire plane.
+// The plane field may be omitted on a single-plane federation.
 type faultRequest struct {
 	faults.FaultSet
-	Repair bool `json:"repair,omitempty"`
+	Plane  string `json:"plane,omitempty"`
+	Repair bool   `json:"repair,omitempty"`
+	Kill   bool   `json:"kill,omitempty"`
 }
 
 type faultResponse struct {
+	Plane string `json:"plane"`
 	// Failed/Revoked report an injection: channels newly taken out of
 	// service and granted connections sent to the repair loop.
 	Failed  int `json:"failed,omitempty"`
 	Revoked int `json:"revoked,omitempty"`
 	// Repaired reports a repair: channels returned to service.
 	Repaired int `json:"repaired,omitempty"`
+	// Killed reports a whole-plane kill.
+	Killed bool `json:"killed,omitempty"`
+}
+
+// targetPlane resolves the plane a fault request addresses: the named
+// one, or the only one when the federation has a single plane.
+func (s *server) targetPlane(name string) (string, fabric.Surface, error) {
+	if name == "" {
+		if s.router.PlaneCount() != 1 {
+			return "", nil, fmt.Errorf("multi-plane federation: name a plane (one of %v)", s.router.PlaneNames())
+		}
+		name = s.router.PlaneNames()[0]
+	}
+	surf, ok := s.router.Plane(name)
+	if !ok {
+		return "", nil, fmt.Errorf("unknown plane %q (one of %v)", name, s.router.PlaneNames())
+	}
+	return name, surf, nil
 }
 
 func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
@@ -256,100 +332,130 @@ func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "bad request body: " + err.Error()})
 		return
 	}
-	if req.Repair {
-		if req.FaultSet.Empty() {
-			writeJSON(w, http.StatusOK, faultResponse{Repaired: s.fab.RepairAll()})
-			return
-		}
-		repaired, err := s.fab.Repair(&req.FaultSet)
-		if err != nil {
-			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
-			return
-		}
-		writeJSON(w, http.StatusOK, faultResponse{Repaired: repaired})
-		return
-	}
-	if req.FaultSet.Empty() {
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fault set (name links or switches, or set repair)"})
-		return
-	}
-	failed, revoked, err := s.fab.Fail(&req.FaultSet)
+	name, surf, err := s.targetPlane(req.Plane)
 	if err != nil {
 		writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 		return
 	}
-	writeJSON(w, http.StatusOK, faultResponse{Failed: failed, Revoked: revoked})
+	switch {
+	case req.Kill:
+		if err := s.router.KillPlane(name); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Killed: true})
+	case req.Repair && req.FaultSet.Empty():
+		repaired := surf.FaultCount()
+		if err := s.router.RepairPlane(name); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Repaired: repaired})
+	case req.Repair:
+		repaired, err := surf.Repair(&req.FaultSet)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Repaired: repaired})
+	case req.FaultSet.Empty():
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fault set (name links or switches, or set repair/kill)"})
+	default:
+		failed, revoked, err := surf.Fail(&req.FaultSet)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Failed: failed, Revoked: revoked})
+	}
 }
 
-// faultsResponse is the GET /faults body: the current fault set in
-// canonical link form with the capacity headline.
-type faultsResponse struct {
+// planeFaults is one plane's entry in the GET /faults body.
+type planeFaults struct {
+	Plane            string             `json:"plane"`
 	FaultyChannels   int                `json:"faulty_channels"`
 	DegradedCapacity float64            `json:"degraded_capacity"`
 	PendingRepairs   int64              `json:"pending_repairs"`
 	Links            []faults.LinkFault `json:"links"`
 }
 
-func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
-	st := s.fab.Stats()
-	fs := s.fab.Faults()
-	if fs.Links == nil {
-		fs.Links = []faults.LinkFault{} // render [] rather than null
-	}
-	writeJSON(w, http.StatusOK, faultsResponse{
-		FaultyChannels:   st.FaultyChannels,
-		DegradedCapacity: st.DegradedCapacity,
-		PendingRepairs:   st.PendingRepairs,
-		Links:            fs.Links,
-	})
+type faultsResponse struct {
+	Planes []planeFaults `json:"planes"`
 }
 
-// statsResponse wraps the fabric snapshot with server-side context; the
-// embedded fabric.Stats shares its field layout with ftsched -json.
+func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
+	resp := faultsResponse{}
+	for _, name := range s.router.PlaneNames() {
+		surf, _ := s.router.Plane(name)
+		st := surf.Stats()
+		fs := surf.Faults()
+		if fs.Links == nil {
+			fs.Links = []faults.LinkFault{} // render [] rather than null
+		}
+		resp.Planes = append(resp.Planes, planeFaults{
+			Plane:            name,
+			FaultyChannels:   st.FaultyChannels,
+			DegradedCapacity: st.DegradedCapacity,
+			PendingRepairs:   st.PendingRepairs,
+			Links:            fs.Links,
+		})
+	}
+	writeJSON(w, http.StatusOK, resp)
+}
+
+// statsResponse wraps the federated snapshot with server-side context.
 type statsResponse struct {
-	Tree string `json:"tree"`
-	Open int    `json:"open"`
-	fabric.Stats
+	Nodes int `json:"nodes"`
+	Open  int `json:"open"`
+	federation.Stats
 }
 
 func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	open := len(s.open)
 	s.mu.Unlock()
-	writeJSON(w, http.StatusOK, statsResponse{Tree: s.tree.String(), Open: open, Stats: s.fab.Stats()})
+	writeJSON(w, http.StatusOK, statsResponse{Nodes: s.router.Nodes(), Open: open, Stats: s.router.Stats()})
 }
 
-// healthzResponse is the liveness-probe body: "ok" on a healthy fabric,
-// "degraded" while any channel is failed (still HTTP 200 — a degraded
-// fabric serves; capacity tells the prober how much is left).
-type healthzResponse struct {
-	Status           string  `json:"status"`
-	Tree             string  `json:"tree"`
-	Open             int     `json:"open"`
-	QueueDepth       int     `json:"queue_depth"`
-	FaultyChannels   int     `json:"faulty_channels,omitempty"`
+// planeHealth is one plane's entry in the healthz body.
+type planeHealth struct {
+	Plane            string  `json:"plane"`
+	Healthy          bool    `json:"healthy"`
+	FaultyChannels   int     `json:"faulty_channels"`
 	DegradedCapacity float64 `json:"degraded_capacity"`
-	PendingRepairs   int64   `json:"pending_repairs,omitempty"`
+	PendingRepairs   int64   `json:"pending_repairs"`
+}
+
+// healthzResponse is the liveness-probe body: "ok" while every plane is
+// clean, "degraded" while any plane has failed channels or outstanding
+// repair tickets (still HTTP 200 — a degraded federation serves; the
+// per-plane breakdown tells the prober what is left).
+type healthzResponse struct {
+	Status string        `json:"status"`
+	Nodes  int           `json:"nodes"`
+	Open   int           `json:"open"`
+	Planes []planeHealth `json:"planes"`
 }
 
 func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	open := len(s.open)
 	s.mu.Unlock()
-	st := s.fab.Stats()
-	status := "ok"
-	if st.FaultyChannels > 0 {
-		status = "degraded"
+	st := s.router.Stats()
+	resp := healthzResponse{Status: "ok", Nodes: s.router.Nodes(), Open: open}
+	for _, ps := range st.Planes {
+		if ps.Fabric.FaultyChannels > 0 || ps.Fabric.PendingRepairs > 0 || !ps.Healthy {
+			resp.Status = "degraded"
+		}
+		resp.Planes = append(resp.Planes, planeHealth{
+			Plane:            ps.Name,
+			Healthy:          ps.Healthy,
+			FaultyChannels:   ps.Fabric.FaultyChannels,
+			DegradedCapacity: ps.Fabric.DegradedCapacity,
+			PendingRepairs:   ps.Fabric.PendingRepairs,
+		})
 	}
-	writeJSON(w, http.StatusOK, healthzResponse{
-		Status:           status,
-		Tree:             s.tree.String(),
-		Open:             open,
-		QueueDepth:       st.QueueDepth,
-		FaultyChannels:   st.FaultyChannels,
-		DegradedCapacity: st.DegradedCapacity,
-		PendingRepairs:   st.PendingRepairs,
-	})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func writeJSON(w http.ResponseWriter, status int, v any) {

@@ -12,22 +12,40 @@ import (
 
 	"repro/internal/fabric"
 	"repro/internal/faults"
+	"repro/internal/federation"
 	"repro/internal/topology"
 )
 
-func newTestServer(t *testing.T, levels, children int, batch int) (*httptest.Server, *fabric.Manager) {
+// newTestRouter builds a federation of n identical planes the way
+// buildConfig does from shape flags.
+func newTestRouter(t *testing.T, planes, levels, children, batch int, policy federation.Policy) *federation.Router {
 	t.Helper()
-	tree := topology.MustNew(levels, children, children)
-	fab, err := fabric.New(fabric.Config{Tree: tree, BatchSize: batch, MaxWait: 200 * time.Microsecond})
+	cfg := federation.Config{Policy: policy}
+	for i := 0; i < planes; i++ {
+		cfg.Planes = append(cfg.Planes, federation.PlaneConfig{
+			Fabric: fabric.Config{
+				Tree:      topology.MustNew(levels, children, children),
+				BatchSize: batch,
+				MaxWait:   200 * time.Microsecond,
+			},
+		})
+	}
+	r, err := federation.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(fab, tree).routes())
+	return r
+}
+
+func newTestServer(t *testing.T, planes, levels, children, batch int) (*httptest.Server, *federation.Router) {
+	t.Helper()
+	router := newTestRouter(t, planes, levels, children, batch, federation.PolicyRoundRobin)
+	ts := httptest.NewServer(newServer(router).routes())
 	t.Cleanup(func() {
 		ts.Close()
-		fab.Close(context.Background())
+		router.Close(context.Background())
 	})
-	return ts, fab
+	return ts, router
 }
 
 func postJSON(t *testing.T, url string, body any, out any) int {
@@ -50,27 +68,23 @@ func postJSON(t *testing.T, url string, body any, out any) int {
 }
 
 func TestConnectReleaseStats(t *testing.T) {
-	ts, _ := newTestServer(t, 3, 4, 4)
+	ts, _ := newTestServer(t, 1, 3, 4, 4)
 
 	var conn connectResponse
 	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: 33}, &conn); code != http.StatusOK {
 		t.Fatalf("connect status %d", code)
 	}
-	if conn.ID == 0 || len(conn.Ports) == 0 {
+	if conn.ID == 0 || len(conn.Ports) == 0 || conn.Plane != "plane0" {
 		t.Fatalf("connect response %+v", conn)
 	}
 
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
 	var st statsResponse
-	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
-		t.Fatal(err)
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Open != 1 || st.Granted != 1 || st.Offered != 1 {
+		t.Errorf("federated stats after connect: %+v", st.Stats)
 	}
-	resp.Body.Close()
-	if st.Open != 1 || st.Granted != 1 || st.Active != 1 || st.Utilization <= 0 {
-		t.Errorf("stats after connect: %+v", st)
+	if len(st.Planes) != 1 || st.Planes[0].Fabric.Active != 1 || st.Planes[0].Fabric.Utilization <= 0 {
+		t.Errorf("plane stats after connect: %+v", st.Planes)
 	}
 
 	var rel releaseResponse
@@ -83,7 +97,7 @@ func TestConnectReleaseStats(t *testing.T) {
 }
 
 func TestConnectUnroutable(t *testing.T) {
-	ts, _ := newTestServer(t, 2, 2, 1)
+	ts, _ := newTestServer(t, 1, 2, 2, 1)
 
 	// Saturate the two upward channels of level-0 switch 1 (nodes 2, 3).
 	for i := 0; i < 2; i++ {
@@ -100,8 +114,39 @@ func TestConnectUnroutable(t *testing.T) {
 	}
 }
 
+// TestConnectFailsOverPlanes saturates plane0 directly and checks the
+// HTTP layer lands the admission on plane1, reporting which plane took
+// it.
+func TestConnectFailsOverPlanes(t *testing.T) {
+	ts, router := newTestServer(t, 2, 2, 2, 1)
+
+	// Round-robin starts on plane0; saturate node 2's uplinks there
+	// out-of-band so the HTTP admission must fail over.
+	surf, ok := router.Plane("plane0")
+	if !ok {
+		t.Fatal("plane0 missing")
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := surf.Admit(context.Background(), 2, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var conn connectResponse
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 2, Dst: 0}, &conn); code != http.StatusOK {
+		t.Fatalf("connect status %d", code)
+	}
+	if conn.Plane != "plane1" {
+		t.Errorf("connect landed on %q, want plane1", conn.Plane)
+	}
+	var st statsResponse
+	getJSON(t, ts.URL+"/stats", &st)
+	if st.Failovers == 0 {
+		t.Errorf("no failover counted: %+v", st.Stats)
+	}
+}
+
 func TestBadRequests(t *testing.T) {
-	ts, _ := newTestServer(t, 2, 4, 1)
+	ts, _ := newTestServer(t, 1, 2, 4, 1)
 
 	resp, err := http.Post(ts.URL+"/connect", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
@@ -125,7 +170,7 @@ func TestBadRequests(t *testing.T) {
 }
 
 func TestConcurrentHTTPClients(t *testing.T) {
-	ts, fab := newTestServer(t, 3, 8, 16)
+	ts, router := newTestServer(t, 2, 3, 8, 16)
 
 	const clients = 32
 	errs := make(chan error, clients)
@@ -152,43 +197,123 @@ func TestConcurrentHTTPClients(t *testing.T) {
 			t.Error(err)
 		}
 	}
-	s := fab.Stats()
-	if s.Offered != s.Granted+s.Rejected+s.Cancelled {
+	s := router.Stats()
+	if s.Offered != s.Granted+s.Rejected {
 		t.Errorf("counter identity broken: %+v", s)
 	}
-	if s.Active != 0 {
-		t.Errorf("active %d after all releases", s.Active)
+	for _, ps := range s.Planes {
+		if ps.Fabric.Active != 0 || ps.Occupancy != 0 {
+			t.Errorf("plane %s not drained after all releases: %+v", ps.Name, ps)
+		}
 	}
 }
 
 func TestHealthz(t *testing.T) {
-	ts, _ := newTestServer(t, 2, 4, 4)
-	resp, err := http.Get(ts.URL + "/healthz")
+	ts, _ := newTestServer(t, 2, 2, 4, 4)
+	var hz healthzResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || hz.Nodes != 16 || len(hz.Planes) != 2 {
+		t.Errorf("healthz body %+v", hz)
+	}
+	for _, p := range hz.Planes {
+		if !p.Healthy || p.FaultyChannels != 0 || p.PendingRepairs != 0 {
+			t.Errorf("plane health %+v", p)
+		}
+	}
+}
+
+// TestHealthzDegradedOnPendingRepairs pins the shutdown-satellite
+// contract: /healthz reports "degraded" while any plane holds
+// outstanding repair tickets, even after its channels are healed. A
+// width-1 tree gives the held circuit exactly one route, so the repair
+// attempt deterministically fails while the fault stands, and an
+// hour-long RepairBackoff parks the ticket where healthz can see it.
+func TestHealthzDegradedOnPendingRepairs(t *testing.T) {
+	cfg := federation.Config{}
+	for i := 0; i < 2; i++ {
+		cfg.Planes = append(cfg.Planes, federation.PlaneConfig{
+			Fabric: fabric.Config{
+				Tree:          topology.MustNew(2, 4, 1),
+				BatchSize:     1,
+				MaxWait:       200 * time.Microsecond,
+				RepairBackoff: time.Hour,
+				RepairRetries: 8,
+			},
+		})
+	}
+	router, err := federation.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	if resp.StatusCode != http.StatusOK {
-		t.Fatalf("healthz status %d", resp.StatusCode)
+	ts := httptest.NewServer(newServer(router).routes())
+	t.Cleanup(func() {
+		ts.Close()
+		router.Close(context.Background())
+	})
+
+	var conn connectResponse
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: 15}, &conn); code != http.StatusOK {
+		t.Fatalf("connect status %d", code)
 	}
+	// Fault the held circuit's only uplink, wait out the immediate
+	// (doomed) repair attempt, then heal the channels: the parked
+	// ticket is now the sole degradation signal. If the heal ever
+	// outraces the first repair attempt the circuit re-admits cleanly
+	// and the cycle simply repeats.
+	fault := faultRequest{
+		Plane:    conn.Plane,
+		FaultSet: faults.FaultSet{Links: []faults.LinkFault{{Level: 0, Switch: 0, Port: conn.Ports[0]}}},
+	}
+	repair := faultRequest{Plane: conn.Plane, Repair: true, FaultSet: fault.FaultSet}
 	var hz healthzResponse
-	if err := json.NewDecoder(resp.Body).Decode(&hz); err != nil {
-		t.Fatal(err)
+	pending := false
+	for try := 0; try < 20 && !pending; try++ {
+		var fr faultResponse
+		if code := postJSON(t, ts.URL+"/fault", fault, &fr); code != http.StatusOK || fr.Revoked != 1 {
+			t.Fatalf("fault status %d resp %+v", code, fr)
+		}
+		time.Sleep(10 * time.Millisecond)
+		if code := postJSON(t, ts.URL+"/fault", repair, &fr); code != http.StatusOK {
+			t.Fatalf("repair status %d", code)
+		}
+		getJSON(t, ts.URL+"/healthz", &hz)
+		for _, p := range hz.Planes {
+			if p.FaultyChannels != 0 {
+				t.Fatalf("plane %s still has %d faulty channels after heal", p.Plane, p.FaultyChannels)
+			}
+			if p.PendingRepairs > 0 {
+				pending = true
+			}
+		}
 	}
-	if hz.Status != "ok" || hz.Tree == "" {
-		t.Errorf("healthz body %+v", hz)
+	if !pending {
+		t.Fatal("never captured an outstanding repair ticket in 20 cycles")
+	}
+	if hz.Status != "degraded" {
+		t.Errorf("healthz %q with outstanding repair tickets, want degraded: %+v", hz.Status, hz)
+	}
+	// Releasing the owner retires the parked ticket; health recovers.
+	if code := postJSON(t, ts.URL+"/release", releaseRequest{ID: conn.ID}, nil); code != http.StatusOK {
+		t.Fatalf("release status %d", code)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		getJSON(t, ts.URL+"/healthz", &hz)
+		if hz.Status == "ok" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("healthz stuck degraded after release: %+v", hz)
+		}
+		time.Sleep(time.Millisecond)
 	}
 }
 
 func TestPprofGated(t *testing.T) {
-	tree := topology.MustNew(2, 2, 2)
-	fab, err := fabric.New(fabric.Config{Tree: tree})
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer fab.Close(context.Background())
+	router := newTestRouter(t, 1, 2, 2, fabric.DefaultBatchSize, federation.PolicyHash)
+	defer router.Close(context.Background())
 
-	off := httptest.NewServer(newServer(fab, tree).routes())
+	off := httptest.NewServer(newServer(router).routes())
 	defer off.Close()
 	resp, err := http.Get(off.URL + "/debug/pprof/cmdline")
 	if err != nil {
@@ -199,7 +324,7 @@ func TestPprofGated(t *testing.T) {
 		t.Errorf("pprof without -pprof: status %d, want 404", resp.StatusCode)
 	}
 
-	sv := newServer(fab, tree)
+	sv := newServer(router)
 	sv.enablePprof = true
 	on := httptest.NewServer(sv.routes())
 	defer on.Close()
@@ -215,51 +340,47 @@ func TestPprofGated(t *testing.T) {
 	}
 }
 
-// TestStatsReportsEngine drives a parallel-enabled manager through the
-// HTTP layer and checks the engine choice surfaces in GET /stats.
+// TestStatsReportsEngine drives a parallel-enabled plane through the
+// HTTP layer and checks the engine choice surfaces in the per-plane
+// fabric breakdown of GET /stats.
 func TestStatsReportsEngine(t *testing.T) {
-	tree := topology.MustNew(3, 4, 4)
-	fab, err := fabric.New(fabric.Config{
-		Tree:              tree,
-		BatchSize:         1,
-		ParallelThreshold: 1,
-		ParallelWorkers:   2,
-		ParallelRacy:      true,
-	})
+	cfg := federation.Config{Planes: []federation.PlaneConfig{{
+		Fabric: fabric.Config{
+			Tree:              topology.MustNew(3, 4, 4),
+			BatchSize:         1,
+			ParallelThreshold: 1,
+			ParallelWorkers:   2,
+			ParallelRacy:      true,
+		},
+	}}}
+	router, err := federation.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(fab, tree).routes())
+	ts := httptest.NewServer(newServer(router).routes())
 	t.Cleanup(func() {
 		ts.Close()
-		fab.Close(context.Background())
+		router.Close(context.Background())
 	})
 
-	// A single-request epoch still falls below the parallel engine's
-	// internal len(reqs) >= 2 bar, but threshold routing counts it.
-	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: tree.Nodes() - 1}, nil); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: 63}, nil); code != http.StatusOK {
 		t.Fatalf("connect status %d", code)
 	}
-	resp, err := http.Get(ts.URL + "/stats")
-	if err != nil {
-		t.Fatal(err)
-	}
-	defer resp.Body.Close()
 	var raw map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		t.Fatal(err)
+	getJSON(t, ts.URL+"/stats", &raw)
+	planes, _ := raw["planes"].([]any)
+	if len(planes) != 1 {
+		t.Fatalf("stats planes = %v", raw["planes"])
 	}
-	if raw["parallel_mode"] != "racy" {
-		t.Errorf("parallel_mode = %v", raw["parallel_mode"])
+	fb, _ := planes[0].(map[string]any)["fabric"].(map[string]any)
+	if fb["parallel_mode"] != "racy" {
+		t.Errorf("parallel_mode = %v", fb["parallel_mode"])
 	}
-	if raw["parallel_threshold"] != float64(1) || raw["parallel_workers"] != float64(2) {
-		t.Errorf("parallel config echo: threshold=%v workers=%v", raw["parallel_threshold"], raw["parallel_workers"])
+	if fb["parallel_threshold"] != float64(1) || fb["parallel_workers"] != float64(2) {
+		t.Errorf("parallel config echo: threshold=%v workers=%v", fb["parallel_threshold"], fb["parallel_workers"])
 	}
-	if pe, _ := raw["parallel_epochs"].(float64); pe < 1 {
-		t.Errorf("parallel_epochs = %v, want >= 1", raw["parallel_epochs"])
-	}
-	if le, _ := raw["last_epoch_engine"].(string); le == "" {
-		t.Errorf("last_epoch_engine missing: %v", raw["last_epoch_engine"])
+	if pe, _ := fb["parallel_epochs"].(float64); pe < 1 {
+		t.Errorf("parallel_epochs = %v, want >= 1", fb["parallel_epochs"])
 	}
 }
 
@@ -279,32 +400,37 @@ func postJSON0(url string, body any, out any) int {
 	return resp.StatusCode
 }
 
-// TestFaultEndpoints drives the fault-injection surface end to end:
-// inject over HTTP, watch a held connection get revoked and repaired,
-// read the degraded health, then heal and confirm recovery.
+// TestFaultEndpoints drives the fault-injection surface end to end on a
+// single-plane federation (the plane field may be omitted): inject over
+// HTTP, watch a held connection get revoked and repaired, read the
+// degraded health, then heal and confirm recovery.
 func TestFaultEndpoints(t *testing.T) {
-	tree := topology.MustNew(2, 4, 4)
-	fab, err := fabric.New(fabric.Config{
-		Tree:          tree,
-		BatchSize:     1,
-		MaxWait:       200 * time.Microsecond,
-		RepairBackoff: 500 * time.Microsecond,
-	})
+	cfg := federation.Config{Planes: []federation.PlaneConfig{{
+		Fabric: fabric.Config{
+			Tree:          topology.MustNew(2, 4, 4),
+			BatchSize:     1,
+			MaxWait:       200 * time.Microsecond,
+			RepairBackoff: 500 * time.Microsecond,
+		},
+	}}}
+	router, err := federation.New(cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ts := httptest.NewServer(newServer(fab, tree).routes())
+	ts := httptest.NewServer(newServer(router).routes())
 	t.Cleanup(func() {
 		ts.Close()
-		fab.Close(context.Background())
+		router.Close(context.Background())
 	})
+	surf, _ := router.Plane("plane0")
 
 	var conn connectResponse
-	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: tree.Nodes() - 1}, &conn); code != http.StatusOK {
+	if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: 0, Dst: 15}, &conn); code != http.StatusOK {
 		t.Fatalf("connect status %d", code)
 	}
 
-	// Kill the link the connection climbs through.
+	// Kill the link the connection climbs through; no plane named — the
+	// sole plane is the implied target.
 	var fr faultResponse
 	body := faultRequest{FaultSet: faults.FaultSet{Links: []faults.LinkFault{
 		{Level: 0, Switch: 0, Port: conn.Ports[0]},
@@ -312,25 +438,26 @@ func TestFaultEndpoints(t *testing.T) {
 	if code := postJSON(t, ts.URL+"/fault", body, &fr); code != http.StatusOK {
 		t.Fatalf("fault status %d", code)
 	}
-	if fr.Failed != 2 || fr.Revoked != 1 {
-		t.Fatalf("fault response %+v, want failed=2 revoked=1", fr)
+	if fr.Plane != "plane0" || fr.Failed != 2 || fr.Revoked != 1 {
+		t.Fatalf("fault response %+v, want plane0 failed=2 revoked=1", fr)
 	}
 
 	// Degraded health while the faults stand.
 	var hz healthzResponse
 	getJSON(t, ts.URL+"/healthz", &hz)
-	if hz.Status != "degraded" || hz.FaultyChannels != 2 || hz.DegradedCapacity >= 1.0 {
+	if hz.Status != "degraded" || hz.Planes[0].FaultyChannels != 2 || hz.Planes[0].DegradedCapacity >= 1.0 {
 		t.Fatalf("degraded healthz %+v", hz)
 	}
 	var fl faultsResponse
 	getJSON(t, ts.URL+"/faults", &fl)
-	if fl.FaultyChannels != 2 || len(fl.Links) != 1 || fl.Links[0].Port != conn.Ports[0] {
+	if len(fl.Planes) != 1 || fl.Planes[0].FaultyChannels != 2 ||
+		len(fl.Planes[0].Links) != 1 || fl.Planes[0].Links[0].Port != conn.Ports[0] {
 		t.Fatalf("faults body %+v", fl)
 	}
 
 	// The repair loop re-admits the revoked connection around the fault.
 	deadline := time.Now().Add(5 * time.Second)
-	for fab.Stats().Repaired < 1 {
+	for surf.Stats().Repaired < 1 {
 		if time.Now().After(deadline) {
 			t.Fatal("repair did not complete within 5s")
 		}
@@ -338,16 +465,17 @@ func TestFaultEndpoints(t *testing.T) {
 	}
 	var st statsResponse
 	getJSON(t, ts.URL+"/stats", &st)
-	if st.Revoked != 1 || st.Repaired != 1 || st.FaultyChannels != 2 {
-		t.Fatalf("stats after repair %+v", st)
+	if fb := st.Planes[0].Fabric; fb.Revoked != 1 || fb.Repaired != 1 || fb.FaultyChannels != 2 {
+		t.Fatalf("stats after repair %+v", fb)
 	}
 
-	// Heal everything; health returns to ok and the handle releases.
+	// Heal the whole plane (repair with an empty set); health returns to
+	// ok and the handle releases.
 	if code := postJSON(t, ts.URL+"/fault", faultRequest{Repair: true}, &fr); code != http.StatusOK || fr.Repaired != 2 {
 		t.Fatalf("repair-all status %d resp %+v", code, fr)
 	}
 	getJSON(t, ts.URL+"/healthz", &hz)
-	if hz.Status != "ok" || hz.DegradedCapacity != 1.0 {
+	if hz.Status != "ok" || hz.Planes[0].DegradedCapacity != 1.0 {
 		t.Fatalf("healed healthz %+v", hz)
 	}
 	if code := postJSON(t, ts.URL+"/release", releaseRequest{ID: conn.ID}, nil); code != http.StatusOK {
@@ -355,10 +483,53 @@ func TestFaultEndpoints(t *testing.T) {
 	}
 }
 
+// TestPlaneKillAndRepairOverHTTP exercises the whole-plane fault verbs:
+// kill a named plane, watch traffic land on the survivor and health go
+// degraded, then repair the plane and watch it rejoin.
+func TestPlaneKillAndRepairOverHTTP(t *testing.T) {
+	ts, _ := newTestServer(t, 2, 2, 4, 1)
+
+	var fr faultResponse
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Plane: "plane0", Kill: true}, &fr); code != http.StatusOK {
+		t.Fatalf("kill status %d", code)
+	}
+	if !fr.Killed || fr.Plane != "plane0" {
+		t.Fatalf("kill response %+v", fr)
+	}
+
+	var hz healthzResponse
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "degraded" || hz.Planes[0].Healthy || !hz.Planes[1].Healthy {
+		t.Fatalf("healthz after kill %+v", hz)
+	}
+	// Admissions keep flowing, on the survivor.
+	for i := 0; i < 4; i++ {
+		var conn connectResponse
+		if code := postJSON(t, ts.URL+"/connect", connectRequest{Src: i, Dst: 15 - i}, &conn); code != http.StatusOK {
+			t.Fatalf("connect %d status %d", i, code)
+		}
+		if conn.Plane != "plane1" {
+			t.Errorf("connect %d landed on %q, want plane1", i, conn.Plane)
+		}
+	}
+
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Plane: "plane0", Repair: true}, &fr); code != http.StatusOK {
+		t.Fatalf("plane repair status %d", code)
+	}
+	if fr.Plane != "plane0" || fr.Repaired == 0 {
+		t.Fatalf("plane repair response %+v", fr)
+	}
+	getJSON(t, ts.URL+"/healthz", &hz)
+	if hz.Status != "ok" || !hz.Planes[0].Healthy {
+		t.Fatalf("healthz after plane repair %+v", hz)
+	}
+}
+
 // TestFaultEndpointValidation pins the error paths: malformed JSON,
-// out-of-range components, and the empty injection body.
+// out-of-range components, the empty injection body, and plane
+// addressing mistakes.
 func TestFaultEndpointValidation(t *testing.T) {
-	ts, _ := newTestServer(t, 2, 4, 4)
+	ts, _ := newTestServer(t, 2, 2, 4, 4)
 
 	resp, err := http.Post(ts.URL+"/fault", "application/json", bytes.NewReader([]byte("{")))
 	if err != nil {
@@ -370,25 +541,59 @@ func TestFaultEndpointValidation(t *testing.T) {
 	}
 
 	var er errorResponse
-	bad := faultRequest{FaultSet: faults.FaultSet{Links: []faults.LinkFault{{Level: 9, Switch: 0, Port: 0}}}}
+	bad := faultRequest{Plane: "plane0", FaultSet: faults.FaultSet{Links: []faults.LinkFault{{Level: 9, Switch: 0, Port: 0}}}}
 	if code := postJSON(t, ts.URL+"/fault", bad, &er); code != http.StatusBadRequest || er.Error == "" {
 		t.Errorf("out-of-range fault: status %d body %+v", code, er)
 	}
-	if code := postJSON(t, ts.URL+"/fault", faultRequest{}, &er); code != http.StatusBadRequest {
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Plane: "plane0"}, &er); code != http.StatusBadRequest {
 		t.Errorf("empty injection: status %d", code)
 	}
-	// GET /faults on a healthy fabric renders an empty list, not null.
-	resp, err = http.Get(ts.URL + "/faults")
+	// A multi-plane federation demands a plane name...
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Kill: true}, &er); code != http.StatusBadRequest {
+		t.Errorf("unaddressed multi-plane fault: status %d", code)
+	}
+	// ...and rejects unknown ones.
+	if code := postJSON(t, ts.URL+"/fault", faultRequest{Plane: "plane9", Kill: true}, &er); code != http.StatusBadRequest {
+		t.Errorf("unknown plane: status %d", code)
+	}
+	// GET /faults on a healthy federation renders empty lists, not null.
+	var raw map[string]any
+	getJSON(t, ts.URL+"/faults", &raw)
+	planes, ok := raw["planes"].([]any)
+	if !ok || len(planes) != 2 {
+		t.Fatalf("healthy /faults planes = %v", raw["planes"])
+	}
+	for _, p := range planes {
+		if links, ok := p.(map[string]any)["links"].([]any); !ok || len(links) != 0 {
+			t.Errorf("healthy /faults links = %v, want []", p.(map[string]any)["links"])
+		}
+	}
+}
+
+// TestBuildConfig pins the flag-vs-file resolution buildConfig performs
+// for main.
+func TestBuildConfig(t *testing.T) {
+	cfg, err := buildConfig("", 3, "least-loaded", 2, 4, 2, 8, time.Millisecond, 64, 0, "level-wise,rollback")
 	if err != nil {
 		t.Fatal(err)
 	}
-	defer resp.Body.Close()
-	var raw map[string]any
-	if err := json.NewDecoder(resp.Body).Decode(&raw); err != nil {
-		t.Fatal(err)
+	if len(cfg.Planes) != 3 || cfg.Policy != federation.PolicyLeastLoaded {
+		t.Fatalf("flag-built config %+v", cfg)
 	}
-	if links, ok := raw["links"].([]any); !ok || len(links) != 0 {
-		t.Errorf("healthy /faults links = %v, want []", raw["links"])
+	if cfg.Planes[0].Fabric.Tree == cfg.Planes[1].Fabric.Tree {
+		t.Error("planes share one tree")
+	}
+	if cfg.Planes[2].Fabric.BatchSize != 8 || cfg.Planes[2].Fabric.MaxWait != time.Millisecond {
+		t.Errorf("plane knobs %+v", cfg.Planes[2].Fabric)
+	}
+	if _, err := buildConfig("", 0, "hash", 2, 2, 2, 1, 0, 0, 0, ""); err == nil {
+		t.Error("0 planes accepted")
+	}
+	if _, err := buildConfig("", 1, "fastest", 2, 2, 2, 1, 0, 0, 0, ""); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if _, err := buildConfig("/does/not/exist.json", 1, "hash", 2, 2, 2, 1, 0, 0, 0, ""); err == nil {
+		t.Error("missing config file accepted")
 	}
 }
 

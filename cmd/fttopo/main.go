@@ -1,11 +1,14 @@
 // Command fttopo inspects fat-tree topologies: structural summary,
 // wiring validation (including the Ohring/Theorem-1 cross-check), path
-// enumeration between two nodes, and Graphviz export.
+// enumeration between two nodes, and Graphviz export. The gen
+// subcommand emits multi-plane federation configs for ftserve/ftbench.
 //
 // Usage:
 //
 //	fttopo [-levels 3] [-children 4] [-parents 4] [-dot out.dot]
 //	       [-path src,dst]
+//	fttopo gen [-planes 2] [-levels 3] [-children 4] [-parents 4]
+//	           [-scheduler spec] [-policy hash] [-out fabric.json]
 package main
 
 import (
@@ -15,10 +18,18 @@ import (
 	"strings"
 
 	"repro/internal/digits"
+	"repro/internal/federation"
 	"repro/internal/topology"
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "gen" {
+		if err := runGen(os.Args[2:]); err != nil {
+			fmt.Fprintf(os.Stderr, "fttopo gen: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 	levels := flag.Int("levels", 3, "switch levels l")
 	children := flag.Int("children", 4, "children per switch m")
 	parents := flag.Int("parents", 4, "parents per switch w")
@@ -30,6 +41,39 @@ func main() {
 		fmt.Fprintf(os.Stderr, "fttopo: %v\n", err)
 		os.Exit(1)
 	}
+}
+
+// runGen is the gen subcommand: emit a federation FileConfig of n
+// identical planes, validated before it is written, to stdout or -out.
+func runGen(args []string) error {
+	fs := flag.NewFlagSet("gen", flag.ContinueOnError)
+	planes := fs.Int("planes", 2, "number of planes")
+	levels := fs.Int("levels", 3, "switch levels l")
+	children := fs.Int("children", 4, "children per switch m")
+	parents := fs.Int("parents", 4, "parents per switch w")
+	scheduler := fs.String("scheduler", "", "per-plane admission engine spec (empty = fabric default)")
+	policy := fs.String("policy", "", "plane selection policy (hash|round-robin|random|least-loaded; empty = hash)")
+	out := fs.String("out", "", "write the config to this file (default stdout)")
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if *planes < 1 {
+		return fmt.Errorf("need at least 1 plane, got %d", *planes)
+	}
+	fc := federation.Generate(*planes, *levels, *children, *parents, *scheduler, *policy)
+	if err := fc.Validate(); err != nil {
+		return err
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		w = f
+	}
+	return fc.Write(w)
 }
 
 func run(levels, children, parents int, dotPath, pathSpec string) error {

@@ -6,6 +6,7 @@ import (
 	"strings"
 	"testing"
 
+	"repro/internal/federation"
 	"repro/internal/topology"
 )
 
@@ -46,6 +47,54 @@ func TestRunErrors(t *testing.T) {
 	}
 	if err := run(2, 4, 4, "/nonexistent-dir/x.dot", ""); err == nil {
 		t.Error("unwritable dot path accepted")
+	}
+}
+
+// TestGenEmitsLoadableConfig pins the gen → ftserve contract: the
+// emitted file loads through the same federation.LoadFile path the
+// server uses, carrying the requested shape and knobs.
+func TestGenEmitsLoadableConfig(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "fabric.json")
+	err := runGen([]string{"-planes", "3", "-levels", "2", "-children", "4", "-parents", "2",
+		"-scheduler", "backtrack,depth=2", "-policy", "least-loaded", "-out", out})
+	if err != nil {
+		t.Fatal(err)
+	}
+	fc, err := federation.LoadFile(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fc.Planes) != 3 || fc.Policy != "least-loaded" {
+		t.Fatalf("generated config %+v", fc)
+	}
+	for i, ps := range fc.Planes {
+		if ps.Levels != 2 || ps.Arity != 4 || ps.Width != 2 || ps.Scheduler != "backtrack,depth=2" {
+			t.Errorf("plane %d spec %+v", i, ps)
+		}
+	}
+	if _, err := fc.Build(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGenErrors(t *testing.T) {
+	if err := runGen([]string{"-planes", "0"}); err == nil {
+		t.Error("0 planes accepted")
+	}
+	if err := runGen([]string{"-levels", "0", "-out", os.DevNull}); err == nil {
+		t.Error("bad shape accepted")
+	}
+	if err := runGen([]string{"-policy", "fastest", "-out", os.DevNull}); err == nil {
+		t.Error("bad policy accepted")
+	}
+	if err := runGen([]string{"-scheduler", "warp-drive", "-out", os.DevNull}); err == nil {
+		t.Error("bad scheduler accepted")
+	}
+	if err := runGen([]string{"-out", "/nonexistent-dir/x.json"}); err == nil {
+		t.Error("unwritable out path accepted")
+	}
+	if err := runGen([]string{"-bogus"}); err == nil {
+		t.Error("unknown flag accepted")
 	}
 }
 

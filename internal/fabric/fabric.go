@@ -161,6 +161,15 @@ type Config struct {
 	// queue (default DefaultRepairBackoff). The first attempt is
 	// immediate: a revoked connection joins the very next epoch.
 	RepairBackoff time.Duration
+	// OnConnTerminal, when non-nil, is invoked (on its own goroutine,
+	// no manager lock held) each time the repair loop retires a revoked
+	// connection with a terminal error — retries exhausted
+	// (ErrUnroutableDegraded) or shutdown mid-repair (wrapping
+	// ErrClosed). It does NOT fire when the owner's own Release aborts a
+	// repair: the owner asked for the teardown and already has the
+	// verdict. Federation uses this hook to re-admit the dead circuit on
+	// a surviving plane.
+	OnConnTerminal func(c Conn, cause error)
 	// ReleaseRing sizes the lock-free release ring (rounded up to a
 	// power of two). The Release fast path parks the handle there — two
 	// atomic loads and one CAS, never the manager lock — and the flusher
@@ -458,7 +467,7 @@ func New(cfg Config) (*Manager, error) {
 		kick:         make(chan struct{}, 1),
 		closing:      make(chan struct{}),
 		done:         make(chan struct{}),
-		st:           linkstate.New(cfg.Tree),
+		st:           newTrackedState(cfg.Tree),
 		conns:        make(map[*Handle]struct{}),
 		failed:       make(map[faults.Channel]struct{}),
 		epochSize:    newShardedRing(4096),
@@ -897,6 +906,17 @@ func (m *Manager) deliver(dels []delivery) {
 		dels[i].t.resp <- dels[i].r
 		dels[i] = delivery{}
 	}
+}
+
+// newTrackedState builds the plane's link state with load tracking on:
+// the manager pays one predictable branch per channel operation to keep
+// the O(1) occupancy gauge and per-channel cumulative counters current —
+// the signals Occupancy, Stats, and federation's least-loaded policy
+// read without the scheduling lock.
+func newTrackedState(tree *topology.Tree) *linkstate.State {
+	st := linkstate.New(tree)
+	st.TrackLoad()
+	return st
 }
 
 // releaseRetainedLocked drops the partial allocations of a rejected

@@ -266,13 +266,20 @@ func (m *Manager) repairVerdictLocked(t *ticket, o *core.Outcome, epoch uint64) 
 }
 
 // killRepairLocked retires a repairing handle with a terminal error,
-// bumping the given outcome counter. Caller holds m.mu.
+// bumping the given outcome counter. Caller holds m.mu. The
+// OnConnTerminal hook fires on its own goroutine so it can call back
+// into the manager (or another plane's) without deadlocking; it fires
+// only here — every terminal repair verdict funnels through this
+// function, and owner-initiated releases never do.
 func (m *Manager) killRepairLocked(h *Handle, cause error, counter interface{ Add(uint64) uint64 }) {
 	h.state.Store(handleDead)
 	h.repairErr = cause
 	delete(m.conns, h)
 	m.pendingRepairs.Add(-1)
 	counter.Add(1)
+	if m.cfg.OnConnTerminal != nil {
+		go m.cfg.OnConnTerminal(h, cause)
+	}
 }
 
 // requeueRepair is the backoff timer's continuation: it puts the repair

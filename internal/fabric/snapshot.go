@@ -82,6 +82,11 @@ type Stats struct {
 	QueueDepth int   `json:"queue_depth"`
 	// Utilization is occupied channels / total channels on the live state.
 	Utilization float64 `json:"utilization"`
+	// Occupancy is the live occupied-channel count from the link state's
+	// O(1) gauge (the least-loaded plane-selection signal); ChannelAllocs
+	// is the cumulative number of channel allocations ever performed.
+	Occupancy     int64  `json:"occupancy"`
+	ChannelAllocs uint64 `json:"channel_allocs"`
 	// EpochSize and EpochLatencyMS summarize the last ≤4096 epochs; epoch
 	// latency is measured from the oldest member's enqueue to its verdict,
 	// so it includes the batching wait.
@@ -153,6 +158,8 @@ func (m *Manager) Stats() Stats {
 		Active:         m.active.Load(),
 		QueueDepth:     depth,
 		Utilization:    util,
+		Occupancy:      m.st.LiveOccupancy(),
+		ChannelAllocs:  m.st.TotalAllocs(),
 		EpochSize:      size,
 		EpochLatencyMS: lat,
 

@@ -1,0 +1,86 @@
+package fabric
+
+// The plane-agnostic admission surface. A federation (internal/federation)
+// composes N independent planes, each a full *Manager; these interfaces
+// are the seam it composes against, extracted so the router tier depends
+// on "something that admits circuits against one fat tree" rather than on
+// the Manager concrete type. Go's lack of covariant returns means
+// Connect's (*Handle, error) signature cannot satisfy a
+// (Conn, error)-returning interface method directly, so Manager carries a
+// thin Admit adapter; everything else is satisfied by existing methods.
+
+import (
+	"context"
+
+	"repro/internal/faults"
+	"repro/internal/topology"
+)
+
+// Conn is one granted circuit, abstracted from the owning plane. A
+// *Handle satisfies it; federated handles wrap one and route Release
+// back to the plane that granted it.
+type Conn interface {
+	// Src and Dst are the circuit's endpoints.
+	Src() int
+	Dst() int
+	// Ports is a copy of the upward port choices, one per level below
+	// the common ancestor (see Handle.Ports).
+	Ports() []int
+	// Release returns the circuit's channels to its plane, exactly once.
+	Release() error
+	// Err reports why the circuit died (terminal repair verdict), nil
+	// while it is alive.
+	Err() error
+	// Repairing reports whether a fault revoked the circuit and the
+	// plane's repair loop is re-admitting it.
+	Repairing() bool
+}
+
+// Surface is one admission plane: the subset of *Manager the federation
+// router needs to admit, observe, fault, and drain a plane without
+// knowing its concrete type.
+type Surface interface {
+	// Admit requests a circuit; the plane-typed form of Connect.
+	Admit(ctx context.Context, src, dst int) (Conn, error)
+	// Tree is the fat tree this plane schedules against.
+	Tree() *topology.Tree
+	// Occupancy is the live count of occupied channels — the O(1)
+	// load signal least-loaded plane selection reads per admission.
+	Occupancy() int64
+	// Stats snapshots the plane's counters and distributions.
+	Stats() Stats
+
+	// Fault surface: inject, inspect, and heal (see the Manager methods).
+	Fail(fs *faults.FaultSet) (failed, revoked int, err error)
+	Repair(fs *faults.FaultSet) (int, error)
+	RepairAll() int
+	Faults() *faults.FaultSet
+	FaultCount() int
+
+	// Close stops admission and drains the plane (bounded by ctx).
+	Close(ctx context.Context) error
+}
+
+// Compile-time proof that the concrete plane types satisfy the surface.
+var (
+	_ Surface = (*Manager)(nil)
+	_ Conn    = (*Handle)(nil)
+)
+
+// Admit is Connect with the plane-typed return. The nil-handle error
+// case must not produce a non-nil Conn holding a nil *Handle.
+func (m *Manager) Admit(ctx context.Context, src, dst int) (Conn, error) {
+	h, err := m.Connect(ctx, src, dst)
+	if h == nil {
+		return nil, err
+	}
+	return h, err
+}
+
+// Tree returns the fat tree this manager schedules against.
+func (m *Manager) Tree() *topology.Tree { return m.cfg.Tree }
+
+// Occupancy returns the live number of occupied channels, from the link
+// state's O(1) atomic gauge — no lock, safe on any goroutine, and the
+// signal federation's least-loaded policy polls per admission.
+func (m *Manager) Occupancy() int64 { return m.st.LiveOccupancy() }

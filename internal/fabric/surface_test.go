@@ -1,0 +1,115 @@
+package fabric
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"repro/internal/topology"
+)
+
+// TestSurfaceAdapter exercises the plane-agnostic surface through the
+// interface types only — the way federation consumes a plane.
+func TestSurfaceAdapter(t *testing.T) {
+	m, err := New(Config{Tree: topology.MustNew(3, 2, 2), BatchSize: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	var s Surface = m
+
+	if s.Tree().Nodes() != 8 {
+		t.Fatalf("Tree().Nodes() = %d, want 8", s.Tree().Nodes())
+	}
+	if got := s.Occupancy(); got != 0 {
+		t.Fatalf("idle Occupancy = %d, want 0", got)
+	}
+	c, err := s.Admit(context.Background(), 0, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Src() != 0 || c.Dst() != 7 {
+		t.Errorf("endpoints (%d, %d), want (0, 7)", c.Src(), c.Dst())
+	}
+	// 0 and 7 meet at the top of FT(3,2,2): 2 levels × up+down = 4 channels.
+	if got := s.Occupancy(); got != 4 {
+		t.Errorf("Occupancy = %d, want 4", got)
+	}
+	st := s.Stats()
+	if st.Occupancy != 4 || st.ChannelAllocs != 4 {
+		t.Errorf("Stats occupancy/allocs = %d/%d, want 4/4", st.Occupancy, st.ChannelAllocs)
+	}
+	if err := c.Release(); err != nil {
+		t.Fatal(err)
+	}
+	if st = s.Stats(); st.Occupancy != 0 {
+		t.Errorf("Occupancy after release = %d, want 0", st.Occupancy)
+	}
+	// A denial must come back as a typed nil-free (nil, error) pair: a
+	// Conn interface holding a nil *Handle would defeat == nil checks.
+	if _, err := s.Admit(context.Background(), 0, 999); err == nil {
+		t.Fatal("out-of-range admit succeeded")
+	}
+	c2, err := s.Admit(context.Background(), 0, 999)
+	if c2 != nil {
+		t.Fatalf("failed Admit returned non-nil Conn %v (err %v)", c2, err)
+	}
+}
+
+// TestOnConnTerminalHook pins the hook contract: it fires exactly once
+// per terminal repair verdict, with the dead Conn and its cause, and
+// does not fire for owner-initiated releases.
+func TestOnConnTerminalHook(t *testing.T) {
+	type death struct {
+		c     Conn
+		cause error
+	}
+	deaths := make(chan death, 4)
+	m, err := New(Config{
+		Tree:           topology.MustNew(2, 2, 2),
+		BatchSize:      1,
+		RepairRetries:  1,
+		OnConnTerminal: func(c Conn, cause error) { deaths <- death{c, cause} },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	h, err := m.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Owner release: no hook.
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case d := <-deaths:
+		t.Fatalf("hook fired for an owner release: %v", d.cause)
+	default:
+	}
+
+	h2, err := m.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kill the whole level-0 up row out of switch 0: with RepairRetries=1
+	// the revoked connection dies on its first re-admission attempt.
+	if _, err := m.FailSwitch(1, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := m.FailSwitch(1, 1); err != nil {
+		t.Fatal(err)
+	}
+	d := <-deaths
+	if d.c.Src() != h2.Src() || d.c.Dst() != h2.Dst() {
+		t.Errorf("hook conn (%d→%d), want (%d→%d)", d.c.Src(), d.c.Dst(), h2.Src(), h2.Dst())
+	}
+	if !errors.Is(d.cause, ErrUnroutableDegraded) {
+		t.Errorf("hook cause %v, want ErrUnroutableDegraded", d.cause)
+	}
+	if got := d.c.Err(); !errors.Is(got, ErrUnroutableDegraded) {
+		t.Errorf("Conn.Err() = %v, want ErrUnroutableDegraded", got)
+	}
+}

@@ -1,0 +1,218 @@
+package federation
+
+// The on-disk multi-plane config grammar: what `fttopo gen` emits and
+// `ftserve -config` / `ftbench -planes-config` load. JSON with duration
+// fields as Go duration strings ("2ms"), validated against the
+// scheduler registry and the topology constructor before any plane is
+// built.
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/sched"
+	"repro/internal/topology"
+)
+
+// PlaneSpec describes one plane in a config file.
+type PlaneSpec struct {
+	// Name identifies the plane (default "plane<i>").
+	Name string `json:"name,omitempty"`
+	// Levels/Arity/Width are the FT(l, m, w) shape: l switch levels,
+	// m children per switch, w parents per switch.
+	Levels int `json:"levels"`
+	Arity  int `json:"arity"`
+	Width  int `json:"width"`
+	// Scheduler is an internal/sched registry spec (e.g.
+	// "level-wise,rollback", "backtrack,depth=2"); empty means the
+	// fabric default.
+	Scheduler string `json:"scheduler,omitempty"`
+	// Queue/ring knobs; zero means the fabric default.
+	BatchSize    int    `json:"batch_size,omitempty"`
+	MaxWait      string `json:"max_wait,omitempty"`
+	QueueLimit   int    `json:"queue_limit,omitempty"`
+	AdmitTimeout string `json:"admit_timeout,omitempty"`
+	ReleaseRing  int    `json:"release_ring,omitempty"`
+	// Repair-loop knobs; zero means the fabric default.
+	RepairRetries int    `json:"repair_retries,omitempty"`
+	RepairBackoff string `json:"repair_backoff,omitempty"`
+	// Parallel-engine knobs (see fabric.Config).
+	ParallelThreshold int  `json:"parallel_threshold,omitempty"`
+	ParallelWorkers   int  `json:"parallel_workers,omitempty"`
+	ParallelRacy      bool `json:"parallel_racy,omitempty"`
+}
+
+// FileConfig is a serialized federation: the router knobs plus one spec
+// per plane.
+type FileConfig struct {
+	// Policy is the plane-selection policy name
+	// (hash|round-robin|random|least-loaded); empty means hash.
+	Policy string `json:"policy,omitempty"`
+	// FailoverLimit/EjectAfter/ProbeInterval map to Config; zero means
+	// the federation default.
+	FailoverLimit int         `json:"failover_limit,omitempty"`
+	EjectAfter    int         `json:"eject_after,omitempty"`
+	ProbeInterval string      `json:"probe_interval,omitempty"`
+	Planes        []PlaneSpec `json:"planes"`
+}
+
+// Generate builds the FileConfig `fttopo gen` emits: n identical planes
+// of shape FT(l, m, w) running the given scheduler spec under the given
+// policy. Plane names are "plane0".."plane<n-1>".
+func Generate(n, l, m, w int, scheduler, policy string) *FileConfig {
+	fc := &FileConfig{Policy: policy}
+	for i := 0; i < n; i++ {
+		fc.Planes = append(fc.Planes, PlaneSpec{
+			Name:      fmt.Sprintf("plane%d", i),
+			Levels:    l,
+			Arity:     m,
+			Width:     w,
+			Scheduler: scheduler,
+		})
+	}
+	return fc
+}
+
+// Load parses a FileConfig from r and validates it.
+func Load(r io.Reader) (*FileConfig, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var fc FileConfig
+	if err := dec.Decode(&fc); err != nil {
+		return nil, fmt.Errorf("federation: parsing config: %w", err)
+	}
+	if err := fc.Validate(); err != nil {
+		return nil, err
+	}
+	return &fc, nil
+}
+
+// LoadFile reads and validates a FileConfig from path ("-" for stdin).
+func LoadFile(path string) (*FileConfig, error) {
+	if path == "-" {
+		return Load(os.Stdin)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	fc, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return fc, nil
+}
+
+// Write emits the config as indented JSON, the `fttopo gen` output
+// format.
+func (fc *FileConfig) Write(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(fc)
+}
+
+// Validate checks every field that Build would reject, without building
+// anything: policy and scheduler names resolve, durations parse, tree
+// shapes construct, and all planes serve one node count.
+func (fc *FileConfig) Validate() error {
+	if _, err := ParsePolicy(fc.Policy); err != nil {
+		return err
+	}
+	if _, err := parseDur("probe_interval", fc.ProbeInterval); err != nil {
+		return err
+	}
+	if len(fc.Planes) == 0 {
+		return ErrNoPlanes
+	}
+	nodes := -1
+	for i, ps := range fc.Planes {
+		where := ps.Name
+		if where == "" {
+			where = fmt.Sprintf("plane %d", i)
+		}
+		tree, err := topology.New(ps.Levels, ps.Arity, ps.Width)
+		if err != nil {
+			return fmt.Errorf("federation: %s: %w", where, err)
+		}
+		if nodes == -1 {
+			nodes = tree.Nodes()
+		} else if tree.Nodes() != nodes {
+			return fmt.Errorf("federation: %s serves %d nodes, previous planes serve %d", where, tree.Nodes(), nodes)
+		}
+		if ps.Scheduler != "" {
+			if _, err := sched.Parse(ps.Scheduler); err != nil {
+				return fmt.Errorf("federation: %s: %w", where, err)
+			}
+		}
+		for _, d := range []struct{ name, val string }{
+			{"max_wait", ps.MaxWait},
+			{"admit_timeout", ps.AdmitTimeout},
+			{"repair_backoff", ps.RepairBackoff},
+		} {
+			if _, err := parseDur(d.name, d.val); err != nil {
+				return fmt.Errorf("federation: %s: %w", where, err)
+			}
+		}
+	}
+	return nil
+}
+
+// Build validates the file and constructs the runtime Config, building
+// one topology per plane (planes never share a tree: they are
+// independent fabrics that merely agree on shape).
+func (fc *FileConfig) Build() (Config, error) {
+	if err := fc.Validate(); err != nil {
+		return Config{}, err
+	}
+	policy, _ := ParsePolicy(fc.Policy)
+	probe, _ := parseDur("probe_interval", fc.ProbeInterval)
+	cfg := Config{
+		Policy:        policy,
+		FailoverLimit: fc.FailoverLimit,
+		EjectAfter:    fc.EjectAfter,
+		ProbeInterval: probe,
+	}
+	for _, ps := range fc.Planes {
+		maxWait, _ := parseDur("max_wait", ps.MaxWait)
+		admit, _ := parseDur("admit_timeout", ps.AdmitTimeout)
+		backoff, _ := parseDur("repair_backoff", ps.RepairBackoff)
+		cfg.Planes = append(cfg.Planes, PlaneConfig{
+			Name: ps.Name,
+			Fabric: fabric.Config{
+				Tree:              topology.MustNew(ps.Levels, ps.Arity, ps.Width),
+				SchedulerSpec:     ps.Scheduler,
+				BatchSize:         ps.BatchSize,
+				MaxWait:           maxWait,
+				QueueLimit:        ps.QueueLimit,
+				AdmitTimeout:      admit,
+				ReleaseRing:       ps.ReleaseRing,
+				RepairRetries:     ps.RepairRetries,
+				RepairBackoff:     backoff,
+				ParallelThreshold: ps.ParallelThreshold,
+				ParallelWorkers:   ps.ParallelWorkers,
+				ParallelRacy:      ps.ParallelRacy,
+			},
+		})
+	}
+	return cfg, nil
+}
+
+// parseDur parses an optional Go duration string ("" means zero).
+func parseDur(field, s string) (time.Duration, error) {
+	if s == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(s)
+	if err != nil {
+		return 0, fmt.Errorf("federation: %s: %w", field, err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("federation: %s: negative duration %s", field, s)
+	}
+	return d, nil
+}

@@ -1,0 +1,123 @@
+package federation
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestConfigRoundTrip pins the gen → write → load → build pipeline the
+// fttopo gen | ftserve -config smoke exercises.
+func TestConfigRoundTrip(t *testing.T) {
+	fc := Generate(3, 2, 4, 2, "backtrack,depth=2", "least-loaded")
+	fc.FailoverLimit = 2
+	fc.EjectAfter = 5
+	fc.ProbeInterval = "75ms"
+	fc.Planes[1].BatchSize = 4
+	fc.Planes[1].MaxWait = "1ms"
+	fc.Planes[2].AdmitTimeout = "250ms"
+
+	var buf bytes.Buffer
+	if err := fc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got.Planes) != 3 || got.Policy != "least-loaded" || got.Planes[1].MaxWait != "1ms" {
+		t.Fatalf("round trip mangled the config: %+v", got)
+	}
+
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Policy != PolicyLeastLoaded || cfg.FailoverLimit != 2 || cfg.EjectAfter != 5 {
+		t.Errorf("built router knobs: %+v", cfg)
+	}
+	if cfg.ProbeInterval != 75*time.Millisecond {
+		t.Errorf("ProbeInterval = %v, want 75ms", cfg.ProbeInterval)
+	}
+	if cfg.Planes[1].Fabric.MaxWait != time.Millisecond || cfg.Planes[1].Fabric.BatchSize != 4 {
+		t.Errorf("plane 1 fabric knobs: %+v", cfg.Planes[1].Fabric)
+	}
+	if cfg.Planes[0].Fabric.Tree.Nodes() != 16 {
+		t.Errorf("plane 0 nodes = %d, want 16", cfg.Planes[0].Fabric.Tree.Nodes())
+	}
+	// Planes must not share a tree: independent fabrics, same shape.
+	if cfg.Planes[0].Fabric.Tree == cfg.Planes[1].Fabric.Tree {
+		t.Error("planes share one *topology.Tree")
+	}
+
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(context.Background())
+	h, err := r.Connect(context.Background(), 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestConfigValidationErrors(t *testing.T) {
+	cases := []struct {
+		name, json, want string
+	}{
+		{"bad policy", `{"policy":"fastest","planes":[{"levels":2,"arity":2,"width":1}]}`, "unknown policy"},
+		{"no planes", `{"planes":[]}`, "no planes"},
+		{"bad shape", `{"planes":[{"levels":0,"arity":2,"width":1}]}`, "plane 0"},
+		{"bad scheduler", `{"planes":[{"levels":2,"arity":2,"width":1,"scheduler":"warp-drive"}]}`, "warp-drive"},
+		{"bad duration", `{"planes":[{"levels":2,"arity":2,"width":1,"max_wait":"fast"}]}`, "max_wait"},
+		{"node mismatch", `{"planes":[{"levels":2,"arity":2,"width":1},{"name":"b","levels":2,"arity":4,"width":1}]}`, "b serves"},
+		{"unknown field", `{"plains":[]}`, "unknown field"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Load(strings.NewReader(tc.json))
+			if err == nil {
+				t.Fatalf("config accepted: %s", tc.json)
+			}
+			if !strings.Contains(err.Error(), tc.want) {
+				t.Errorf("error %q does not mention %q", err, tc.want)
+			}
+		})
+	}
+	if _, err := LoadFile("/does/not/exist.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+	var empty FileConfig
+	if err := empty.Validate(); !errors.Is(err, ErrNoPlanes) {
+		t.Errorf("empty config: %v, want ErrNoPlanes", err)
+	}
+}
+
+func TestParsePolicyGrammar(t *testing.T) {
+	for _, name := range Policies() {
+		p, err := ParsePolicy(name)
+		if err != nil {
+			t.Errorf("ParsePolicy(%q): %v", name, err)
+		}
+		if p.String() != name {
+			t.Errorf("ParsePolicy(%q).String() = %q", name, p.String())
+		}
+	}
+	if p, err := ParsePolicy(""); err != nil || p != PolicyHash {
+		t.Errorf("empty policy = %v, %v; want hash", p, err)
+	}
+	for alias, want := range map[string]Policy{"rr": PolicyRoundRobin, "rand": PolicyRandom, "ll": PolicyLeastLoaded, "least": PolicyLeastLoaded} {
+		if p, err := ParsePolicy(alias); err != nil || p != want {
+			t.Errorf("alias %q = %v, %v; want %v", alias, p, err, want)
+		}
+	}
+	if _, err := ParsePolicy("fastest"); err == nil {
+		t.Error("ParsePolicy(fastest) succeeded")
+	}
+}

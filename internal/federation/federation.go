@@ -1,0 +1,507 @@
+// Package federation is the front-end router tier over N independent
+// scheduling planes. Each plane is a full fabric.Manager — its own fat
+// tree, link state, epoch queue, and release ring — so planes share no
+// locks and scale admission throughput horizontally, the way real
+// clusters scale past one fat-tree instance by running parallel planes
+// (Solnushkin, PAPERS.md). The Router owns plane selection (a pluggable
+// Policy over the live per-plane occupancy gauges), bounded cross-plane
+// failover when a plane denies or is degraded, per-plane health with
+// ejection and re-admission probing, and cross-plane re-admission of
+// connections a plane's repair loop gives up on.
+//
+// A federated Handle wraps the granted plane's connection; Release
+// routes back to the owning plane, transparently following the
+// connection if a plane failure migrated it. A connection is lost only
+// when every failover and re-admission avenue is exhausted, and then
+// its Release reports ErrConnLost — the documented terminal error the
+// chaos tests account against.
+package federation
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+)
+
+// Defaults applied by New.
+const (
+	DefaultEjectAfter    = 3
+	DefaultProbeInterval = 50 * time.Millisecond
+)
+
+// Sentinel errors. ErrReleased aliases the fabric sentinel so drain
+// loops need only one errors.Is check across both tiers.
+var (
+	// ErrClosed is returned by Connect after Close.
+	ErrClosed = errors.New("federation: router closed")
+	// ErrNoPlanes is returned by New for an empty plane set.
+	ErrNoPlanes = errors.New("federation: no planes configured")
+	// ErrConnLost is the terminal verdict for a federated connection:
+	// its plane revoked it, the plane-local repair loop gave up, and
+	// cross-plane re-admission found no surviving plane that could route
+	// it. Release of a lost handle returns an error matching this.
+	ErrConnLost = errors.New("federation: connection lost")
+	// ErrReleased reports a second Release of the same handle.
+	ErrReleased = fabric.ErrReleased
+)
+
+// PlaneConfig names and parameterizes one plane.
+type PlaneConfig struct {
+	// Name identifies the plane in stats, fault targeting, and logs.
+	// Empty names default to "plane<i>".
+	Name string
+	// Fabric configures the plane's manager. Tree is required; all
+	// planes must agree on the node count (the federated address space).
+	// OnConnTerminal is reserved for the router's re-admission hook: a
+	// caller-set hook is chained after it.
+	Fabric fabric.Config
+}
+
+// Config parameterizes a Router.
+type Config struct {
+	// Planes are the scheduling planes, at least one.
+	Planes []PlaneConfig
+	// Policy orders candidate planes per admission (default PolicyHash).
+	Policy Policy
+	// FailoverLimit bounds how many additional planes an admission may
+	// try after its first choice denies (0 or negative: all remaining
+	// candidates — failover is always bounded by the plane count).
+	FailoverLimit int
+	// EjectAfter is the consecutive-denial streak that ejects a plane
+	// from candidate selection (default DefaultEjectAfter). An ejected
+	// plane receives no traffic except single-flight re-admission
+	// probes; any successful grant re-admits it.
+	EjectAfter int
+	// ProbeInterval is the minimum spacing between re-admission probes
+	// of an ejected plane (default DefaultProbeInterval).
+	ProbeInterval time.Duration
+}
+
+// plane is one scheduling plane plus its router-side health state.
+type plane struct {
+	name string
+	surf fabric.Surface
+
+	// grants counts circuits the router placed here (initial admissions
+	// and cross-plane re-admissions) — the load-spread signal ftbench
+	// reports as per-plane grant counts and imbalance.
+	grants atomic.Uint64
+
+	// Health: failStreak consecutive failover-able denials eject the
+	// plane; lastProbe gates single-flight re-admission probes (a CAS
+	// on the timestamp elects exactly one prober per interval).
+	failStreak atomic.Int32
+	ejected    atomic.Bool
+	lastProbe  atomic.Int64 // UnixNano of the last probe election
+}
+
+// noteSuccess records a grant: the streak resets and an ejected plane
+// re-admits itself to candidate selection.
+func (p *plane) noteSuccess() {
+	p.failStreak.Store(0)
+	p.ejected.Store(false)
+}
+
+// noteFailure records a failover-able denial; crossing the streak
+// threshold ejects the plane.
+func (p *plane) noteFailure(ejectAfter int32) {
+	if p.failStreak.Add(1) >= ejectAfter {
+		p.eject()
+	}
+}
+
+// eject removes the plane from candidate selection and starts the probe
+// clock: the first re-admission probe is due one ProbeInterval after
+// ejection, not immediately.
+func (p *plane) eject() {
+	p.lastProbe.Store(time.Now().UnixNano())
+	p.ejected.Store(true)
+}
+
+// probeDue elects at most one re-admission probe per interval.
+func (p *plane) probeDue(interval time.Duration) bool {
+	now := time.Now().UnixNano()
+	last := p.lastProbe.Load()
+	return now-last >= int64(interval) && p.lastProbe.CompareAndSwap(last, now)
+}
+
+// Router is the federation front end. Create one with New; all methods
+// may be called from any goroutine.
+type Router struct {
+	cfg    Config
+	planes []*plane
+	nodes  int
+
+	closed  atomic.Bool
+	closeMu sync.Once
+
+	rr atomic.Uint64 // round-robin admission counter
+
+	// mu guards byConn: the reverse index from a plane's live connection
+	// to its federated handle, which the terminal hook uses to find the
+	// handle to migrate. Lock order: Handle.mu before mu, never nested
+	// the other way.
+	mu     sync.Mutex
+	byConn map[fabric.Conn]*Handle
+
+	offered, granted, rejected atomic.Uint64
+	failovers                  atomic.Uint64
+	readmitted, lost           atomic.Uint64
+	pendingReadmits            atomic.Int64
+}
+
+// New validates the config, builds every plane's manager, and returns
+// the router. Stop it with Close.
+func New(cfg Config) (*Router, error) {
+	if len(cfg.Planes) == 0 {
+		return nil, ErrNoPlanes
+	}
+	if cfg.EjectAfter <= 0 {
+		cfg.EjectAfter = DefaultEjectAfter
+	}
+	if cfg.ProbeInterval <= 0 {
+		cfg.ProbeInterval = DefaultProbeInterval
+	}
+	r := &Router{
+		cfg:    cfg,
+		byConn: make(map[fabric.Conn]*Handle),
+	}
+	names := make(map[string]struct{}, len(cfg.Planes))
+	for i, pc := range cfg.Planes {
+		name := pc.Name
+		if name == "" {
+			name = fmt.Sprintf("plane%d", i)
+		}
+		if _, dup := names[name]; dup {
+			r.closePlanes()
+			return nil, fmt.Errorf("federation: duplicate plane name %q", name)
+		}
+		names[name] = struct{}{}
+		if pc.Fabric.Tree == nil {
+			r.closePlanes()
+			return nil, fmt.Errorf("federation: plane %q has no tree", name)
+		}
+		if i == 0 {
+			r.nodes = pc.Fabric.Tree.Nodes()
+		} else if n := pc.Fabric.Tree.Nodes(); n != r.nodes {
+			r.closePlanes()
+			return nil, fmt.Errorf("federation: plane %q has %d nodes, plane %q has %d — all planes must serve one address space",
+				name, n, r.planes[0].name, r.nodes)
+		}
+		fc := pc.Fabric
+		idx, user := i, fc.OnConnTerminal
+		fc.OnConnTerminal = func(c fabric.Conn, cause error) {
+			r.onTerminal(idx, c, cause)
+			if user != nil {
+				user(c, cause)
+			}
+		}
+		m, err := fabric.New(fc)
+		if err != nil {
+			r.closePlanes()
+			return nil, fmt.Errorf("federation: plane %q: %w", name, err)
+		}
+		r.planes = append(r.planes, &plane{name: name, surf: m})
+	}
+	return r, nil
+}
+
+// closePlanes tears down the planes built so far (New error paths).
+func (r *Router) closePlanes() {
+	for _, p := range r.planes {
+		p.surf.Close(context.Background())
+	}
+}
+
+// Nodes returns the federated address space size (every plane's tree
+// serves the same node count).
+func (r *Router) Nodes() int { return r.nodes }
+
+// PlaneCount returns the number of planes.
+func (r *Router) PlaneCount() int { return len(r.planes) }
+
+// PlaneNames returns the plane names in index order.
+func (r *Router) PlaneNames() []string {
+	names := make([]string, len(r.planes))
+	for i, p := range r.planes {
+		names[i] = p.name
+	}
+	return names
+}
+
+// Plane returns the named plane's admission surface, for per-plane
+// fault targeting and stats (ftserve's /fault with a "plane" field).
+func (r *Router) Plane(name string) (fabric.Surface, bool) {
+	if p := r.planeByName(name); p != nil {
+		return p.surf, true
+	}
+	return nil, false
+}
+
+func (r *Router) planeByName(name string) *plane {
+	for _, p := range r.planes {
+		if p.name == name {
+			return p
+		}
+	}
+	return nil
+}
+
+// candidates assembles the plane try-order for one admission: healthy
+// planes ordered by the policy, then any ejected planes whose probe is
+// due (single-flight, last resort). With every plane ejected and no
+// probe due, all planes are candidates — a total outage degrades to
+// brute-force retry rather than refusing service on a fabric that may
+// have just healed.
+func (r *Router) candidates(src, dst int) []int {
+	healthy := make([]int, 0, len(r.planes))
+	var probes []int
+	for i, p := range r.planes {
+		if !p.ejected.Load() {
+			healthy = append(healthy, i)
+		} else if p.probeDue(r.cfg.ProbeInterval) {
+			probes = append(probes, i)
+		}
+	}
+	if len(healthy) == 0 && len(probes) == 0 {
+		for i := range r.planes {
+			healthy = append(healthy, i)
+		}
+	}
+	r.orderPlanes(r.cfg.Policy, healthy, src, dst)
+	return append(healthy, probes...)
+}
+
+// failoverable reports whether a plane denial should move the admission
+// to the next candidate plane: scheduler denials (healthy or degraded)
+// and a closed/draining plane fail over; caller-scoped errors (context
+// cancellation, admission timeout) end the admission.
+func failoverable(err error) bool {
+	return errors.Is(err, fabric.ErrUnroutable) ||
+		errors.Is(err, fabric.ErrUnroutableDegraded) ||
+		errors.Is(err, fabric.ErrClosed)
+}
+
+// Connect admits a circuit on the first candidate plane that will take
+// it, in policy order with bounded failover. It returns a federated
+// Handle, the last plane's denial when every candidate refused, or the
+// caller-scoped error (ctx, admission timeout) that ended the attempt.
+func (r *Router) Connect(ctx context.Context, src, dst int) (*Handle, error) {
+	if r.closed.Load() {
+		return nil, ErrClosed
+	}
+	if src < 0 || src >= r.nodes || dst < 0 || dst >= r.nodes {
+		return nil, fmt.Errorf("federation: endpoints (%d, %d) outside [0, %d)", src, dst, r.nodes)
+	}
+	r.offered.Add(1)
+	c, pi, err := r.admitConn(ctx, src, dst, -1)
+	if err != nil {
+		if failoverable(err) {
+			r.rejected.Add(1)
+		}
+		return nil, err
+	}
+	fh := &Handle{r: r, src: src, dst: dst, conn: c, plane: pi}
+	r.register(c, pi, fh)
+	return fh, nil
+}
+
+// register indexes a live connection back to its federated handle, then
+// closes the grant/terminal race: a plane failure may have killed c
+// after the grant but before this registration, in which case the
+// terminal hook found no index entry and gave up — re-running it now
+// finds the entry and migrates. The fh.conn identity check inside
+// onTerminal makes the migration exactly-once even when both the hook
+// goroutine and this re-check fire.
+func (r *Router) register(c fabric.Conn, pi int, fh *Handle) {
+	r.mu.Lock()
+	r.byConn[c] = fh
+	r.mu.Unlock()
+	if cause := c.Err(); cause != nil {
+		go r.onTerminal(pi, c, cause)
+	}
+	// The mirror race on the release side: a readmission graft may land
+	// after the owner's Release already swept the index, leaving a stale
+	// entry. Either this check or the Release's dropConn runs last;
+	// whichever does removes it.
+	if fh.released.Load() {
+		r.dropConn(c)
+	}
+}
+
+// admitConn runs one policy-ordered, bounded-failover admission pass,
+// skipping the plane index in skip (a readmission avoids the plane that
+// just lost the connection; -1 skips nothing). It returns the granted
+// connection and the granting plane's index.
+func (r *Router) admitConn(ctx context.Context, src, dst, skip int) (fabric.Conn, int, error) {
+	order := r.candidates(src, dst)
+	limit := r.cfg.FailoverLimit
+	if limit <= 0 || limit > len(order) {
+		limit = len(order)
+	} else {
+		limit++ // the first choice plus FailoverLimit failovers
+	}
+	var lastErr error
+	tried := 0
+	for _, pi := range order {
+		if pi == skip {
+			continue
+		}
+		if tried >= limit {
+			break
+		}
+		tried++
+		p := r.planes[pi]
+		c, err := p.surf.Admit(ctx, src, dst)
+		if err == nil {
+			p.noteSuccess()
+			p.grants.Add(1)
+			r.granted.Add(1)
+			return c, pi, nil
+		}
+		if !failoverable(err) {
+			return nil, -1, err
+		}
+		p.noteFailure(int32(r.cfg.EjectAfter))
+		lastErr = err
+		if tried < limit {
+			r.failovers.Add(1)
+		}
+	}
+	if lastErr == nil {
+		// Every candidate was the skipped plane (1-plane federation).
+		lastErr = fmt.Errorf("federation: no candidate plane: %w", fabric.ErrUnroutable)
+	}
+	return nil, -1, lastErr
+}
+
+// onTerminal is each plane's OnConnTerminal hook: the plane's repair
+// loop just gave up on c for good. If a live federated handle still
+// owns c, migrate the connection to a surviving plane; otherwise the
+// owner already released it and there is nothing to save. Runs on the
+// hook's own goroutine.
+func (r *Router) onTerminal(owner int, c fabric.Conn, cause error) {
+	r.mu.Lock()
+	fh := r.byConn[c]
+	delete(r.byConn, c)
+	r.mu.Unlock()
+	if fh == nil {
+		return
+	}
+	fh.mu.Lock()
+	if fh.conn != c {
+		fh.mu.Unlock()
+		return
+	}
+	fh.conn = nil // the dead conn needs no Release; its plane retired it
+	fh.mu.Unlock()
+	if fh.released.Load() {
+		return
+	}
+	r.pendingReadmits.Add(1)
+	defer r.pendingReadmits.Add(-1)
+	nc, pi, err := r.admitConn(context.Background(), fh.src, fh.dst, owner)
+	if err != nil {
+		fh.mu.Lock()
+		if fh.released.Load() {
+			// The owner tore the circuit down mid-migration: nothing was
+			// lost — its channels were already returned at revocation.
+			fh.mu.Unlock()
+			return
+		}
+		fh.terminal = fmt.Errorf("%w: %d→%d revoked on plane %q (%v); re-admission failed: %v",
+			ErrConnLost, fh.src, fh.dst, r.planes[owner].name, cause, err)
+		fh.mu.Unlock()
+		r.lost.Add(1)
+		return
+	}
+	// Graft the new connection onto the surviving handle — unless the
+	// owner released it while the readmission was in flight, in which
+	// case the fresh circuit goes straight back.
+	fh.mu.Lock()
+	if fh.released.Load() {
+		fh.mu.Unlock()
+		nc.Release()
+		return
+	}
+	fh.conn = nc
+	fh.plane = pi
+	fh.mu.Unlock()
+	r.readmitted.Add(1)
+	r.register(nc, pi, fh)
+}
+
+// dropConn removes a connection from the reverse index.
+func (r *Router) dropConn(c fabric.Conn) {
+	r.mu.Lock()
+	delete(r.byConn, c)
+	r.mu.Unlock()
+}
+
+// KillPlane takes a whole plane out of service: it is ejected from
+// candidate selection immediately, then every switch above level 0
+// fails, which masks every channel, revokes every routed connection,
+// and lets the plane-local repair loops conclude ErrUnroutableDegraded
+// — at which point the router's terminal hook migrates each connection
+// to a surviving plane. The chaos tests' plane-failure primitive.
+func (r *Router) KillPlane(name string) error {
+	p := r.planeByName(name)
+	if p == nil {
+		return fmt.Errorf("federation: unknown plane %q", name)
+	}
+	p.eject()
+	tree := p.surf.Tree()
+	var fs faults.FaultSet
+	for lvl := 1; lvl < tree.Levels(); lvl++ {
+		for sw := 0; sw < tree.SwitchesAt(lvl); sw++ {
+			fs.Switches = append(fs.Switches, faults.SwitchFault{Level: lvl, Switch: sw})
+		}
+	}
+	_, _, err := p.surf.Fail(&fs)
+	return err
+}
+
+// RepairPlane reverses KillPlane (and any other faults on the plane):
+// every failed channel returns to service and the plane rejoins
+// candidate selection immediately.
+func (r *Router) RepairPlane(name string) error {
+	p := r.planeByName(name)
+	if p == nil {
+		return fmt.Errorf("federation: unknown plane %q", name)
+	}
+	p.surf.RepairAll()
+	p.failStreak.Store(0)
+	p.ejected.Store(false)
+	return nil
+}
+
+// Close stops admission and drains every plane concurrently, bounded by
+// ctx: slow planes drain in parallel, so the deadline applies to the
+// slowest plane rather than the sum. In-flight cross-plane readmissions
+// fail fast once the planes refuse intake and are accounted as lost.
+// Close is idempotent; held handles stay releasable after it returns.
+func (r *Router) Close(ctx context.Context) error {
+	r.closeMu.Do(func() { r.closed.Store(true) })
+	errs := make([]error, len(r.planes))
+	var wg sync.WaitGroup
+	for i, p := range r.planes {
+		wg.Add(1)
+		go func(i int, p *plane) {
+			defer wg.Done()
+			errs[i] = p.surf.Close(ctx)
+		}(i, p)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil {
+			return fmt.Errorf("federation: draining plane %q: %w", r.planes[i].name, err)
+		}
+	}
+	return nil
+}

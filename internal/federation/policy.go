@@ -1,0 +1,136 @@
+package federation
+
+// Plane-selection policies. A policy orders the healthy candidate
+// planes for one admission; the router then walks the order, failing
+// over to the next candidate when a plane denies the circuit. The
+// policy axis mirrors the randomized/least-loaded spreading results for
+// parallel fat-tree resources (Wang et al., PAPERS.md): static spreading
+// (hash, round-robin), randomized spreading, and load-aware spreading
+// on the live per-plane occupancy gauge.
+
+import (
+	"fmt"
+	"math/rand/v2"
+	"sort"
+)
+
+// Policy selects the order in which planes are tried for an admission.
+type Policy int
+
+// The plane-selection policies.
+const (
+	// PolicyHash starts at the plane named by a hash of (src, dst):
+	// deterministic, connection-affine spreading — the same pair always
+	// prefers the same plane.
+	PolicyHash Policy = iota
+	// PolicyRoundRobin rotates the starting plane per admission.
+	PolicyRoundRobin
+	// PolicyRandom starts at a uniformly random plane — the classic
+	// randomized load-balancing baseline.
+	PolicyRandom
+	// PolicyLeastLoaded orders planes by live occupied-channel count,
+	// emptiest first, read from each plane's O(1) occupancy gauge.
+	PolicyLeastLoaded
+)
+
+// String names the policy in the config grammar.
+func (p Policy) String() string {
+	switch p {
+	case PolicyHash:
+		return "hash"
+	case PolicyRoundRobin:
+		return "round-robin"
+	case PolicyRandom:
+		return "random"
+	case PolicyLeastLoaded:
+		return "least-loaded"
+	default:
+		return fmt.Sprintf("Policy(%d)", int(p))
+	}
+}
+
+// ParsePolicy resolves a policy name from the config grammar
+// (hash | round-robin | random | least-loaded).
+func ParsePolicy(name string) (Policy, error) {
+	switch name {
+	case "", "hash":
+		return PolicyHash, nil
+	case "round-robin", "rr":
+		return PolicyRoundRobin, nil
+	case "random", "rand":
+		return PolicyRandom, nil
+	case "least-loaded", "least", "ll":
+		return PolicyLeastLoaded, nil
+	default:
+		return 0, fmt.Errorf("federation: unknown policy %q (want hash|round-robin|random|least-loaded)", name)
+	}
+}
+
+// Policies lists the policy names the parser accepts, in registry order
+// — the sweep axis ftbench -planes iterates.
+func Policies() []string {
+	return []string{"hash", "round-robin", "random", "least-loaded"}
+}
+
+// orderPlanes reorders the candidate plane indices in place according
+// to the policy. candidates index into r.planes.
+func (r *Router) orderPlanes(p Policy, candidates []int, src, dst int) {
+	n := len(candidates)
+	if n <= 1 {
+		return
+	}
+	switch p {
+	case PolicyHash:
+		rotate(candidates, pairHash(src, dst)%n)
+	case PolicyRoundRobin:
+		rotate(candidates, int(r.rr.Add(1)-1)%n)
+	case PolicyRandom:
+		rotate(candidates, rand.IntN(n))
+	case PolicyLeastLoaded:
+		// Snapshot each gauge once so the sort comparator is consistent,
+		// then order emptiest-first, ties by plane index for determinism.
+		occ := make([]int64, n)
+		for i, pi := range candidates {
+			occ[i] = r.planes[pi].surf.Occupancy()
+		}
+		idx := make([]int, n)
+		for i := range idx {
+			idx[i] = i
+		}
+		sort.SliceStable(idx, func(a, b int) bool { return occ[idx[a]] < occ[idx[b]] })
+		out := make([]int, n)
+		for i, j := range idx {
+			out[i] = candidates[j]
+		}
+		copy(candidates, out)
+	}
+}
+
+// rotate shifts s left by k, preserving ring order — the policy picks a
+// starting plane, and failover walks the rest in a stable cycle.
+func rotate(s []int, k int) {
+	if k == 0 {
+		return
+	}
+	tmp := make([]int, 0, len(s))
+	tmp = append(tmp, s[k:]...)
+	tmp = append(tmp, s[:k]...)
+	copy(s, tmp)
+}
+
+// pairHash mixes (src, dst) into a non-negative starting offset — FNV-1a
+// over the two endpoint values.
+func pairHash(src, dst int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [2]uint64{uint64(src), uint64(dst)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	return int(h % (1 << 31))
+}

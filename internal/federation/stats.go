@@ -1,0 +1,91 @@
+package federation
+
+// Federated observability: router-level counters plus a per-plane
+// breakdown, the shape ftserve's /stats serves and ftbench's -planes
+// sweeps summarize.
+
+import "repro/internal/fabric"
+
+// PlaneStats is one plane's view in a federated snapshot.
+type PlaneStats struct {
+	Name string `json:"name"`
+	// Healthy is the router's admission-control view: false while the
+	// plane is ejected from candidate selection.
+	Healthy bool `json:"healthy"`
+	// Grants counts circuits the router placed on this plane (initial
+	// admissions plus cross-plane re-admissions) — the load-spread
+	// signal behind the imbalance ratio.
+	Grants uint64 `json:"grants"`
+	// Occupancy is the plane's live occupied-channel gauge.
+	Occupancy int64 `json:"occupancy"`
+	// Fabric is the plane manager's full snapshot.
+	Fabric fabric.Stats `json:"fabric"`
+}
+
+// Stats is a consistent-enough snapshot of the router: counters are
+// read atomically but not mutually atomic (a connection in flight may
+// be counted offered and not yet granted).
+type Stats struct {
+	Policy string `json:"policy"`
+	// Offered counts Connect calls that entered plane selection;
+	// Granted/Rejected their outcomes (rejected = every candidate plane
+	// denied). Failovers counts denials that moved an admission to
+	// another candidate plane.
+	Offered   uint64 `json:"offered"`
+	Granted   uint64 `json:"granted"`
+	Rejected  uint64 `json:"rejected"`
+	Failovers uint64 `json:"failovers"`
+	// Cross-plane migration accounting: every plane-terminal connection
+	// with a live owner resolves into exactly one of Readmitted (moved
+	// to a surviving plane) or Lost (ErrConnLost); PendingReadmits is
+	// the in-flight difference.
+	Readmitted      uint64 `json:"readmitted"`
+	Lost            uint64 `json:"lost"`
+	PendingReadmits int64  `json:"pending_readmits"`
+	// Imbalance is the max/min ratio of per-plane grant counts, the
+	// load-spread regression signal: 1.0 is a perfect spread. It is 0
+	// (undefined) while any plane has zero grants, since the true ratio
+	// is infinite and JSON cannot carry it.
+	Imbalance float64      `json:"imbalance"`
+	Planes    []PlaneStats `json:"planes"`
+}
+
+// Stats snapshots the router and every plane.
+func (r *Router) Stats() Stats {
+	s := Stats{
+		Policy:          r.cfg.Policy.String(),
+		Offered:         r.offered.Load(),
+		Granted:         r.granted.Load(),
+		Rejected:        r.rejected.Load(),
+		Failovers:       r.failovers.Load(),
+		Readmitted:      r.readmitted.Load(),
+		Lost:            r.lost.Load(),
+		PendingReadmits: r.pendingReadmits.Load(),
+		Planes:          make([]PlaneStats, len(r.planes)),
+	}
+	var minG, maxG uint64
+	for i, p := range r.planes {
+		g := p.grants.Load()
+		// Snapshot the fabric first: Stats drains the plane's parked
+		// releases, so the occupancy gauge it carries reflects every
+		// Release that returned before this call.
+		fb := p.surf.Stats()
+		s.Planes[i] = PlaneStats{
+			Name:      p.name,
+			Healthy:   !p.ejected.Load(),
+			Grants:    g,
+			Occupancy: fb.Occupancy,
+			Fabric:    fb,
+		}
+		if i == 0 || g < minG {
+			minG = g
+		}
+		if g > maxG {
+			maxG = g
+		}
+	}
+	if minG > 0 {
+		s.Imbalance = float64(maxG) / float64(minG)
+	}
+	return s
+}

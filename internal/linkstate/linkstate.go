@@ -53,6 +53,7 @@ package linkstate
 
 import (
 	"fmt"
+	"sync/atomic"
 
 	"repro/internal/bitvec"
 	"repro/internal/topology"
@@ -99,6 +100,17 @@ type State struct {
 	// fast path (AvailBothWord, AllocateBoth) and the Vector API mutate
 	// the same storage and can never diverge. Nil when rows span words.
 	uw, dw [][]uint64
+
+	// Load counters, enabled by TrackLoad: loadU/loadD count cumulative
+	// allocation events per channel (indexed [level][switch*w+port]) and
+	// occ is a live aggregate occupancy gauge (allocate +1, release -1)
+	// — the O(1) signal least-loaded plane selection reads instead of a
+	// popcount scan. All accesses are atomic so the lock-free scheduling
+	// paths (TryAllocate/AtomicRelease) may race freely; when tracking is
+	// off (the default) every hot path pays one predictable branch.
+	trackLoad    bool
+	loadU, loadD [][]uint64
+	occ          atomic.Int64
 }
 
 // New returns a State for the tree with every link available.
@@ -155,6 +167,10 @@ func (s *State) AllocateBoth(h, sigma, delta, port int) {
 	}
 	*u &^= bit
 	*d &^= bit
+	if s.trackLoad {
+		s.noteAlloc(Up, h, sigma, port)
+		s.noteAlloc(Down, h, delta, port)
+	}
 }
 
 // allocateBothPanic is outlined so AllocateBoth stays inlinable.
@@ -164,6 +180,104 @@ func allocateBothPanic(h, sigma, delta, port int) {
 
 // Tree returns the topology this state belongs to.
 func (s *State) Tree() *topology.Tree { return s.tree }
+
+// TrackLoad enables the per-link load counters and the live occupancy
+// gauge. Enable it before the first allocation (internal/fabric enables
+// it at manager construction); enabling is idempotent. Tracking costs
+// one branch on every allocate/release when enabled, nothing when off —
+// TestScheduleIntoZeroAllocs pins that the scheduling hot path stays at
+// zero allocations either way.
+func (s *State) TrackLoad() {
+	if s.trackLoad {
+		return
+	}
+	s.loadU = make([][]uint64, len(s.ulink))
+	s.loadD = make([][]uint64, len(s.dlink))
+	for h := range s.ulink {
+		s.loadU[h] = make([]uint64, s.ulink[h].Rows()*s.ulink[h].Width())
+		s.loadD[h] = make([]uint64, s.dlink[h].Rows()*s.dlink[h].Width())
+	}
+	s.occ.Store(int64(s.OccupiedCount()))
+	s.trackLoad = true
+}
+
+// LoadTracking reports whether TrackLoad has been enabled.
+func (s *State) LoadTracking() bool { return s.trackLoad }
+
+// noteAlloc records one allocation event on a tracked state: the
+// channel's cumulative counter and the live occupancy gauge. Outlined
+// from the hot paths so their inlinability is preserved; callers guard
+// with s.trackLoad.
+func (s *State) noteAlloc(d Direction, h, idx, port int) {
+	load := s.loadU
+	if d == Down {
+		load = s.loadD
+	}
+	atomic.AddUint64(&load[h][idx*s.tree.Parents()+port], 1)
+	s.occ.Add(1)
+}
+
+// LiveOccupancy returns the current number of allocated channels on a
+// tracked state, maintained as an O(1) atomic gauge (allocate +1,
+// release -1, forfeited allocations of failed channels excluded). It is
+// safe to read lock-free from any goroutine and always equals
+// OccupiedCount once mutations quiesce. Zero when tracking is off.
+func (s *State) LiveOccupancy() int64 { return s.occ.Load() }
+
+// ChannelLoad returns the cumulative allocation count of one channel
+// since TrackLoad was enabled — allocation events, not live occupancy:
+// an allocation later released (or rolled back) still counts. Zero when
+// tracking is off.
+func (s *State) ChannelLoad(d Direction, h, idx, port int) uint64 {
+	if !s.trackLoad {
+		return 0
+	}
+	load := s.loadU
+	if d == Down {
+		load = s.loadD
+	}
+	return atomic.LoadUint64(&load[h][idx*s.tree.Parents()+port])
+}
+
+// TotalAllocs returns the cumulative allocation events across every
+// channel since TrackLoad was enabled (zero when tracking is off).
+func (s *State) TotalAllocs() uint64 {
+	if !s.trackLoad {
+		return 0
+	}
+	var total uint64
+	for h := range s.loadU {
+		for i := range s.loadU[h] {
+			total += atomic.LoadUint64(&s.loadU[h][i])
+		}
+		for i := range s.loadD[h] {
+			total += atomic.LoadUint64(&s.loadD[h][i])
+		}
+	}
+	return total
+}
+
+// LoadSnapshot returns a copy of the per-channel cumulative allocation
+// counters, one slice per link level indexed switch*w+port, split by
+// direction. Nil when tracking is off.
+func (s *State) LoadSnapshot() (up, down [][]uint64) {
+	if !s.trackLoad {
+		return nil, nil
+	}
+	up = make([][]uint64, len(s.loadU))
+	down = make([][]uint64, len(s.loadD))
+	for h := range s.loadU {
+		up[h] = make([]uint64, len(s.loadU[h]))
+		for i := range s.loadU[h] {
+			up[h][i] = atomic.LoadUint64(&s.loadU[h][i])
+		}
+		down[h] = make([]uint64, len(s.loadD[h]))
+		for i := range s.loadD[h] {
+			down[h][i] = atomic.LoadUint64(&s.loadD[h][i])
+		}
+	}
+	return up, down
+}
 
 // Reset marks every link channel available, except channels failed via
 // FailLink, which stay unavailable.
@@ -177,6 +291,9 @@ func (s *State) Reset() {
 				s.dlink[h].Row(r).AndNot(s.dlink[h].Row(r), s.failedD[h].Row(r))
 			}
 		}
+	}
+	if s.trackLoad {
+		s.occ.Store(0) // everything healthy is free again; failed channels are dead, not occupied
 	}
 }
 
@@ -206,6 +323,11 @@ func (s *State) FailLink(d Direction, h, idx, port int) bool {
 	mask.Set(port)
 	wasFree := avail.Get(port)
 	avail.Clear(port)
+	if s.trackLoad && !wasFree {
+		// The live allocation is forfeited: the channel is dead, not
+		// occupied, so it leaves the occupancy gauge with the fault.
+		s.occ.Add(-1)
+	}
 	return wasFree
 }
 
@@ -318,6 +440,9 @@ func (s *State) Allocate(d Direction, h, idx, port int) error {
 		return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d already occupied", d, h, idx, port)
 	}
 	row.Clear(port)
+	if s.trackLoad {
+		s.noteAlloc(d, h, idx, port)
+	}
 	return nil
 }
 
@@ -327,7 +452,13 @@ func (s *State) Allocate(d Direction, h, idx, port int) error {
 // the same State: of N concurrent claimants of one channel exactly one
 // wins. It must not race plain Allocate/Release/AvailBoth calls.
 func (s *State) TryAllocate(d Direction, h, idx, port int) bool {
-	return s.matrix(d)[h].Row(idx).TryClearAtomic(port)
+	if !s.matrix(d)[h].Row(idx).TryClearAtomic(port) {
+		return false
+	}
+	if s.trackLoad {
+		s.noteAlloc(d, h, idx, port)
+	}
+	return true
 }
 
 // AtomicRelease atomically returns a channel claimed via TryAllocate. It
@@ -337,6 +468,9 @@ func (s *State) TryAllocate(d Direction, h, idx, port int) bool {
 func (s *State) AtomicRelease(d Direction, h, idx, port int) {
 	if !s.matrix(d)[h].Row(idx).TrySetAtomic(port) {
 		panic(fmt.Sprintf("linkstate: atomic release of free %s channel at level %d switch %d port %d", d, h, idx, port))
+	}
+	if s.trackLoad {
+		s.occ.Add(-1)
 	}
 }
 
@@ -358,6 +492,9 @@ func (s *State) Release(d Direction, h, idx, port int) error {
 		return fmt.Errorf("linkstate: %s channel at level %d switch %d port %d not occupied", d, h, idx, port)
 	}
 	row.Set(port)
+	if s.trackLoad {
+		s.occ.Add(-1)
+	}
 	return nil
 }
 
@@ -421,6 +558,11 @@ func (s *State) Restore(snap Snapshot) {
 	for h := range s.ulink {
 		s.ulink[h].Restore(snap.u[h])
 		s.dlink[h].Restore(snap.d[h])
+	}
+	if s.trackLoad {
+		// The gauge must match the restored bits; the cumulative
+		// counters deliberately keep the rolled-back allocation events.
+		s.occ.Store(int64(s.OccupiedCount()))
 	}
 }
 

@@ -21,10 +21,11 @@ fi
 go test -race ./...
 
 # Concurrency-focused pass: re-run the parallel engine, the fabric
-# manager (including the fault revoke/re-admit chaos tests), and the
-# fault-injection package under -race with a doubled count, shaking out
-# interleavings a single full-suite run can miss.
-go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults
+# manager (including the fault revoke/re-admit chaos tests), the
+# fault-injection package, and the federation router (whose plane-kill
+# chaos test proves zero lost connections) under -race with a doubled
+# count, shaking out interleavings a single full-suite run can miss.
+go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults ./internal/federation
 
 # Bench smoke: compile and run every benchmark for exactly one iteration
 # so bit-rot in the bench harnesses (including the parallel-engine and
@@ -37,6 +38,12 @@ go test -run '^$' -bench . -benchtime 1x ./...
 # rename never silently drops them from the net above.
 go test -run '^$' -bench 'BenchmarkRouteCursor' -benchtime 1x ./internal/topology
 go test -run '^$' -bench 'BenchmarkFabricRelease' -benchtime 1x ./internal/fabric
+go test -run '^$' -bench 'BenchmarkFederationThroughput' -benchtime 1x ./internal/federation
+
+# Config round-trip smoke: the generator's output must load through the
+# server's own -config path (stdin form), end to end through both CLIs.
+go run ./cmd/fttopo gen -planes 4 -levels 3 -children 4 -parents 4 -policy least-loaded \
+	| go run ./cmd/ftserve -config - -validate
 
 # Allocation-regression guard: the scheduling hot path must stay at zero
 # allocations per request; -count=2 re-runs it against warm scratch
