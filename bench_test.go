@@ -11,6 +11,7 @@ import (
 	"fmt"
 	"io"
 	"math/rand"
+	"runtime"
 	"sync"
 	"sync/atomic"
 	"testing"
@@ -361,6 +362,100 @@ func BenchmarkParallelLevelWise(b *testing.B) {
 					run(fmt.Sprintf("%s/w%d", mode, workers),
 						func(st *LinkState, reqs []core.Request) { eng.Schedule(st, reqs) })
 				}
+			}
+		}
+	}
+}
+
+// scalingBatch builds a batch for the multi-core scaling study. With
+// local=true every request is confined to one level-(l-2) subtree
+// (cycling across subtrees so all shards are populated) — the traffic
+// class the shard engine parallelizes without coordination; otherwise
+// endpoints are uniform, so most requests cross the root.
+func scalingBatch(tree *FatTree, n int, local bool, seed int64) []core.Request {
+	rng := rand.New(rand.NewSource(seed))
+	reqs := make([]core.Request, n)
+	if !local {
+		for i := range reqs {
+			reqs[i] = core.Request{Src: rng.Intn(tree.Nodes()), Dst: rng.Intn(tree.Nodes())}
+		}
+		return reqs
+	}
+	subtrees := tree.Subtrees(tree.Levels() - 2)
+	size := tree.Nodes() / subtrees
+	for i := range reqs {
+		base := (i % subtrees) * size
+		reqs[i] = core.Request{Src: base + rng.Intn(size), Dst: base + rng.Intn(size)}
+	}
+	return reqs
+}
+
+// BenchmarkScalingEngines is the multi-core scaling study: sequential
+// vs deterministic vs racy vs shard (± steal) with workers pinned to
+// GOMAXPROCS, so `go test -bench ScalingEngines -cpu 1,2,4,8` sweeps
+// core counts and each point uses exactly the cores the runtime gives
+// it (baseline and acceptance notes recorded in BENCH_scaling.json).
+// Uniform traffic mostly crosses the root and falls back to the
+// two-phase engine; local traffic is fully subtree-confined, the shard
+// engine's zero-coordination fast path.
+func BenchmarkScalingEngines(b *testing.B) {
+	shapes := []struct{ l, m, w int }{{3, 8, 8}, {4, 8, 8}}
+	for _, sh := range shapes {
+		tree, err := NewFatTree(sh.l, sh.m, sh.w)
+		if err != nil {
+			b.Fatal(err)
+		}
+		const batch = 4096
+		for _, traffic := range []string{"uniform", "local"} {
+			reqs := scalingBatch(tree, batch, traffic == "local", 1)
+			prefix := fmt.Sprintf("FT%dx%dx%d/batch%d/%s", sh.l, sh.m, sh.w, batch, traffic)
+			run := func(name string, schedule func(*LinkState, []core.Request)) {
+				b.Run(prefix+"/"+name, func(b *testing.B) {
+					st := NewLinkState(tree)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st.Reset()
+						schedule(st, reqs)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "requests/s")
+				})
+			}
+			opts := core.Options{Rollback: true}
+			lw, sc := &core.LevelWise{Opts: opts}, core.NewScratch()
+			run("sequential", func(st *LinkState, reqs []core.Request) { lw.ScheduleInto(st, reqs, sc) })
+			// Workers track GOMAXPROCS so the -cpu flag is the scaling
+			// axis; the engines are built per sub-benchmark because
+			// GOMAXPROCS changes between -cpu points.
+			for _, mk := range []struct {
+				name string
+				cfg  func(workers int) parsched.Config
+			}{
+				{"deterministic", func(w int) parsched.Config {
+					return parsched.Config{Workers: w, Mode: parsched.Deterministic, Opts: opts}
+				}},
+				{"racy", func(w int) parsched.Config {
+					return parsched.Config{Workers: w, Mode: parsched.Racy, Opts: opts}
+				}},
+				{"shard", func(w int) parsched.Config {
+					return parsched.Config{Workers: w, Mode: parsched.Shard, Opts: opts}
+				}},
+				{"shard+steal", func(w int) parsched.Config {
+					return parsched.Config{Workers: w, Mode: parsched.Shard, Steal: true, Opts: opts}
+				}},
+			} {
+				cfg := mk.cfg
+				b.Run(prefix+"/"+mk.name, func(b *testing.B) {
+					eng := parsched.New(cfg(runtime.GOMAXPROCS(0)))
+					st := NewLinkState(tree)
+					b.ResetTimer()
+					for i := 0; i < b.N; i++ {
+						st.Reset()
+						eng.Schedule(st, reqs)
+					}
+					b.StopTimer()
+					b.ReportMetric(float64(b.N)*float64(batch)/b.Elapsed().Seconds(), "requests/s")
+				})
 			}
 		}
 	}

@@ -109,6 +109,7 @@ func chaosRun(cfg chaosBenchConfig, p float64, seed int64) (chaosResult, error) 
 		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		AdmitTimeout:      cfg.Timeout,
 		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
+		ParallelMode: cfg.Mode, ParallelSteal: cfg.Steal,
 	})
 	if err != nil {
 		return chaosResult{}, err

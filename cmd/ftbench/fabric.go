@@ -34,6 +34,8 @@ type fabricBenchConfig struct {
 	Parallel                  int    // epoch size at which scheduling goes parallel (0 = off)
 	Workers                   int    // parallel engine workers (0 = GOMAXPROCS)
 	Racy                      bool   // lock-free racy mode instead of deterministic
+	Mode                      string // parallel arbitration mode ("" = deterministic/racy per Racy)
+	Steal                     bool   // shard mode: steal whole shards from busy workers
 }
 
 func (cfg fabricBenchConfig) validate() error {
@@ -137,6 +139,7 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		AdmitTimeout:      cfg.Timeout,
 		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
+		ParallelMode: cfg.Mode, ParallelSteal: cfg.Steal,
 	})
 	if err != nil {
 		return err

@@ -16,6 +16,7 @@ import (
 	"io"
 	"math/rand"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,6 +59,10 @@ type fedResult struct {
 	// plane took no grants), rendered as "inf" in the text output.
 	Imbalance float64       `json:"imbalance"`
 	PerPlane  []planeGrants `json:"per_plane"`
+	// Host parallelism at run time, so throughput numbers carry the
+	// hardware context they were measured under.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // closedLoopFederation is closedLoop against a federation router: the
@@ -189,6 +194,8 @@ func federationBench(out io.Writer, cfg fedBenchConfig) error {
 
 		res := &results[i]
 		res.Clients = cfg.Clients
+		res.NumCPU = runtime.NumCPU()
+		res.GOMAXPROCS = runtime.GOMAXPROCS(0)
 		res.DurationSec = elapsed.Seconds()
 		res.Offered = s.Offered
 		res.Granted = s.Granted

@@ -17,7 +17,9 @@
 // With -fabric, ftbench instead runs a closed-loop load generator against
 // the concurrent serving layer (internal/fabric) and reports
 // admissions/sec; the -fabric-* flags size the tree, the client pool, and
-// the epoch batching.
+// the epoch batching. -fabric-parallel enables the parallel epoch engine,
+// with -fabric-par-mode selecting deterministic, racy, or subtree-shard
+// arbitration (-fabric-steal adds work stealing to shard mode).
 //
 // With -chaos, the closed-loop generator additionally injects a seeded
 // fault/repair schedule mid-run and sweeps the -chaos-rates link failure
@@ -60,6 +62,8 @@ func main() {
 	fabricParallel := flag.Int("fabric-parallel", 0, "fabric bench: epoch size at which scheduling goes parallel (0 = always sequential)")
 	fabricWorkers := flag.Int("fabric-workers", 0, "fabric bench: parallel engine workers (0 = GOMAXPROCS)")
 	fabricRacy := flag.Bool("fabric-racy", false, "fabric bench: lock-free racy engine mode instead of deterministic")
+	fabricParMode := flag.String("fabric-par-mode", "", "fabric bench: parallel arbitration mode (deterministic, racy, or shard; \"\" = deterministic unless -fabric-racy)")
+	fabricSteal := flag.Bool("fabric-steal", false, "fabric bench: shard mode only — steal whole shards from busy workers")
 	fabricTimeout := flag.Duration("fabric-timeout", 0, "fabric bench: per-Connect admission timeout; a wedged server fails the run (0 = wait forever)")
 	planesFlag := flag.String("planes", "", "run the federation sweep over these comma-separated plane counts (e.g. \"1,2,4\") with the -fabric-* shape/client flags")
 	planePolicies := flag.String("plane-policies", "round-robin", "federation sweep: comma-separated plane selection policies")
@@ -118,6 +122,7 @@ func main() {
 			Timeout:   *fabricTimeout,
 			Scheduler: *fabricSched,
 			Parallel:  *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
+			Mode: *fabricParMode, Steal: *fabricSteal,
 		}
 		if *chaosMode {
 			var rates []float64

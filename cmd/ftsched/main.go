@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
 	"strings"
 
 	"repro/internal/core"
@@ -97,6 +98,10 @@ type summary struct {
 	Offered     int           `json:"offered"`  // last batch
 	Utilization float64       `json:"utilization"`
 	Ops         core.Counters `json:"ops"` // last batch operation counts
+	// Host parallelism at run time, so throughput numbers carry the
+	// hardware context they were measured under.
+	NumCPU     int `json:"num_cpu"`
+	GOMAXPROCS int `json:"gomaxprocs"`
 }
 
 // makeScheduler resolves a spec through the registry. The -rollback
@@ -199,6 +204,8 @@ func run(levels, children, parents int, schedSpec, patName string, trials int, s
 			Offered:     last.Total,
 			Utilization: st.Utilization(),
 			Ops:         last.Ops,
+			NumCPU:      runtime.NumCPU(),
+			GOMAXPROCS:  runtime.GOMAXPROCS(0),
 		})
 	}
 	fmt.Printf("scheduler %s on %s x%d: schedulability %s (min %s, max %s)\n",

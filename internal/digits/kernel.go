@@ -153,6 +153,39 @@ func (k *Kernel) NodeAncestorLevel(a, b int) int {
 	return 0
 }
 
+// Subtrees returns the number of disjoint level-`level` subtrees,
+// M^(L-1-level): the count of distinct values SubtreeAt can return.
+// Level L-1 has a single subtree (the whole fabric); level 0 has one
+// subtree per leaf switch.
+func (k *Kernel) Subtrees(level int) int {
+	if level < 0 || level >= k.spec.L {
+		panic(fmt.Sprintf("digits: subtree level %d out of range [0,%d)", level, k.spec.L))
+	}
+	return k.mPow[k.spec.L-1-level]
+}
+
+// SubtreeAt returns the index of the level-`level` subtree containing
+// node n. Two nodes share a level-ℓ subtree exactly when their LCA
+// level is at most ℓ, so a request whose NodeAncestorLevel is ≤ ℓ
+// touches Ulink/Dlink rows only inside SubtreeAt(src, ℓ)'s row set —
+// the disjointness fact the subtree-sharded parallel scheduler
+// (internal/parsched Shard mode) builds on. With power-of-two M the
+// division collapses to one shift.
+func (k *Kernel) SubtreeAt(n, level int) int {
+	if uint(n) >= uint(k.nodes) {
+		panic(fmt.Sprintf("digits: node %d out of range [0,%d)", n, k.nodes))
+	}
+	if level < 0 || level >= k.spec.L {
+		panic(fmt.Sprintf("digits: subtree level %d out of range [0,%d)", level, k.spec.L))
+	}
+	if k.mPow2 {
+		return n >> (k.mShift * uint(level+1))
+	}
+	// n/M is the leaf switch; dropping its low `level` child digits
+	// leaves the subtree index. (n/M)/M^level == n/M^(level+1).
+	return n / k.spec.M / k.mPow[level]
+}
+
 // UpParentArith applies Theorem 1 directly on dense switch indices: the
 // level-h index factors as C·W^h + P with C the packed child digits and
 // P the packed port digits, so dropping the child digit at position h,

@@ -67,6 +67,43 @@ func TestKernelUpParentArithMatchesLabels(t *testing.T) {
 	}
 }
 
+// TestKernelSubtreeAtMatchesAncestorLevel pins the disjointness fact the
+// shard scheduler relies on: two nodes share a level-ℓ subtree exactly
+// when their LCA level is at most ℓ, across pow2 and general radices.
+func TestKernelSubtreeAtMatchesAncestorLevel(t *testing.T) {
+	for _, s := range kernelShapes {
+		k := MustKernel(s)
+		n := s.Nodes()
+		step := 1
+		if n > 512 {
+			step = n / 512
+		}
+		for lvl := 0; lvl < s.L; lvl++ {
+			want := k.Subtrees(lvl)
+			seen := make(map[int]bool)
+			for a := 0; a < n; a++ {
+				sa := k.SubtreeAt(a, lvl)
+				if sa < 0 || sa >= want {
+					t.Fatalf("%+v SubtreeAt(%d,%d) = %d out of [0,%d)", s, a, lvl, sa, want)
+				}
+				seen[sa] = true
+			}
+			if len(seen) != want {
+				t.Fatalf("%+v level %d: %d distinct subtrees, Subtrees() = %d", s, lvl, len(seen), want)
+			}
+			for a := 0; a < n; a += step {
+				for b := 0; b < n; b += step {
+					same := k.SubtreeAt(a, lvl) == k.SubtreeAt(b, lvl)
+					if want := k.NodeAncestorLevel(a, b) <= lvl; same != want {
+						t.Fatalf("%+v level %d nodes (%d,%d): same-subtree %v, LCA<=%d %v",
+							s, lvl, a, b, same, lvl, want)
+					}
+				}
+			}
+		}
+	}
+}
+
 func TestKernelPanicsOutOfRange(t *testing.T) {
 	k := MustKernel(Spec{L: 2, M: 4, W: 4})
 	for _, f := range []func(){
@@ -74,6 +111,9 @@ func TestKernelPanicsOutOfRange(t *testing.T) {
 		func() { k.NodeSwitch(16) },
 		func() { k.NodeAncestorLevel(0, 16) },
 		func() { k.NodeAncestorLevel(-1, 0) },
+		func() { k.SubtreeAt(0, 2) },
+		func() { k.SubtreeAt(16, 0) },
+		func() { k.Subtrees(-1) },
 	} {
 		func() {
 			defer func() {

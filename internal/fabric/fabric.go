@@ -152,6 +152,15 @@ type Config struct {
 	// (always conflict-free). The default deterministic mode returns
 	// bit-identical results to sequential scheduling.
 	ParallelRacy bool
+	// ParallelMode names the parallel arbitration mode directly:
+	// "deterministic", "racy", or "shard" (subtree-sharded, zero
+	// coordination between shards). Empty defers to ParallelRacy, which
+	// remains as the boolean shorthand for "racy"; setting both to
+	// conflicting values is an error.
+	ParallelMode string
+	// ParallelSteal enables work stealing across shard queues
+	// (ParallelMode "shard" only).
+	ParallelSteal bool
 	// RepairRetries bounds how many scheduling attempts a revoked
 	// connection gets before the repair is abandoned with
 	// ErrUnroutableDegraded (default DefaultRepairRetries).
@@ -452,10 +461,27 @@ func New(cfg Config) (*Manager, error) {
 			return nil, errors.New("fabric: ParallelThreshold requires a level-wise admission engine")
 		}
 		mode := parsched.Deterministic
-		if cfg.ParallelRacy {
+		switch cfg.ParallelMode {
+		case "":
+			if cfg.ParallelRacy {
+				mode = parsched.Racy
+			}
+		case "deterministic":
+		case "racy":
 			mode = parsched.Racy
+		case "shard":
+			mode = parsched.Shard
+		default:
+			return nil, fmt.Errorf("fabric: unknown ParallelMode %q (deterministic, racy or shard)", cfg.ParallelMode)
 		}
-		par = parsched.New(parsched.Config{Workers: cfg.ParallelWorkers, Mode: mode, Opts: lw.Opts})
+		if cfg.ParallelRacy && mode != parsched.Racy {
+			return nil, fmt.Errorf("fabric: ParallelRacy conflicts with ParallelMode %q", cfg.ParallelMode)
+		}
+		if cfg.ParallelSteal && mode != parsched.Shard {
+			return nil, errors.New(`fabric: ParallelSteal requires ParallelMode "shard"`)
+		}
+		par = parsched.New(parsched.Config{Workers: cfg.ParallelWorkers, Mode: mode,
+			Steal: cfg.ParallelSteal, Opts: lw.Opts})
 	}
 	m := &Manager{
 		cfg:          cfg,

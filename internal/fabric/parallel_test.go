@@ -136,6 +136,78 @@ func TestParallelRacyManager(t *testing.T) {
 	replay(t, tree, events)
 }
 
+// TestParallelShardManager drives the subtree-sharded engine through the
+// manager under load (and under -race in CI) and replays the journal.
+func TestParallelShardManager(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	var j journal
+	m, err := New(Config{
+		Tree:              tree,
+		BatchSize:         32,
+		MaxWait:           10 * time.Millisecond,
+		ParallelThreshold: 2,
+		ParallelWorkers:   8,
+		ParallelMode:      "shard",
+		ParallelSteal:     true,
+		Trace:             j.record,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for round := 0; round < 4; round++ {
+		burst(t, m, tree, 48, int64(round)*100)
+	}
+	s := m.Stats()
+	if s.ParallelEpochs == 0 {
+		t.Fatalf("no epoch went parallel: %+v", s)
+	}
+	if s.ParallelMode != "shard+steal" {
+		t.Errorf("ParallelMode = %q", s.ParallelMode)
+	}
+	if s.Active != 0 || s.Utilization != 0 {
+		t.Errorf("drained manager still holds links: %+v", s)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	j.mu.Lock()
+	events := j.events
+	j.mu.Unlock()
+	replay(t, tree, events)
+}
+
+// TestParallelModeConfigErrors pins the ParallelMode/ParallelSteal
+// validation in New.
+func TestParallelModeConfigErrors(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	for _, cfg := range []Config{
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "sharded"},
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "shard", ParallelRacy: true},
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "deterministic", ParallelRacy: true},
+		{Tree: tree, ParallelThreshold: 4, ParallelSteal: true},
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "racy", ParallelSteal: true},
+	} {
+		if _, err := New(cfg); err == nil {
+			t.Errorf("Config{ParallelMode:%q, ParallelRacy:%v, ParallelSteal:%v} accepted",
+				cfg.ParallelMode, cfg.ParallelRacy, cfg.ParallelSteal)
+		}
+	}
+	// The compatible spellings still construct: explicit racy both ways,
+	// and shard without steal.
+	for _, cfg := range []Config{
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "racy", ParallelRacy: true},
+		{Tree: tree, ParallelThreshold: 4, ParallelMode: "shard"},
+	} {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatalf("Config{ParallelMode:%q}: %v", cfg.ParallelMode, err)
+		}
+		if err := m.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
 // TestParallelRequiresDefaultScheduler: the parallel engine mirrors the
 // Level-wise options, so a custom scheduler plus a threshold is a config
 // error, while an explicit *core.LevelWise is accepted.

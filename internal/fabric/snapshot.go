@@ -193,5 +193,8 @@ func parMode(e *parsched.Engine) string {
 	if e == nil {
 		return ""
 	}
+	if e.Mode() == parsched.Shard && e.Steal() {
+		return "shard+steal"
+	}
 	return e.Mode().String()
 }

@@ -40,10 +40,19 @@ type PlaneSpec struct {
 	// Repair-loop knobs; zero means the fabric default.
 	RepairRetries int    `json:"repair_retries,omitempty"`
 	RepairBackoff string `json:"repair_backoff,omitempty"`
-	// Parallel-engine knobs (see fabric.Config).
-	ParallelThreshold int  `json:"parallel_threshold,omitempty"`
-	ParallelWorkers   int  `json:"parallel_workers,omitempty"`
-	ParallelRacy      bool `json:"parallel_racy,omitempty"`
+	// Parallel-engine knobs (see fabric.Config). ParallelMode selects
+	// deterministic, racy, or shard arbitration; ParallelSteal enables
+	// work stealing (shard mode only).
+	ParallelThreshold int    `json:"parallel_threshold,omitempty"`
+	ParallelWorkers   int    `json:"parallel_workers,omitempty"`
+	ParallelRacy      bool   `json:"parallel_racy,omitempty"`
+	ParallelMode      string `json:"parallel_mode,omitempty"`
+	ParallelSteal     bool   `json:"parallel_steal,omitempty"`
+	// Weight biases plane-selection toward this plane under the hash and
+	// least-loaded policies (a weight-2 plane draws roughly twice the
+	// traffic of a weight-1 plane). Zero or omitted means 1; round-robin
+	// and random ignore weights.
+	Weight float64 `json:"weight,omitempty"`
 }
 
 // FileConfig is a serialized federation: the router knobs plus one spec
@@ -158,6 +167,17 @@ func (fc *FileConfig) Validate() error {
 				return fmt.Errorf("federation: %s: %w", where, err)
 			}
 		}
+		switch ps.ParallelMode {
+		case "", "deterministic", "racy", "shard":
+		default:
+			return fmt.Errorf("federation: %s: unknown parallel_mode %q (want deterministic|racy|shard)", where, ps.ParallelMode)
+		}
+		if ps.ParallelSteal && ps.ParallelMode != "shard" {
+			return fmt.Errorf("federation: %s: parallel_steal requires parallel_mode \"shard\"", where)
+		}
+		if ps.Weight < 0 {
+			return fmt.Errorf("federation: %s: negative weight %v", where, ps.Weight)
+		}
 	}
 	return nil
 }
@@ -182,7 +202,8 @@ func (fc *FileConfig) Build() (Config, error) {
 		admit, _ := parseDur("admit_timeout", ps.AdmitTimeout)
 		backoff, _ := parseDur("repair_backoff", ps.RepairBackoff)
 		cfg.Planes = append(cfg.Planes, PlaneConfig{
-			Name: ps.Name,
+			Name:   ps.Name,
+			Weight: ps.Weight,
 			Fabric: fabric.Config{
 				Tree:              topology.MustNew(ps.Levels, ps.Arity, ps.Width),
 				SchedulerSpec:     ps.Scheduler,
@@ -196,6 +217,8 @@ func (fc *FileConfig) Build() (Config, error) {
 				ParallelThreshold: ps.ParallelThreshold,
 				ParallelWorkers:   ps.ParallelWorkers,
 				ParallelRacy:      ps.ParallelRacy,
+				ParallelMode:      ps.ParallelMode,
+				ParallelSteal:     ps.ParallelSteal,
 			},
 		})
 	}

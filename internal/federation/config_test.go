@@ -67,6 +67,56 @@ func TestConfigRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConfigWeightRoundTrip: per-plane weight and parallel-engine mode
+// fields survive gen → write → load → build and land on the runtime
+// PlaneConfig / fabric.Config.
+func TestConfigWeightRoundTrip(t *testing.T) {
+	fc := Generate(2, 2, 4, 2, "", "hash")
+	fc.Planes[0].Weight = 3
+	fc.Planes[1].ParallelThreshold = 4
+	fc.Planes[1].ParallelMode = "shard"
+	fc.Planes[1].ParallelSteal = true
+
+	var buf bytes.Buffer
+	if err := fc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Planes[0].Weight != 3 || got.Planes[1].Weight != 0 {
+		t.Fatalf("weights mangled: %+v", got.Planes)
+	}
+	if got.Planes[1].ParallelMode != "shard" || !got.Planes[1].ParallelSteal {
+		t.Fatalf("parallel fields mangled: %+v", got.Planes[1])
+	}
+
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Planes[0].Weight != 3 || cfg.Planes[1].Weight != 0 {
+		t.Errorf("built weights: %v, %v", cfg.Planes[0].Weight, cfg.Planes[1].Weight)
+	}
+	f := cfg.Planes[1].Fabric
+	if f.ParallelMode != "shard" || !f.ParallelSteal || f.ParallelThreshold != 4 {
+		t.Errorf("built fabric parallel knobs: %+v", f)
+	}
+
+	// The built config constructs a live router whose runtime weights
+	// reflect the spec (omitted weight defaults to 1 → weighted router).
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(context.Background())
+	if r.planes[0].weight != 3 || r.planes[1].weight != 1 || !r.weighted {
+		t.Errorf("runtime weights: %v, %v (weighted=%v)",
+			r.planes[0].weight, r.planes[1].weight, r.weighted)
+	}
+}
+
 func TestConfigValidationErrors(t *testing.T) {
 	cases := []struct {
 		name, json, want string
@@ -78,6 +128,9 @@ func TestConfigValidationErrors(t *testing.T) {
 		{"bad duration", `{"planes":[{"levels":2,"arity":2,"width":1,"max_wait":"fast"}]}`, "max_wait"},
 		{"node mismatch", `{"planes":[{"levels":2,"arity":2,"width":1},{"name":"b","levels":2,"arity":4,"width":1}]}`, "b serves"},
 		{"unknown field", `{"plains":[]}`, "unknown field"},
+		{"negative weight", `{"planes":[{"levels":2,"arity":2,"width":1,"weight":-1}]}`, "negative weight"},
+		{"bad parallel mode", `{"planes":[{"levels":2,"arity":2,"width":1,"parallel_mode":"sharded"}]}`, "parallel_mode"},
+		{"steal without shard", `{"planes":[{"levels":2,"arity":2,"width":1,"parallel_steal":true}]}`, "parallel_steal requires"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

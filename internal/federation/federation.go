@@ -61,6 +61,12 @@ type PlaneConfig struct {
 	// OnConnTerminal is reserved for the router's re-admission hook: a
 	// caller-set hook is chained after it.
 	Fabric fabric.Config
+	// Weight biases plane selection toward this plane for the hash and
+	// least-loaded policies: a weight-2 plane attracts twice the traffic
+	// of a weight-1 plane under hash, and is considered half as loaded
+	// at equal occupancy under least-loaded. Zero or negative means 1;
+	// round-robin and random ignore weights.
+	Weight float64
 }
 
 // Config parameterizes a Router.
@@ -85,8 +91,9 @@ type Config struct {
 
 // plane is one scheduling plane plus its router-side health state.
 type plane struct {
-	name string
-	surf fabric.Surface
+	name   string
+	surf   fabric.Surface
+	weight float64 // selection bias, always > 0 (defaulted to 1)
 
 	// grants counts circuits the router placed here (initial admissions
 	// and cross-plane re-admissions) — the load-spread signal ftbench
@@ -137,6 +144,10 @@ type Router struct {
 	cfg    Config
 	planes []*plane
 	nodes  int
+
+	// weighted is true when plane weights are non-uniform, switching
+	// the hash policy to weighted rendezvous ordering.
+	weighted bool
 
 	closed  atomic.Bool
 	closeMu sync.Once
@@ -207,7 +218,20 @@ func New(cfg Config) (*Router, error) {
 			r.closePlanes()
 			return nil, fmt.Errorf("federation: plane %q: %w", name, err)
 		}
-		r.planes = append(r.planes, &plane{name: name, surf: m})
+		weight := pc.Weight
+		if weight <= 0 {
+			weight = 1
+		}
+		r.planes = append(r.planes, &plane{name: name, surf: m, weight: weight})
+	}
+	// With uniform weights the hash policy keeps its cheap
+	// rotate-by-pair-hash form; any spread switches it to weighted
+	// rendezvous scoring (policy.go).
+	for _, p := range r.planes[1:] {
+		if p.weight != r.planes[0].weight {
+			r.weighted = true
+			break
+		}
 	}
 	return r, nil
 }

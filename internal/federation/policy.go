@@ -10,6 +10,7 @@ package federation
 
 import (
 	"fmt"
+	"math"
 	"math/rand/v2"
 	"sort"
 )
@@ -81,29 +82,57 @@ func (r *Router) orderPlanes(p Policy, candidates []int, src, dst int) {
 	}
 	switch p {
 	case PolicyHash:
-		rotate(candidates, pairHash(src, dst)%n)
+		if r.weighted {
+			// Weighted rendezvous (highest-random-weight): each candidate
+			// scores -weight/ln(u) with u a per-(src,dst,plane) hash in
+			// (0,1]; ordering by score spreads pairs proportionally to
+			// plane weight, stays deterministic per pair, and degrades
+			// gracefully as candidates drop out.
+			r.orderByScore(candidates, func(i, pi int) float64 {
+				u := (float64(tripleHash(src, dst, pi)) + 1) / float64(1<<31)
+				return -r.planes[pi].weight / math.Log(u)
+			})
+		} else {
+			rotate(candidates, pairHash(src, dst)%n)
+		}
 	case PolicyRoundRobin:
 		rotate(candidates, int(r.rr.Add(1)-1)%n)
 	case PolicyRandom:
 		rotate(candidates, rand.IntN(n))
 	case PolicyLeastLoaded:
 		// Snapshot each gauge once so the sort comparator is consistent,
-		// then order emptiest-first, ties by plane index for determinism.
+		// then order emptiest-first by weight-normalized occupancy (a
+		// weight-2 plane counts as half as loaded), ties by plane index
+		// for determinism. Negated so orderByScore's descending sort
+		// yields emptiest-first.
 		occ := make([]int64, n)
 		for i, pi := range candidates {
 			occ[i] = r.planes[pi].surf.Occupancy()
 		}
-		idx := make([]int, n)
-		for i := range idx {
-			idx[i] = i
-		}
-		sort.SliceStable(idx, func(a, b int) bool { return occ[idx[a]] < occ[idx[b]] })
-		out := make([]int, n)
-		for i, j := range idx {
-			out[i] = candidates[j]
-		}
-		copy(candidates, out)
+		r.orderByScore(candidates, func(i, pi int) float64 {
+			return -float64(occ[i]) / r.planes[pi].weight
+		})
 	}
+}
+
+// orderByScore reorders candidates by descending score(position, plane
+// index), stable so ties keep plane-index order.
+func (r *Router) orderByScore(candidates []int, score func(i, pi int) float64) {
+	n := len(candidates)
+	sc := make([]float64, n)
+	for i, pi := range candidates {
+		sc[i] = score(i, pi)
+	}
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	sort.SliceStable(idx, func(a, b int) bool { return sc[idx[a]] > sc[idx[b]] })
+	out := make([]int, n)
+	for i, j := range idx {
+		out[i] = candidates[j]
+	}
+	copy(candidates, out)
 }
 
 // rotate shifts s left by k, preserving ring order — the policy picks a
@@ -132,5 +161,30 @@ func pairHash(src, dst int) int {
 			h *= prime64
 		}
 	}
+	return int(h % (1 << 31))
+}
+
+// tripleHash mixes (src, dst, plane) into a non-negative value in
+// [0, 2^31) — the per-candidate draw for weighted rendezvous ordering.
+// Raw FNV-1a output correlates across adjacent plane indices (only the
+// final input byte differs), which would skew the rendezvous split, so
+// the state is run through a murmur3-style finalizer before truncation.
+func tripleHash(src, dst, plane int) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, v := range [3]uint64{uint64(src), uint64(dst), uint64(plane)} {
+		for i := 0; i < 8; i++ {
+			h ^= (v >> (8 * i)) & 0xff
+			h *= prime64
+		}
+	}
+	h ^= h >> 33
+	h *= 0xff51afd7ed558ccd
+	h ^= h >> 33
+	h *= 0xc4ceb9fe1a85ec53
+	h ^= h >> 33
 	return int(h % (1 << 31))
 }

@@ -5,7 +5,7 @@
 // the hardware performs concurrently in every switch can be performed
 // concurrently in software workers.
 //
-// The engine implements core.Scheduler and offers two modes:
+// The engine implements core.Scheduler and offers three modes:
 //
 //   - Racy: workers own disjoint request chunks and claim channels
 //     directly with lock-free CAS operations (linkstate.TryAllocate).
@@ -24,10 +24,27 @@
 //     bit-identical to core.LevelWise (grants, ports, fail levels, final
 //     link state).
 //
+//   - Shard: subtree sharding. Requests whose source/destination LCA
+//     stays inside one level-ℓ subtree touch Ulink/Dlink rows only
+//     inside that subtree, so disjoint subtrees schedule concurrently
+//     with plain (non-atomic) operations and zero coordination — no
+//     per-level barrier, no CAS retries; each shard owns its subtree's
+//     channel words outright. Root-crossing requests run afterwards
+//     through the Deterministic two-phase sweep. Work stealing
+//     (Config.Steal) lets idle workers claim whole unstarted shards
+//     from other workers' queues under skewed traffic. The grant set is
+//     run-to-run deterministic (each shard is processed sequentially in
+//     batch order by exactly one worker) but not bit-identical to the
+//     sequential scheduler: shard-confined requests are arbitrated
+//     before root-crossing ones.
+//
 // Options the parallel sweeps cannot honor (Trace hooks, non-first-fit
-// policies in Deterministic mode, LeastLoaded in Racy mode, request-major
-// traversal) make Schedule fall back to the sequential scheduler with the
-// same options, so the engine is always safe to install.
+// policies in Deterministic and Shard modes, LeastLoaded in Racy mode,
+// request-major traversal) make Schedule fall back to the sequential
+// scheduler with the same options, so the engine is always safe to
+// install. So do degenerate batches: fewer than two requests, fewer
+// requests than would keep two workers busy, and (for Shard mode) trees
+// whose shape yields fewer than two populated shards.
 package parsched
 
 import (
@@ -53,6 +70,11 @@ const (
 	// Racy lets workers CAS-claim channels directly; fastest, with a
 	// run-to-run nondeterministic (but always conflict-free) grant set.
 	Racy
+	// Shard partitions the batch by level-ℓ subtree: disjoint subtrees
+	// schedule concurrently with plain operations (no barrier, no CAS),
+	// root-crossing requests fall back to the Deterministic two-phase
+	// sweep. Conflict-free and run-to-run deterministic.
+	Shard
 )
 
 // String names the mode.
@@ -62,6 +84,8 @@ func (m Mode) String() string {
 		return "deterministic"
 	case Racy:
 		return "racy"
+	case Shard:
+		return "shard"
 	default:
 		return fmt.Sprintf("Mode(%d)", int(m))
 	}
@@ -71,8 +95,17 @@ func (m Mode) String() string {
 type Config struct {
 	// Workers is the number of scheduling goroutines (default: GOMAXPROCS).
 	Workers int
-	// Mode selects Deterministic or Racy arbitration.
+	// Mode selects Deterministic, Racy, or Shard arbitration.
 	Mode Mode
+	// Steal enables work stealing across shard queues (Shard mode only):
+	// a worker that drains its own queue claims whole unstarted shards
+	// from other workers, which bounds the tail under skewed traffic.
+	Steal bool
+	// ShardLevel is the subtree level ℓ Shard mode partitions at
+	// (0 = one level below the root, the coarsest split that yields
+	// more than one shard). Lower levels give more, smaller shards but
+	// classify more requests as root-crossing.
+	ShardLevel int
 	// Opts are the Level-wise options to schedule with; see the package
 	// comment for the combinations each mode can honor in parallel.
 	Opts core.Options
@@ -84,11 +117,13 @@ type Config struct {
 // Schedule call at a time — internal/fabric guarantees that with its
 // manager lock.
 type Engine struct {
-	workers int
-	mode    Mode
-	opts    core.Options
-	name    string
-	seq     *core.LevelWise
+	workers    int
+	mode       Mode
+	steal      bool
+	shardLevel int
+	opts       core.Options
+	name       string
+	seq        *core.LevelWise
 }
 
 // New returns an Engine; zero Workers means runtime.GOMAXPROCS(0).
@@ -97,12 +132,18 @@ func New(cfg Config) *Engine {
 	if w <= 0 {
 		w = runtime.GOMAXPROCS(0)
 	}
+	modeName := cfg.Mode.String()
+	if cfg.Mode == Shard && cfg.Steal {
+		modeName += "+steal"
+	}
 	return &Engine{
-		workers: w,
-		mode:    cfg.Mode,
-		opts:    cfg.Opts,
-		name:    fmt.Sprintf("parallel-level-wise/%s/w%d", cfg.Mode, w),
-		seq:     &core.LevelWise{Opts: cfg.Opts},
+		workers:    w,
+		mode:       cfg.Mode,
+		steal:      cfg.Steal,
+		shardLevel: cfg.ShardLevel,
+		opts:       cfg.Opts,
+		name:       fmt.Sprintf("parallel-level-wise/%s/w%d", modeName, w),
+		seq:        &core.LevelWise{Opts: cfg.Opts},
 	}
 }
 
@@ -114,6 +155,10 @@ func (e *Engine) Workers() int { return e.workers }
 
 // Mode reports the configured arbitration mode.
 func (e *Engine) Mode() Mode { return e.mode }
+
+// Steal reports whether Shard mode steals whole shards across worker
+// queues.
+func (e *Engine) Steal() bool { return e.steal }
 
 // parallelizable reports whether the configured options can be honored by
 // the parallel sweeps (otherwise Schedule runs the sequential scheduler).
@@ -130,6 +175,10 @@ func (e *Engine) parallelizable() bool {
 		// LeastLoaded reads neighbor rows without atomics; first-fit and
 		// random picks act only on the worker's own atomic snapshot.
 		return e.opts.Policy != core.LeastLoaded
+	case Shard:
+		// The per-shard sweep and the root-crossing two-phase fallback
+		// both arbitrate first-fit.
+		return e.opts.Policy == core.FirstFit
 	default:
 		return false
 	}
@@ -137,14 +186,21 @@ func (e *Engine) parallelizable() bool {
 
 // Schedule routes the batch, mutating st, using worker goroutines when
 // the configured options allow it and the sequential scheduler otherwise.
+// Degenerate batches (0 or 1 requests, or more workers than requests)
+// run sequentially rather than spinning idle workers.
 func (e *Engine) Schedule(st *linkstate.State, reqs []core.Request) *core.Result {
-	if e.workers <= 1 || len(reqs) < 2 || !e.parallelizable() {
+	workers := min(e.workers, len(reqs))
+	if workers <= 1 || !e.parallelizable() {
 		return e.seq.Schedule(st, reqs)
 	}
-	if e.mode == Racy {
-		return e.scheduleRacy(st, reqs)
+	switch e.mode {
+	case Racy:
+		return e.scheduleRacy(st, reqs, workers)
+	case Shard:
+		return e.scheduleShard(st, reqs, workers)
+	default:
+		return e.scheduleDeterministic(st, reqs, workers)
 	}
-	return e.scheduleDeterministic(st, reqs)
 }
 
 // finish assembles the batch result (mirrors core's accounting).
@@ -182,7 +238,7 @@ func rollback(st *linkstate.State, o *core.Outcome, ops *core.Counters) {
 // its commit turn, every port below p was already unavailable at level
 // entry and still is — p is exactly the sequential scheduler's pick. Only
 // proposals invalidated by an earlier commit re-arbitrate.
-func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request) *core.Result {
+func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request, workers int) *core.Result {
 	tree := st.Tree()
 	rng := e.opts.Rand
 	if rng == nil && e.opts.Order == core.ShuffledOrder {
@@ -190,12 +246,10 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 	}
 	outs := core.NewOutcomes(tree, reqs)
 	order := core.OrderIndices(tree, reqs, e.opts.Order, rng)
-	w := tree.Parents()
 	n := len(reqs)
 
 	curs := make([]topology.RouteCursor, n)
 	alive := make([]bool, n)
-	proposal := make([]int, n)
 	maxH := 0
 	for i := range outs {
 		curs[i].Start(tree, outs[i].Src, outs[i].Dst)
@@ -209,16 +263,56 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 		}
 	}
 
-	scratch := make([]bitvec.Vector, e.workers)
-	for wk := range scratch {
-		scratch[wk] = bitvec.New(w)
-	}
-	commitAvail := bitvec.New(w)
-	active := make([]int, 0, n)
 	var ops core.Counters
+	tp := newTwoPhase(e, st, outs, curs, alive, workers)
+	tp.run(order, maxH, &ops)
+	return e.finish(outs, ops)
+}
 
+// twoPhase is the working set of one deterministic two-phase sweep. It
+// is built once per batch by scheduleDeterministic (over the whole
+// batch) and by scheduleShard (over the root-crossing remainder after
+// the shard phase).
+type twoPhase struct {
+	e           *Engine
+	st          *linkstate.State
+	outs        []core.Outcome
+	curs        []topology.RouteCursor
+	alive       []bool
+	proposal    []int
+	scratch     []bitvec.Vector
+	commitAvail bitvec.Vector
+	active      []int
+	workers     int
+}
+
+func newTwoPhase(e *Engine, st *linkstate.State, outs []core.Outcome, curs []topology.RouteCursor, alive []bool, workers int) *twoPhase {
+	w := st.Tree().Parents()
+	tp := &twoPhase{
+		e:           e,
+		st:          st,
+		outs:        outs,
+		curs:        curs,
+		alive:       alive,
+		proposal:    make([]int, len(outs)),
+		scratch:     make([]bitvec.Vector, workers),
+		commitAvail: bitvec.New(w),
+		active:      make([]int, 0, len(outs)),
+		workers:     workers,
+	}
+	for wk := range tp.scratch {
+		tp.scratch[wk] = bitvec.New(w)
+	}
+	return tp
+}
+
+// run sweeps levels 0..maxH-1 over the requests listed in order (a
+// subset of the batch in processing order); dead or shorter requests
+// are filtered per level through alive and H.
+func (tp *twoPhase) run(order []int, maxH int, ops *core.Counters) {
+	e, st, outs, curs, alive := tp.e, tp.st, tp.outs, tp.curs, tp.alive
 	for h := 0; h < maxH; h++ {
-		active = active[:0]
+		active := tp.active[:0]
 		for _, i := range order {
 			if alive[i] && h < outs[i].H {
 				active = append(active, i)
@@ -231,9 +325,9 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 		// level-entry state. Workers only read link rows and write
 		// disjoint proposal slots; the WaitGroup is the barrier that
 		// orders these reads before phase two's writes.
-		chunk := (len(active) + e.workers - 1) / e.workers
+		chunk := (len(active) + tp.workers - 1) / tp.workers
 		var wg sync.WaitGroup
-		for wk := 0; wk < e.workers; wk++ {
+		for wk := 0; wk < tp.workers; wk++ {
 			lo := wk * chunk
 			if lo >= len(active) {
 				break
@@ -245,12 +339,12 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 				for _, i := range part {
 					st.AvailBothInto(avail, h, curs[i].Sigma(), curs[i].Delta())
 					if p, ok := avail.FirstSet(); ok {
-						proposal[i] = p
+						tp.proposal[i] = p
 					} else {
-						proposal[i] = -1
+						tp.proposal[i] = -1
 					}
 				}
-			}(scratch[wk], active[lo:hi])
+			}(tp.scratch[wk], active[lo:hi])
 		}
 		wg.Wait()
 		ops.VectorReads += 2 * len(active)
@@ -261,16 +355,16 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 		for _, i := range active {
 			o := &outs[i]
 			ops.Steps++
-			p := proposal[i]
+			p := tp.proposal[i]
 			if p >= 0 && !(st.ULink(h, curs[i].Sigma()).Get(p) && st.DLink(h, curs[i].Delta()).Get(p)) {
 				// An earlier commit took the proposed port: re-arbitrate
 				// against the committed state, exactly as the sequential
 				// scheduler would at this request's turn.
-				st.AvailBothInto(commitAvail, h, curs[i].Sigma(), curs[i].Delta())
+				st.AvailBothInto(tp.commitAvail, h, curs[i].Sigma(), curs[i].Delta())
 				ops.VectorReads += 2
 				ops.VectorANDs++
 				ops.PortPicks++
-				if np, ok := commitAvail.FirstSet(); ok {
+				if np, ok := tp.commitAvail.FirstSet(); ok {
 					p = np
 				} else {
 					p = -1
@@ -280,7 +374,7 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 				alive[i] = false
 				o.FailLevel = h
 				if e.opts.Rollback {
-					rollback(st, o, &ops)
+					rollback(st, o, ops)
 				}
 				continue
 			}
@@ -295,14 +389,13 @@ func (e *Engine) scheduleDeterministic(st *linkstate.State, reqs []core.Request)
 			}
 		}
 	}
-	return e.finish(outs, ops)
 }
 
 // scheduleRacy fans the batch out to workers that claim channels with
 // lock-free CAS. Each worker owns a contiguous chunk of the processing
 // order, a scratch availability vector, a tried-ports mask, a ports
 // arena, and (for RandomFit) its own RNG.
-func (e *Engine) scheduleRacy(st *linkstate.State, reqs []core.Request) *core.Result {
+func (e *Engine) scheduleRacy(st *linkstate.State, reqs []core.Request, workers int) *core.Result {
 	tree := st.Tree()
 	rng := e.opts.Rand
 	if rng == nil && (e.opts.Policy == core.RandomFit || e.opts.Order == core.ShuffledOrder) {
@@ -310,7 +403,6 @@ func (e *Engine) scheduleRacy(st *linkstate.State, reqs []core.Request) *core.Re
 	}
 	outs := core.NewOutcomes(tree, reqs)
 	order := core.OrderIndices(tree, reqs, e.opts.Order, rng)
-	workers := min(e.workers, len(order))
 	chunk := (len(order) + workers - 1) / workers
 	var seedBase int64 = 1
 	if rng != nil {

@@ -76,6 +76,13 @@ func TestGoldenRegistryMatchesConstructors(t *testing.T) {
 		{"parallel,workers=4,rollback", func() core.Scheduler {
 			return parsched.New(parsched.Config{Workers: 4, Opts: core.Options{Rollback: true}})
 		}},
+		// Shard mode is run-to-run deterministic (each shard is scheduled
+		// sequentially by one owner), so the registry build must match
+		// the direct constructor bit for bit too.
+		{"parallel,mode=shard,workers=4,steal,rollback", func() core.Scheduler {
+			return parsched.New(parsched.Config{Workers: 4, Mode: parsched.Shard, Steal: true,
+				Opts: core.Options{Rollback: true}})
+		}},
 	}
 	shapes := [][3]int{{2, 4, 4}, {3, 4, 2}, {2, 6, 3}}
 	for _, c := range cases {

@@ -29,6 +29,9 @@ func TestEveryEngineReleasesClean(t *testing.T) {
 		"stale,window=4",
 		"parallel,mode=deterministic,workers=4,rollback",
 		"parallel,mode=racy,workers=4,seed=9",
+		"parallel,mode=shard,workers=4,rollback",
+		"parallel,mode=shard,workers=4,steal",
+		"parallel,mode=shard,workers=16,steal,shard-level=1,rollback",
 	)
 	shapeRng := rand.New(rand.NewSource(21))
 	for _, spec := range specs {

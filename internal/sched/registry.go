@@ -184,10 +184,12 @@ var families = []family{
 	{
 		info: Info{
 			Family:  "parallel",
-			Summary: "level-wise fanned across worker goroutines (deterministic or racy arbitration)",
+			Summary: "level-wise fanned across worker goroutines (deterministic, racy, or shard arbitration)",
 			Params: append([]ParamDoc{
-				{"mode", "deterministic (default, bit-identical to level-wise) or racy (lock-free CAS)"},
+				{"mode", "deterministic (default, bit-identical to level-wise), racy (lock-free CAS), or shard (subtree-sharded, zero coordination)"},
 				{"workers", "scheduling goroutines (default 0 = GOMAXPROCS)"},
+				{"steal", "flag: work stealing across shard queues (mode=shard only)"},
+				{"shard-level", "subtree level ℓ the shard mode partitions at (default: one below the root; mode=shard only)"},
 				{"rollback", "flag: release a failed request's partial path"},
 			}, optionParams...),
 			Example: "parallel,mode=racy,workers=8",
@@ -204,8 +206,24 @@ var families = []family{
 				cfg.Mode = parsched.Deterministic
 			case "racy":
 				cfg.Mode = parsched.Racy
+			case "shard":
+				cfg.Mode = parsched.Shard
 			default:
-				return nil, fmt.Errorf("invalid mode=%q (deterministic or racy)", v)
+				return nil, fmt.Errorf("invalid mode=%q (deterministic, racy or shard)", v)
+			}
+			if cfg.Steal = p.flag("steal"); cfg.Steal && cfg.Mode != parsched.Shard {
+				return nil, fmt.Errorf("steal requires mode=shard")
+			}
+			if n, ok, err := p.intValue("shard-level"); err != nil {
+				return nil, err
+			} else if ok {
+				if cfg.Mode != parsched.Shard {
+					return nil, fmt.Errorf("shard-level requires mode=shard")
+				}
+				if n < 1 {
+					return nil, fmt.Errorf("invalid shard-level=%d (must be >= 1)", n)
+				}
+				cfg.ShardLevel = n
 			}
 			if n, ok, err := p.intValue("workers"); err != nil {
 				return nil, err

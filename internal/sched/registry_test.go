@@ -59,6 +59,8 @@ func TestParseErrors(t *testing.T) {
 		{"stale,window=0", "must be >= 1"},
 		{"parallel,mode=chaotic", "invalid mode"},
 		{"parallel,workers=-2", "must be >= 0"},
+		{"parallel,steal", "steal requires mode=shard"},
+		{"parallel,mode=shard,shard-level=x", "must be an integer"},
 		{"level-wise,policy=random,policy=first-fit", "duplicate parameter"},
 		{"optimal,rollback", `unknown parameter "rollback"`},
 	}
@@ -88,6 +90,17 @@ func TestParseErrorTextExact(t *testing.T) {
 		{"stael", `sched: unknown scheduler "stael" (did you mean stale?) — registered: ` + registered},
 		{"level-wise,policy=random,policy=first-fit", `sched: level-wise: duplicate parameter "policy"`},
 		{"stale,window=4,window=8", `sched: stale: duplicate parameter "window"`},
+		// The shard-mode parameter grammar, pinned verbatim: bad mode
+		// values list every valid mode, steal and shard-level are
+		// rejected outside mode=shard, and duplicate keys stay caught
+		// before the factory runs.
+		{"parallel,mode=shardd", `sched: parallel: invalid mode="shardd" (deterministic, racy or shard)`},
+		{"parallel,mode=shard,mode=shard", `sched: parallel: duplicate parameter "mode"`},
+		{"parallel,steal", `sched: parallel: steal requires mode=shard`},
+		{"parallel,mode=racy,steal", `sched: parallel: steal requires mode=shard`},
+		{"parallel,shard-level=1", `sched: parallel: shard-level requires mode=shard`},
+		{"parallel,mode=shard,shard-level=0", `sched: parallel: invalid shard-level=0 (must be >= 1)`},
+		{"parallel,mode=shard,shards=4", `sched: parallel: unknown parameter "shards" (valid: mode, workers, steal, shard-level, rollback, policy, order, seed)`},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -133,6 +146,13 @@ func TestUnwrapExposesConcreteTypes(t *testing.T) {
 	}
 	if pe.Workers() != 4 || pe.Mode() != parsched.Racy {
 		t.Fatalf("parallel engine config: workers=%d mode=%v", pe.Workers(), pe.Mode())
+	}
+	se, ok := MustParse("parallel,mode=shard,workers=6,steal,shard-level=1").Unwrap().(*parsched.Engine)
+	if !ok {
+		t.Fatal("parallel,mode=shard does not unwrap to *parsched.Engine")
+	}
+	if se.Mode() != parsched.Shard || se.Name() != "parallel-level-wise/shard+steal/w6" {
+		t.Fatalf("shard engine config: mode=%v name=%q", se.Mode(), se.Name())
 	}
 }
 

@@ -255,6 +255,17 @@ func (t *Tree) AncestorLevel(a, b int) int {
 	return t.kern.NodeAncestorLevel(a, b)
 }
 
+// SubtreeAt returns the index of the level-`level` subtree containing
+// node n (see digits.Kernel.SubtreeAt): two nodes share a level-ℓ
+// subtree exactly when AncestorLevel(a, b) <= ℓ, so requests in
+// distinct level-ℓ subtrees touch disjoint Ulink/Dlink rows — the
+// invariant the subtree-sharded parallel engine schedules on.
+func (t *Tree) SubtreeAt(n, level int) int { return t.kern.SubtreeAt(n, level) }
+
+// Subtrees returns the number of disjoint level-`level` subtrees,
+// m^(l-1-level).
+func (t *Tree) Subtrees(level int) int { return t.kern.Subtrees(level) }
+
 // Hop is one switch visited by a path.
 type Hop struct {
 	Level int

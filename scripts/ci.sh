@@ -27,6 +27,12 @@ go test -race ./...
 # count, shaking out interleavings a single full-suite run can miss.
 go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults ./internal/federation
 
+# Shard-engine stress: the high-worker-count shard tests (16 workers on
+# deliberately small trees, steal on and off) force maximal queue
+# contention and whole-shard steals; -count=2 under -race shakes out
+# claim/steal interleavings a single run can miss.
+go test -race -count=2 -run 'HighWorker' ./internal/parsched
+
 # Bench smoke: compile and run every benchmark for exactly one iteration
 # so bit-rot in the bench harnesses (including the parallel-engine and
 # zero-allocation benches) fails CI without costing bench-grade runtime.
@@ -39,6 +45,11 @@ go test -run '^$' -bench . -benchtime 1x ./...
 go test -run '^$' -bench 'BenchmarkRouteCursor' -benchtime 1x ./internal/topology
 go test -run '^$' -bench 'BenchmarkFabricRelease' -benchtime 1x ./internal/fabric
 go test -run '^$' -bench 'BenchmarkFederationThroughput' -benchtime 1x ./internal/federation
+
+# Scaling-study smoke: one shard-engine point of the multi-core sweep
+# (BENCH_scaling.json), so the -cpu matrix harness keeps compiling and
+# the shard fast path keeps running end to end.
+go test -run '^$' -bench 'BenchmarkScalingEngines/FT3x8x8/batch4096/local/shard$' -benchtime 1x -cpu 2 .
 
 # Config round-trip smoke: the generator's output must load through the
 # server's own -config path (stdin form), end to end through both CLIs.
