@@ -25,6 +25,12 @@
 // fault/repair schedule mid-run and sweeps the -chaos-rates link failure
 // rates, reporting the schedulability ratio and repair latency at each
 // rate (EXPERIMENTS.md E17).
+//
+// With -churn, ftbench runs the arrival/departure churn comparison
+// (EXPERIMENTS.md E20): one seeded workload of circuit arrivals with
+// exponential lifetimes served by batch-replay, incremental, and
+// incremental+reuse-cost scheduling, reporting schedulability, grants
+// per second of scheduler time, and route churn per epoch.
 package main
 
 import (
@@ -69,6 +75,12 @@ func main() {
 	planePolicies := flag.String("plane-policies", "round-robin", "federation sweep: comma-separated plane selection policies")
 	planesConfig := flag.String("planes-config", "", "federation sweep: run one point from this multi-plane JSON config (from `fttopo gen`) instead of the -planes grid")
 	planesJSON := flag.String("planes-json", "", "federation sweep: also write the results as JSON to this file")
+	churnMode := flag.Bool("churn", false, "run the arrival/departure churn comparison: batch-replay vs incremental (delta-epoch) scheduling on one seeded workload")
+	churnRate := flag.Int("churn-rate", 16, "churn: fresh arrivals per epoch")
+	churnLife := flag.Float64("churn-life", 8, "churn: mean circuit lifetime in epochs (exponential)")
+	churnEpochs := flag.Int("churn-epochs", 200, "churn: epochs to simulate")
+	churnReuse := flag.Int("churn-reuse", 4, "churn: reuse-cost cap K for the incremental+reuse discipline (0 skips it)")
+	churnJSON := flag.String("churn-json", "", "churn: also write the comparison as JSON to this file")
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection sweep: fabric closed-loop clients plus a seeded mid-run fault/repair schedule")
 	chaosRates := flag.String("chaos-rates", "0,0.01,0.05,0.1", "chaos: comma-separated link failure rates p to sweep")
 	chaosCycle := flag.Duration("chaos-cycle", 20*time.Millisecond, "chaos: fault/repair alternation period")
@@ -107,6 +119,19 @@ func main() {
 		} else {
 			err = federationBench(os.Stdout, fcfg)
 		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *churnMode {
+		err := churnBench(os.Stdout, churnBenchConfig{
+			Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
+			Rate: *churnRate, Life: *churnLife, Epochs: *churnEpochs,
+			Reuse: *churnReuse, Seed: *seed, JSONPath: *churnJSON,
+		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
 			exit(1)

@@ -57,6 +57,33 @@ func TestScheduleIntoZeroAllocs(t *testing.T) {
 			}
 		})
 	}
+
+	// The incremental delta path must hold the same bar: a full epoch of
+	// departures (every previously granted route torn down via the
+	// fault-aware ReleaseSurviving walk) plus a fresh arrival sweep,
+	// against warm scratch, allocates nothing. The departures are
+	// captured once from a warm-up pass — FirstFit is deterministic, so
+	// re-granting the same batch re-creates exactly those routes.
+	t.Run("incremental-delta", func(t *testing.T) {
+		st := linkstate.New(tree)
+		s := &LevelWise{Opts: Options{Rollback: true, Incremental: true}}
+		sc := NewScratch()
+		res := s.ScheduleDeltaInto(st, reqs, nil, sc)
+		var deps []Departure
+		for _, o := range res.Outcomes {
+			if o.Granted {
+				deps = append(deps, Departure{Src: o.Src, Dst: o.Dst, Ports: append([]int(nil), o.Ports...)})
+			}
+		}
+		s.ScheduleDeltaInto(st, nil, deps, sc) // drain; scratch is warm now
+		allocs := testing.AllocsPerRun(10, func() {
+			s.ScheduleDeltaInto(st, reqs, nil, sc)
+			s.ScheduleDeltaInto(st, nil, deps, sc)
+		})
+		if allocs != 0 {
+			t.Fatalf("ScheduleDeltaInto allocated %.1f times per grant+depart cycle, want 0", allocs)
+		}
+	})
 }
 
 // TestScheduleIntoMatchesSchedule pins ScheduleInto (scratch reuse) to

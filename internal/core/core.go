@@ -50,6 +50,11 @@ type Result struct {
 	Granted   int
 	Total     int
 	Ops       Counters
+	// Torn is the number of departed routes whose channels this pass
+	// returned to the fabric before sweeping the arrivals (delta epochs
+	// only — see ScheduleDeltaInto; always 0 for plain batch scheduling).
+	// Departures that held no channels (H == 0 circuits) do not count.
+	Torn int
 }
 
 // Ratio returns the schedulability ratio granted/total (1 for an empty
@@ -192,6 +197,23 @@ type Options struct {
 	// taken (or that the request was denied). It explains outcomes —
 	// "why did this request fail" — and costs nothing when nil.
 	Trace func(TraceEvent)
+	// Incremental marks the scheduler as serving delta epochs: granted
+	// routes stay allocated in the link state across batches and callers
+	// feed departures plus arrivals to ScheduleDeltaInto instead of
+	// rebuilding state. The flag does not change how a single batch of
+	// arrivals is swept — arrivals-only delta runs are bit-identical to
+	// batch scheduling (pinned by TestIncrementalArrivalsOnlyGolden) —
+	// it declares the carry-forward contract for the layers above
+	// (internal/sched capability detection, internal/fabric epoch mode).
+	Incremental bool
+	// ReuseCost, when positive, replaces the port policy with the
+	// reconfiguration-cost-aware pick (Costly Circuits, PAPERS.md): among
+	// the available ports the one whose parent switches already carry the
+	// most held circuits wins, with the marginal value of overlap capped
+	// at ReuseCost (greedy submodular-style saturation). Ties break low,
+	// so ReuseCost behaves like first-fit on an idle fabric. Only
+	// meaningful with Incremental — reuse needs routes that persist.
+	ReuseCost int
 }
 
 // TraceEvent describes one scheduling decision.
@@ -322,4 +344,46 @@ func pickPort(st *linkstate.State, policy PortPolicy, rng *rand.Rand, h, sigma i
 	default: // FirstFit
 		return avail.FirstSet()
 	}
+}
+
+// pickPortReuse is the reconfiguration-cost-aware port pick
+// (Options.ReuseCost): it scores every available port by how many
+// channels its two parent switches — the σ-side up-parent and the δ-side
+// mirror parent — already have allocated, caps the score at reuseCap
+// (the submodular saturation: past that, more overlap buys nothing), and
+// takes the highest-scoring port, ties low. Packing new circuits onto
+// switches that already carry held ones keeps the working set of
+// switches small, so future reconfigurations (departures, faults,
+// repacks) touch fewer distinct resources. At the top level there are no
+// parent rows to score, so the pick degrades to first-fit; it also does
+// on an idle fabric, where every score is 0.
+//
+// Failed channels are masked out of the availability rows, so a faulted
+// parent scores as if loaded — which is the conservative choice: routes
+// through it are the ones a repair would re-tear.
+func pickPortReuse(st *linkstate.State, h, sigma, delta int, avail bitvec.Vector, reuseCap int) (int, bool) {
+	tree := st.Tree()
+	if h+1 >= tree.LinkLevels() {
+		return avail.FirstSet()
+	}
+	w := tree.Parents()
+	best, bestScore := -1, -1
+	for p := 0; p < avail.Width(); p++ {
+		if !avail.Get(p) {
+			continue
+		}
+		up := tree.UpParent(h, sigma, p)
+		down := tree.UpParent(h, delta, p)
+		score := (w - st.ULink(h+1, up).Count()) + (w - st.DLink(h+1, down).Count())
+		if score > reuseCap {
+			score = reuseCap
+		}
+		if score > bestScore {
+			best, bestScore = p, score
+		}
+	}
+	if best < 0 {
+		return 0, false
+	}
+	return best, true
 }

@@ -1,0 +1,93 @@
+package core
+
+import (
+	"repro/internal/linkstate"
+)
+
+// Incremental epoch scheduling: the carry-forward contract.
+//
+// A batch scheduler treats the link state as scratch for one pass; an
+// incremental scheduler treats it as the durable record of every held
+// circuit. Between epochs nothing is rebuilt — granted routes simply
+// stay allocated — and each epoch hands the scheduler only the *delta*:
+// the departures whose channels should return to the fabric and the
+// arrivals to sweep against whatever is left. The held set never needs
+// an index of its own: the allocated bits in linkstate ARE the held set,
+// which is also what the reuse-cost pick (pickPortReuse) scores against.
+//
+// In a circuit fabric, tearing down and re-establishing a route has real
+// cost (Venkatakrishnan et al., Costly Circuits, Submodular Schedules —
+// PAPERS.md); the delta path makes that cost explicit: Result.Torn
+// counts exactly the routes this epoch tore, and an arrivals-only delta
+// epoch is bit-identical to batch scheduling on the same state (pinned
+// by the golden tests), so going incremental never changes what a single
+// sweep decides — only how much of the world it has to touch.
+
+// Departure names one held route leaving the fabric in a delta epoch:
+// the endpoints it connected and the upward port choices it held (one
+// per level below the common ancestor; empty when the endpoints shared a
+// level-0 switch and the circuit consumed no channels). The Ports slice
+// is owned by the caller and only read here.
+type Departure struct {
+	Src, Dst int
+	Ports    []int
+}
+
+// ReleaseSurviving is the fault-tolerant teardown walk: it replays a
+// held route's Theorem 1/2 climb and releases every channel that is
+// still in service, skipping channels the fault mask has taken down —
+// those are masked out of availability and must not be resurrected by a
+// departure racing a fault. On a healthy fabric it releases the whole
+// path, exactly like ReleaseRoute. ops may be nil; only survivors count
+// toward ops.Releases. Releasing a free surviving channel is an
+// invariant violation and panics, as in ReleaseRoute.
+func ReleaseSurviving(st *linkstate.State, src, dst int, ports []int, ops *Counters) {
+	var c RouteCursor
+	c.Start(st.Tree(), src, dst)
+	for _, p := range ports {
+		h, sigma, delta := c.Level(), c.Sigma(), c.Delta()
+		if !st.Failed(linkstate.Up, h, sigma, p) {
+			mustRelease(st, linkstate.Up, h, sigma, p)
+			if ops != nil {
+				ops.Releases++
+			}
+		}
+		if !st.Failed(linkstate.Down, h, delta, p) {
+			mustRelease(st, linkstate.Down, h, delta, p)
+			if ops != nil {
+				ops.Releases++
+			}
+		}
+		c.Advance(p)
+	}
+}
+
+// ScheduleDeltaInto runs one incremental epoch: it tears down the
+// departures' routes (fault-aware, via ReleaseSurviving), then sweeps
+// the arrivals against the carried-forward link state exactly as
+// ScheduleInto would. Held grants from prior epochs are never touched —
+// the state they occupy is the point. The returned Result covers the
+// arrivals (Outcomes, Granted, Total) and additionally reports Torn, the
+// number of departures that actually held channels; teardown releases
+// are included in Ops.Releases. With nil departures this is ScheduleInto
+// verbatim, which is the arrivals-only bit-identity the golden tests
+// pin.
+//
+// Like ScheduleInto, the Result aliases sc and is invalidated by sc's
+// next use, and the call allocates nothing once sc is warm (the delta
+// guard in TestScheduleIntoZeroAllocs).
+func (s *LevelWise) ScheduleDeltaInto(st *linkstate.State, arrivals []Request, departures []Departure, sc *Scratch) *Result {
+	var ops Counters
+	torn := 0
+	for i := range departures {
+		d := &departures[i]
+		ReleaseSurviving(st, d.Src, d.Dst, d.Ports, &ops)
+		if len(d.Ports) > 0 {
+			torn++
+		}
+	}
+	res := s.ScheduleInto(st, arrivals, sc)
+	res.Torn = torn
+	res.Ops.Releases += ops.Releases
+	return res
+}

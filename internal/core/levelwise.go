@@ -34,6 +34,12 @@ func (s *LevelWise) Name() string {
 	if s.Opts.Rollback {
 		n += "/rollback"
 	}
+	if s.Opts.Incremental {
+		n += "/incremental"
+	}
+	if s.Opts.ReuseCost > 0 {
+		n += fmt.Sprintf("/reuse-cost=%d", s.Opts.ReuseCost)
+	}
 	return n
 }
 
@@ -74,8 +80,11 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 	// (w <= 64), the per-level step collapses to one AND and a
 	// trailing-zeros pick. FirstFit IS lowest-set-bit, so the fast path is
 	// bit-identical to the Vector path (the golden tests pin this); other
-	// policies and tracing need the Vector form.
-	fast := st.WordRows() && s.Opts.Policy == FirstFit && s.Opts.Trace == nil
+	// policies, tracing, and the reuse-cost pick (which reads neighbor
+	// occupancy rows) need the Vector form. Incremental alone does not
+	// leave the fast path — delta epochs of arrivals sweep exactly like a
+	// batch.
+	fast := st.WordRows() && s.Opts.Policy == FirstFit && s.Opts.Trace == nil && s.Opts.ReuseCost == 0
 
 	if s.Opts.Traversal == RequestMajor {
 		if fast {
@@ -147,7 +156,7 @@ func (s *LevelWise) ScheduleInto(st *linkstate.State, reqs []Request, sc *Scratc
 			ops.VectorReads += 2
 			ops.VectorANDs++
 			ops.Steps++
-			p, ok := pickPort(st, s.Opts.Policy, rng, h, ls.cur.Sigma(), avail)
+			p, ok := s.pick(st, rng, h, ls.cur.Sigma(), ls.cur.Delta(), avail)
 			ops.PortPicks++
 			if s.Opts.Trace != nil {
 				port := p
@@ -227,7 +236,7 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 		ops.VectorReads += 2
 		ops.VectorANDs++
 		ops.Steps++
-		p, ok := pickPort(st, s.Opts.Policy, rng, h, cur.Sigma(), avail)
+		p, ok := s.pick(st, rng, h, cur.Sigma(), cur.Delta(), avail)
 		ops.PortPicks++
 		if s.Opts.Trace != nil {
 			port := p
@@ -251,6 +260,16 @@ func (s *LevelWise) scheduleOne(st *linkstate.State, o *Outcome, ops *Counters, 
 		cur.Advance(p)
 	}
 	o.Granted = true
+}
+
+// pick selects a port from avail under the configured policy, routing
+// through the reuse-cost scorer when Options.ReuseCost is set (reuse
+// replaces the policy axis — the registry rejects combining them).
+func (s *LevelWise) pick(st *linkstate.State, rng *rand.Rand, h, sigma, delta int, avail bitvec.Vector) (int, bool) {
+	if s.Opts.ReuseCost > 0 {
+		return pickPortReuse(st, h, sigma, delta, avail, s.Opts.ReuseCost)
+	}
+	return pickPort(st, s.Opts.Policy, rng, h, sigma, avail)
 }
 
 // rollback releases the channels a failed request allocated at levels

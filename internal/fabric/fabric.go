@@ -179,6 +179,22 @@ type Config struct {
 	// verdict. Federation uses this hook to re-admit the dead circuit on
 	// a surviving plane.
 	OnConnTerminal func(c Conn, cause error)
+	// Incremental switches the manager to delta epochs: granted routes
+	// stay allocated in the link state across epochs and each scheduling
+	// pass admits only the arrival delta, with releases, revocations, and
+	// repairs flowing through the same departure path
+	// (sched.Incremental.ScheduleDeltaInto). Requires an admission engine
+	// with the delta-epoch capability — the default engine qualifies, as
+	// does any SchedulerSpec sched.AsIncremental accepts. A SchedulerSpec
+	// carrying the "incremental" flag enables this mode by itself.
+	Incremental bool
+	// ReuseCost, when positive, scores candidate up-ports by their
+	// overlap with already-held circuits at the parent switches, capped
+	// at this value (core.Options.ReuseCost): admission prefers routes
+	// that disturb the least standing configuration. Requires Incremental
+	// and the default engine; put reuse-cost in the SchedulerSpec when
+	// naming an engine explicitly.
+	ReuseCost int
 	// ReleaseRing sizes the lock-free release ring (rounded up to a
 	// power of two). The Release fast path parks the handle there — two
 	// atomic loads and one CAS, never the manager lock — and the flusher
@@ -351,6 +367,15 @@ type Manager struct {
 	par          *parsched.Engine
 	parThreshold int
 	scratch      *core.Scratch
+	// inc, when non-nil, puts the manager in incremental (delta-epoch)
+	// mode: granted routes stay allocated across epochs, releases stage
+	// departures in depbuf, and each flush calls ScheduleDeltaInto.
+	// parInc is the parallel engine's delta entry point (it serves delta
+	// epochs through its sequential core, with the fallback documented in
+	// Result.Scheduler). reuseCost echoes the effective reuse-cost cap.
+	inc       sched.Incremental
+	parInc    sched.Incremental
+	reuseCost int
 
 	slots   chan struct{} // queue-slot semaphore (backpressure)
 	kick    chan struct{} // wakes the flusher (buffered 1, coalescing)
@@ -386,6 +411,16 @@ type Manager struct {
 	// Config.ReleaseRing is negative.
 	relRing *releaseRing
 
+	// depbuf stages departures in incremental mode (guarded by mu): a
+	// released or revoked route parks here, ownership of its ports
+	// transferred from the handle, until the next delta epoch consumes it
+	// through ScheduleDeltaInto — or a settle point (Stats, Fail, Close,
+	// a synchronous Release) applies it directly. tornSinceEpoch
+	// accumulates routes torn down since the last scheduling epoch, in
+	// every mode, and feeds the per-epoch route-churn sample.
+	depbuf         []core.Departure
+	tornSinceEpoch int
+
 	// Flusher-owned epoch buffers (guarded by mu), reused across flushes
 	// so steady-state epochs allocate only the Handles they grant.
 	// qspare ping-pongs with pending's backing array: each flush swaps
@@ -408,12 +443,21 @@ type Manager struct {
 	repairFailed, repairAborted atomic.Uint64
 	pendingRepairs              atomic.Int64
 
+	// Route-churn counters: tornRoutes counts routes torn down (release,
+	// revoke, or delta-epoch departure with held channels),
+	// establishedRoutes counts routes set up (grants and repairs with
+	// held channels). Their per-epoch sum is the reconfiguration-cost
+	// signal the incremental mode exists to shrink.
+	tornRoutes        atomic.Uint64
+	establishedRoutes atomic.Uint64
+
 	// Histogram stripes: recording locks one stripe, Stats snapshots
 	// stripes one at a time and summarizes outside every lock.
 	epochSize   *shardedRing
 	epochLat    *shardedRing
 	repairLat   *shardedRing // revoke → successful re-admission, milliseconds
 	repairDepth *shardedRing // scheduling attempts per successful repair
+	routeChurn  *shardedRing // routes torn + established, per scheduling epoch
 }
 
 // New validates the config, applies defaults, and starts the manager's
@@ -440,6 +484,15 @@ func New(cfg Config) (*Manager, error) {
 	if cfg.RepairBackoff <= 0 {
 		cfg.RepairBackoff = DefaultRepairBackoff
 	}
+	if cfg.ReuseCost < 0 {
+		return nil, fmt.Errorf("fabric: invalid ReuseCost %d (must be >= 0)", cfg.ReuseCost)
+	}
+	if cfg.ReuseCost > 0 && !cfg.Incremental {
+		return nil, errors.New("fabric: ReuseCost requires Incremental (reuse scores held routes, which only persist across delta epochs)")
+	}
+	if cfg.ReuseCost > 0 && (cfg.SchedulerSpec != "" || cfg.Scheduler != nil) {
+		return nil, errors.New("fabric: ReuseCost applies to the default engine only; put reuse-cost in the SchedulerSpec instead")
+	}
 	var eng sched.Engine
 	switch {
 	case cfg.SchedulerSpec != "" && cfg.Scheduler != nil:
@@ -452,7 +505,28 @@ func New(cfg Config) (*Manager, error) {
 	case cfg.Scheduler != nil:
 		eng = sched.Wrap(cfg.Scheduler)
 	default:
-		eng = sched.Wrap(&core.LevelWise{Opts: core.Options{Rollback: true}})
+		eng = sched.Wrap(&core.LevelWise{Opts: core.Options{
+			Rollback: true, Incremental: cfg.Incremental, ReuseCost: cfg.ReuseCost}})
+	}
+	// Delta-epoch mode: explicitly requested, or implied by a spec that
+	// carries the incremental flag. Either way the engine must actually
+	// have the capability.
+	incremental := cfg.Incremental
+	reuseCost := cfg.ReuseCost
+	if lw, ok := eng.Unwrap().(*core.LevelWise); ok {
+		if lw.Opts.Incremental {
+			incremental = true
+		}
+		if lw.Opts.ReuseCost > reuseCost {
+			reuseCost = lw.Opts.ReuseCost
+		}
+	}
+	var inc sched.Incremental
+	if incremental {
+		var ok bool
+		if inc, ok = sched.AsIncremental(eng); !ok {
+			return nil, fmt.Errorf("fabric: Incremental requires an engine with the delta-epoch capability (%s has none)", eng.Name())
+		}
 	}
 	var par *parsched.Engine
 	if cfg.ParallelThreshold > 0 {
@@ -489,6 +563,8 @@ func New(cfg Config) (*Manager, error) {
 		par:          par,
 		parThreshold: cfg.ParallelThreshold,
 		scratch:      core.NewScratch(),
+		inc:          inc,
+		reuseCost:    reuseCost,
 		slots:        make(chan struct{}, cfg.QueueLimit),
 		kick:         make(chan struct{}, 1),
 		closing:      make(chan struct{}),
@@ -500,6 +576,10 @@ func New(cfg Config) (*Manager, error) {
 		epochLat:     newShardedRing(4096),
 		repairLat:    newShardedRing(4096),
 		repairDepth:  newShardedRing(4096),
+		routeChurn:   newShardedRing(4096),
+	}
+	if inc != nil && par != nil {
+		m.parInc = par
 	}
 	ringSize := cfg.ReleaseRing
 	if ringSize == 0 {
@@ -627,7 +707,11 @@ func (m *Manager) Release(h *Handle) error {
 }
 
 // releaseSlow is the synchronous Release path. It drains the ring first
-// so releases retire in roughly the order their owners issued them.
+// so releases retire in roughly the order their owners issued them, and
+// — in incremental mode — applies the staged departures before
+// returning: a synchronous Release promises its channels are back in
+// service (clients drain through this path after Close, when no flusher
+// is left to run a delta epoch for them).
 func (m *Manager) releaseSlow(h *Handle) error {
 	m.mu.Lock()
 	m.drainReleasesLocked()
@@ -637,6 +721,7 @@ func (m *Manager) releaseSlow(h *Handle) error {
 	} else {
 		m.finishReleaseLocked(h)
 	}
+	m.applyDeparturesLocked()
 	m.mu.Unlock()
 	return err
 }
@@ -678,13 +763,57 @@ func (m *Manager) finishReleaseLocked(h *Handle) {
 	case handleDead:
 		return
 	}
-	m.releaseRouteLocked(h)
+	ports := h.ports
+	if m.inc != nil {
+		// Delta mode: the route is not torn down here — it stages as a
+		// departure for the next scheduling pass (or settle point), with
+		// ownership of the ports slice transferring to the buffer.
+		m.depbuf = append(m.depbuf, core.Departure{Src: h.src, Dst: h.dst, Ports: h.ports})
+		h.ports = nil
+	} else {
+		m.releaseRouteLocked(h)
+		if len(h.ports) > 0 {
+			m.tornSinceEpoch++
+			m.tornRoutes.Add(1)
+		}
+	}
 	delete(m.conns, h)
 	if m.cfg.Trace != nil {
-		m.cfg.Trace(Event{Kind: EventRelease, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
+		m.cfg.Trace(Event{Kind: EventRelease, Src: h.src, Dst: h.dst, Ports: ports, FailLevel: -1})
 	}
 	m.released.Add(1)
 	m.active.Add(-1)
+}
+
+// applyDeparturesLocked tears down every staged departure outside a
+// scheduling pass. Delta epochs normally consume the buffer through
+// ScheduleDeltaInto; this is the settle point the other mu holders use
+// (Stats, Fail, Close, synchronous Release) so observers, the revoke
+// walk, and post-shutdown drains all see freed channels. The sweep is
+// fault-aware: channels the fault mask already forfeited are skipped.
+func (m *Manager) applyDeparturesLocked() {
+	if len(m.depbuf) == 0 {
+		return
+	}
+	for i := range m.depbuf {
+		d := &m.depbuf[i]
+		core.ReleaseSurviving(m.st, d.Src, d.Dst, d.Ports, nil)
+		if len(d.Ports) > 0 {
+			m.tornSinceEpoch++
+			m.tornRoutes.Add(1)
+		}
+	}
+	m.clearDeparturesLocked()
+}
+
+// clearDeparturesLocked resets the staged-departure buffer without
+// releasing anything — the caller (a delta epoch, or
+// applyDeparturesLocked) already returned the channels.
+func (m *Manager) clearDeparturesLocked() {
+	for i := range m.depbuf {
+		m.depbuf[i] = core.Departure{}
+	}
+	m.depbuf = m.depbuf[:0]
 }
 
 // releaseRouteLocked returns an active handle's channels to the fabric.
@@ -703,20 +832,7 @@ func (m *Manager) releaseRouteLocked(h *Handle) {
 		}
 		return
 	}
-	var c topology.RouteCursor
-	c.Start(m.cfg.Tree, h.src, h.dst)
-	c.Walk(h.ports, func(level, sigma, delta, port int) {
-		if !m.st.Failed(linkstate.Up, level, sigma, port) {
-			if err := m.st.Release(linkstate.Up, level, sigma, port); err != nil {
-				panic(fmt.Sprintf("fabric: release invariant violation: %v", err))
-			}
-		}
-		if !m.st.Failed(linkstate.Down, level, delta, port) {
-			if err := m.st.Release(linkstate.Down, level, delta, port); err != nil {
-				panic(fmt.Sprintf("fabric: release invariant violation: %v", err))
-			}
-		}
-	})
+	core.ReleaseSurviving(m.st, h.src, h.dst, h.ports, nil)
 }
 
 // Close stops admission, drains queued requests through a final epoch,
@@ -733,10 +849,13 @@ func (m *Manager) Close(ctx context.Context) error {
 	case <-m.done:
 		// The flusher drained the release ring on exit, but a Release
 		// that read closed=false concurrently with shutdown may have
-		// parked a handle after that final drain; sweep those up so the
-		// fabric is fully drained when Close returns.
+		// parked a handle after that final drain; sweep those up (and, in
+		// incremental mode, apply the staged departures — no flusher is
+		// left to run a delta epoch) so the fabric is fully drained when
+		// Close returns.
 		m.mu.Lock()
 		m.drainReleasesLocked()
+		m.applyDeparturesLocked()
 		m.mu.Unlock()
 		return nil
 	case <-ctx.Done():
@@ -857,6 +976,12 @@ func (m *Manager) flushLocked() []delivery {
 	m.qspare = batch[:0]
 	m.livebuf = live
 	if len(live) == 0 {
+		// Nothing to schedule — every ticket was cancelled. Staged
+		// departures still settle here, but the epoch histograms and the
+		// epoch counter must NOT record this flush: an empty (or
+		// departure-only) pass is not a scheduling epoch, and counting it
+		// would drag EpochSize/EpochLatencyMS toward zero.
+		m.applyDeparturesLocked()
 		return nil
 	}
 	reqs := m.reqbuf[:0]
@@ -867,6 +992,22 @@ func (m *Manager) flushLocked() []delivery {
 
 	var res *core.Result
 	switch {
+	case m.inc != nil:
+		// Delta epoch: staged departures are torn down (fault-aware,
+		// inside the engine) before the arrival sweep, and everything
+		// already granted stays allocated. Parallel modes serve delta
+		// epochs through their sequential core — Result.Scheduler carries
+		// the documented fallback name.
+		eng := m.inc
+		if m.parInc != nil && len(reqs) >= m.parThreshold {
+			eng = m.parInc
+		}
+		res = eng.ScheduleDeltaInto(m.st, reqs, m.depbuf, m.scratch)
+		m.clearDeparturesLocked()
+		m.tornSinceEpoch += res.Torn
+		m.tornRoutes.Add(uint64(res.Torn))
+		m.lastEngine = res.Scheduler
+		m.seqEpochs.Add(1)
 	case m.par != nil && len(reqs) >= m.parThreshold:
 		res = m.par.Schedule(m.st, reqs)
 		m.lastEngine = m.par.Name()
@@ -878,9 +1019,13 @@ func (m *Manager) flushLocked() []delivery {
 	}
 
 	epoch := m.epochs.Add(1)
+	established := 0
 	dels := m.delbuf[:0]
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
+		if o.Granted && len(o.Ports) > 0 {
+			established++ // new grants and repairs that hold channels
+		}
 		if t := live[i]; t.h != nil {
 			m.repairVerdictLocked(t, o, epoch)
 			continue
@@ -914,6 +1059,14 @@ func (m *Manager) flushLocked() []delivery {
 	latMS := float64(time.Since(live[0].enq)) / float64(time.Millisecond)
 	m.epochSize.add(float64(len(live)))
 	m.epochLat.add(latMS)
+	// One route-churn sample per scheduling epoch: routes torn down since
+	// the last one (releases, revocations, delta departures) plus routes
+	// established by this pass. This is the reconfiguration cost the
+	// incremental mode minimizes — batch mode records it too, so the two
+	// are directly comparable.
+	m.establishedRoutes.Add(uint64(established))
+	m.routeChurn.add(float64(m.tornSinceEpoch + established))
+	m.tornSinceEpoch = 0
 	// Drop ticket references from the reused buffer; the deliveries carry
 	// them the rest of the way.
 	for i := range live {

@@ -38,8 +38,11 @@ func (m *Manager) Fail(fs *faults.FaultSet) (failed, revoked int, err error) {
 		return 0, 0, ErrClosed
 	}
 	// Retire parked releases before the revoke walk so an already-
-	// released connection is not revoked into a pointless repair.
+	// released connection is not revoked into a pointless repair, and
+	// settle staged departures while their channels are still healthy —
+	// those releases happened logically before this fault.
 	m.drainReleasesLocked()
+	m.applyDeparturesLocked()
 	fresh := make(map[faults.Channel]struct{}, len(chans))
 	for _, c := range chans {
 		if _, already := m.failed[c]; already {
@@ -191,27 +194,27 @@ func (m *Manager) routeCrossesLocked(h *Handle, bad map[faults.Channel]struct{})
 // mask and must not be resurrected), the handle enters the repair
 // state, and a repair ticket joins the epoch queue. Caller holds m.mu.
 func (m *Manager) revokeLocked(h *Handle) {
-	var c topology.RouteCursor
-	c.Start(m.cfg.Tree, h.src, h.dst)
-	c.Walk(h.ports, func(level, sigma, delta, port int) {
-		if !m.st.Failed(linkstate.Up, level, sigma, port) {
-			if err := m.st.Release(linkstate.Up, level, sigma, port); err != nil {
-				panic(fmt.Sprintf("fabric: revoke release invariant: %v", err))
-			}
-		}
-		if !m.st.Failed(linkstate.Down, level, delta, port) {
-			if err := m.st.Release(linkstate.Down, level, delta, port); err != nil {
-				panic(fmt.Sprintf("fabric: revoke release invariant: %v", err))
-			}
-		}
-	})
 	if m.cfg.Trace != nil {
 		m.cfg.Trace(Event{Kind: EventRevoke, Src: h.src, Dst: h.dst, Ports: h.ports, FailLevel: -1})
+	}
+	if m.inc != nil {
+		// Delta mode: the revoked route departs through the same staged
+		// path a Release takes, so the next delta epoch tears it down
+		// (fault-aware) right before it schedules the repair ticket.
+		// Ownership of the ports slice transfers to the buffer.
+		m.depbuf = append(m.depbuf, core.Departure{Src: h.src, Dst: h.dst, Ports: h.ports})
+		h.ports = nil
+	} else {
+		core.ReleaseSurviving(m.st, h.src, h.dst, h.ports, nil)
+		if len(h.ports) > 0 {
+			m.tornSinceEpoch++
+			m.tornRoutes.Add(1)
+		}
+		h.ports = h.ports[:0]
 	}
 	h.state.Store(handleRepairing)
 	h.attempts = 0
 	h.revokedAt = time.Now()
-	h.ports = h.ports[:0]
 	m.revoked.Add(1)
 	m.active.Add(-1)
 	m.pendingRepairs.Add(1)

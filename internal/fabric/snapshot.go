@@ -120,6 +120,20 @@ type Stats struct {
 	// repairs: revoke-to-readmission latency and scheduling attempts used.
 	RepairLatencyMS Dist `json:"repair_latency_ms"`
 	RepairDepth     Dist `json:"repair_depth"`
+	// Incremental-mode observability. Incremental reports whether the
+	// manager runs delta epochs (granted routes carried forward,
+	// departures swept instead of full rebuilds); ReuseCost echoes the
+	// reconfiguration-cost cap (0 = first-fit). TornRoutes counts routes
+	// torn down (releases, revocations, delta departures) and
+	// EstablishedRoutes routes set up (grants and repairs holding
+	// channels); RouteChurn summarizes their per-scheduling-epoch sum —
+	// the reconfiguration cost — over the last ≤4096 epochs. All three
+	// are recorded in batch mode too, so modes compare directly.
+	Incremental       bool   `json:"incremental,omitempty"`
+	ReuseCost         int    `json:"reuse_cost,omitempty"`
+	TornRoutes        uint64 `json:"torn_routes"`
+	EstablishedRoutes uint64 `json:"established_routes"`
+	RouteChurn        Dist   `json:"route_churn"`
 }
 
 // Stats returns a snapshot of the manager's counters, queue, epoch
@@ -132,6 +146,7 @@ type Stats struct {
 func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	m.drainReleasesLocked()
+	m.applyDeparturesLocked()
 	util := m.st.Utilization()
 	lastEngine := m.lastEngine
 	faulty := len(m.failed)
@@ -147,6 +162,7 @@ func (m *Manager) Stats() Stats {
 	lat := distOf(m.epochLat.snapshot())
 	repLat := distOf(m.repairLat.snapshot())
 	repDepth := distOf(m.repairDepth.snapshot())
+	churn := distOf(m.routeChurn.snapshot())
 	return Stats{
 		Offered:        m.offered.Load(),
 		Granted:        m.granted.Load(),
@@ -179,6 +195,12 @@ func (m *Manager) Stats() Stats {
 		DegradedCapacity: capacity,
 		RepairLatencyMS:  repLat,
 		RepairDepth:      repDepth,
+
+		Incremental:       m.inc != nil,
+		ReuseCost:         m.reuseCost,
+		TornRoutes:        m.tornRoutes.Load(),
+		EstablishedRoutes: m.establishedRoutes.Load(),
+		RouteChurn:        churn,
 	}
 }
 

@@ -48,6 +48,12 @@ type PlaneSpec struct {
 	ParallelRacy      bool   `json:"parallel_racy,omitempty"`
 	ParallelMode      string `json:"parallel_mode,omitempty"`
 	ParallelSteal     bool   `json:"parallel_steal,omitempty"`
+	// Incremental/ReuseCost map to fabric.Config: delta epochs with
+	// carry-forward grants, and the reconfiguration-cost-aware port
+	// score. reuse_cost requires incremental (or name both in the
+	// scheduler spec instead, e.g. "levelwise,incremental,reuse-cost=4").
+	Incremental bool `json:"incremental,omitempty"`
+	ReuseCost   int  `json:"reuse_cost,omitempty"`
 	// Weight biases plane-selection toward this plane under the hash and
 	// least-loaded policies (a weight-2 plane draws roughly twice the
 	// traffic of a weight-1 plane). Zero or omitted means 1; round-robin
@@ -175,6 +181,24 @@ func (fc *FileConfig) Validate() error {
 		if ps.ParallelSteal && ps.ParallelMode != "shard" {
 			return fmt.Errorf("federation: %s: parallel_steal requires parallel_mode \"shard\"", where)
 		}
+		if ps.ReuseCost < 0 {
+			return fmt.Errorf("federation: %s: negative reuse_cost %d", where, ps.ReuseCost)
+		}
+		if ps.ReuseCost > 0 && !ps.Incremental {
+			return fmt.Errorf("federation: %s: reuse_cost requires incremental", where)
+		}
+		if ps.ReuseCost > 0 && ps.Scheduler != "" {
+			return fmt.Errorf("federation: %s: reuse_cost applies to the default engine; put reuse-cost in the scheduler spec", where)
+		}
+		if ps.Incremental && ps.Scheduler != "" {
+			eng, err := sched.Parse(ps.Scheduler)
+			if err != nil {
+				return fmt.Errorf("federation: %s: %w", where, err)
+			}
+			if _, ok := sched.AsIncremental(eng); !ok {
+				return fmt.Errorf("federation: %s: incremental requires a scheduler with the delta-epoch capability (%s has none)", where, eng.Name())
+			}
+		}
 		if ps.Weight < 0 {
 			return fmt.Errorf("federation: %s: negative weight %v", where, ps.Weight)
 		}
@@ -219,6 +243,8 @@ func (fc *FileConfig) Build() (Config, error) {
 				ParallelRacy:      ps.ParallelRacy,
 				ParallelMode:      ps.ParallelMode,
 				ParallelSteal:     ps.ParallelSteal,
+				Incremental:       ps.Incremental,
+				ReuseCost:         ps.ReuseCost,
 			},
 		})
 	}

@@ -117,6 +117,53 @@ func TestConfigWeightRoundTrip(t *testing.T) {
 	}
 }
 
+// TestConfigIncrementalRoundTrip: the delta-epoch knobs survive
+// write → load → build, land on fabric.Config, and construct a live
+// incremental plane.
+func TestConfigIncrementalRoundTrip(t *testing.T) {
+	fc := Generate(2, 2, 4, 2, "", "hash")
+	fc.Planes[0].Incremental = true
+	fc.Planes[0].ReuseCost = 4
+	fc.Planes[1].Scheduler = "levelwise,incremental"
+
+	var buf bytes.Buffer
+	if err := fc.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := Load(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Planes[0].Incremental || got.Planes[0].ReuseCost != 4 {
+		t.Fatalf("incremental fields mangled: %+v", got.Planes[0])
+	}
+	cfg, err := got.Build()
+	if err != nil {
+		t.Fatal(err)
+	}
+	f := cfg.Planes[0].Fabric
+	if !f.Incremental || f.ReuseCost != 4 {
+		t.Fatalf("built fabric incremental knobs: %+v", f)
+	}
+	r, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close(context.Background())
+	h, err := r.Connect(context.Background(), 0, 15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := h.Release(); err != nil {
+		t.Fatal(err)
+	}
+	for i, p := range r.planes {
+		if s := p.surf.Stats(); !s.Incremental {
+			t.Errorf("plane %d not incremental: %+v", i, s)
+		}
+	}
+}
+
 func TestConfigValidationErrors(t *testing.T) {
 	cases := []struct {
 		name, json, want string
@@ -131,6 +178,10 @@ func TestConfigValidationErrors(t *testing.T) {
 		{"negative weight", `{"planes":[{"levels":2,"arity":2,"width":1,"weight":-1}]}`, "negative weight"},
 		{"bad parallel mode", `{"planes":[{"levels":2,"arity":2,"width":1,"parallel_mode":"sharded"}]}`, "parallel_mode"},
 		{"steal without shard", `{"planes":[{"levels":2,"arity":2,"width":1,"parallel_steal":true}]}`, "parallel_steal requires"},
+		{"negative reuse_cost", `{"planes":[{"levels":2,"arity":2,"width":1,"incremental":true,"reuse_cost":-2}]}`, "negative reuse_cost"},
+		{"reuse_cost without incremental", `{"planes":[{"levels":2,"arity":2,"width":1,"reuse_cost":2}]}`, "reuse_cost requires incremental"},
+		{"reuse_cost with scheduler", `{"planes":[{"levels":2,"arity":2,"width":1,"incremental":true,"reuse_cost":2,"scheduler":"level-wise"}]}`, "put reuse-cost in the scheduler spec"},
+		{"incremental without capability", `{"planes":[{"levels":2,"arity":2,"width":1,"incremental":true,"scheduler":"optimal"}]}`, "delta-epoch capability"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -166,6 +166,12 @@ func (e *Engine) parallelizable() bool {
 	if e.opts.Trace != nil || e.opts.Traversal != core.LevelMajor {
 		return false
 	}
+	if e.opts.ReuseCost > 0 {
+		// The reuse-cost pick reads neighbor occupancy rows (like
+		// LeastLoaded) and its score depends on commit order, so no
+		// parallel mode can honor it.
+		return false
+	}
 	switch e.mode {
 	case Deterministic:
 		// Phase-two re-arbitration is only provably identical to the
@@ -201,6 +207,20 @@ func (e *Engine) Schedule(st *linkstate.State, reqs []core.Request) *core.Result
 	default:
 		return e.scheduleDeterministic(st, reqs, workers)
 	}
+}
+
+// ScheduleDeltaInto serves one incremental epoch (sched.Incremental).
+// Delta epochs always run on the sequential core: the departures'
+// teardown walks are inherently serial, and the arrivals then sweep on
+// the zero-allocation sequential word fast path — which for the small
+// arrival batches of a churning fabric beats spinning up workers. The
+// fallback is documented in Result.Scheduler so observability (fabric
+// LastEpochEngine) shows why a parallel-configured engine scheduled
+// sequentially.
+func (e *Engine) ScheduleDeltaInto(st *linkstate.State, arrivals []core.Request, departures []core.Departure, sc *core.Scratch) *core.Result {
+	res := e.seq.ScheduleDeltaInto(st, arrivals, departures, sc)
+	res.Scheduler = e.seq.Name() + "/par-fallback=incremental-delta"
+	return res
 }
 
 // finish assembles the batch result (mirrors core's accounting).

@@ -77,10 +77,13 @@ var families = []family{
 	{
 		info: Info{
 			Family:  "level-wise",
+			Aliases: []string{"levelwise"},
 			Summary: "the paper's global scheduler: per-level AND of Ulink(h,σ) and Dlink(h,δ)",
 			Params: append([]ParamDoc{
 				{"traversal", "level-major (default, Figure 7) or request-major"},
 				{"rollback", "flag: release a failed request's partial path"},
+				{"incremental", "flag: delta epochs — held grants stay allocated across batches (ScheduleDeltaInto)"},
+				{"reuse-cost", "score up-ports by held-circuit overlap at the parents, capped at K (requires incremental; replaces policy)"},
 			}, optionParams...),
 			Example: "level-wise,policy=random,order=shuffle,rollback",
 		},
@@ -98,6 +101,21 @@ var families = []family{
 				return nil, fmt.Errorf("invalid traversal=%q (level-major or request-major)", v)
 			}
 			opts.Rollback = p.flag("rollback")
+			opts.Incremental = p.flag("incremental")
+			if n, ok, err := p.intValue("reuse-cost"); err != nil {
+				return nil, err
+			} else if ok {
+				if !opts.Incremental {
+					return nil, fmt.Errorf("reuse-cost requires the incremental flag (reuse scores held routes, which only persist across delta epochs)")
+				}
+				if n < 1 {
+					return nil, fmt.Errorf("invalid reuse-cost=%d (must be >= 1)", n)
+				}
+				if opts.Policy != core.FirstFit {
+					return nil, fmt.Errorf("reuse-cost replaces the port policy (remove policy=%s)", opts.Policy)
+				}
+				opts.ReuseCost = n
+			}
 			return &core.LevelWise{Opts: opts}, nil
 		},
 	},
@@ -241,6 +259,7 @@ var families = []family{
 // aliases expand shorthand family names into full spec prefixes, keeping
 // the pre-registry scheduler names working.
 var aliases = map[string]string{
+	"levelwise":    "level-wise",
 	"local-greedy": "local",
 	"local-random": "local,policy=random",
 }
@@ -297,7 +316,9 @@ func (p *params) leftover() []string {
 	return out
 }
 
-// validKeys lists a family's accepted parameter names.
+// validKeys lists a family's accepted parameter names, sorted — error
+// text must not depend on Params declaration order, so adding a
+// parameter to the middle of a family never reshuffles the message.
 func validKeys(f *family) string {
 	if len(f.info.Params) == 0 {
 		return "none"
@@ -306,6 +327,7 @@ func validKeys(f *family) string {
 	for i, pd := range f.info.Params {
 		keys[i] = pd.Key
 	}
+	sort.Strings(keys)
 	return strings.Join(keys, ", ")
 }
 

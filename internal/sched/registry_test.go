@@ -27,6 +27,10 @@ func TestParseNames(t *testing.T) {
 		{"parallel,mode=racy,workers=8", "parallel-level-wise/racy/w8"},
 		{"parallel,workers=2", "parallel-level-wise/deterministic/w2"},
 		{" level-wise , rollback ", "level-wise/rollback"}, // whitespace tolerated
+		{"level-wise,incremental", "level-wise/incremental"},
+		{"levelwise,incremental", "level-wise/incremental"}, // issue-grammar alias
+		{"levelwise,incremental,reuse-cost=4", "level-wise/incremental/reuse-cost=4"},
+		{"level-wise,rollback,incremental,reuse-cost=2", "level-wise/rollback/incremental/reuse-cost=2"},
 	}
 	for _, c := range cases {
 		e, err := Parse(c.spec)
@@ -100,7 +104,15 @@ func TestParseErrorTextExact(t *testing.T) {
 		{"parallel,mode=racy,steal", `sched: parallel: steal requires mode=shard`},
 		{"parallel,shard-level=1", `sched: parallel: shard-level requires mode=shard`},
 		{"parallel,mode=shard,shard-level=0", `sched: parallel: invalid shard-level=0 (must be >= 1)`},
-		{"parallel,mode=shard,shards=4", `sched: parallel: unknown parameter "shards" (valid: mode, workers, steal, shard-level, rollback, policy, order, seed)`},
+		// Valid-key lists are sorted so the message is deterministic and
+		// stable under registry reordering.
+		{"parallel,mode=shard,shards=4", `sched: parallel: unknown parameter "shards" (valid: mode, order, policy, rollback, seed, shard-level, steal, workers)`},
+		{"level-wise,window=3", `sched: level-wise: unknown parameter "window" (valid: incremental, order, policy, reuse-cost, rollback, seed, traversal)`},
+		// The incremental grammar: reuse-cost needs the incremental flag,
+		// must be positive, and replaces the policy axis.
+		{"level-wise,reuse-cost=4", `sched: level-wise: reuse-cost requires the incremental flag (reuse scores held routes, which only persist across delta epochs)`},
+		{"level-wise,incremental,reuse-cost=0", `sched: level-wise: invalid reuse-cost=0 (must be >= 1)`},
+		{"level-wise,incremental,reuse-cost=2,policy=random", `sched: level-wise: reuse-cost replaces the port policy (remove policy=random)`},
 	}
 	for _, c := range cases {
 		_, err := Parse(c.spec)
@@ -183,8 +195,10 @@ func TestListMetadata(t *testing.T) {
 }
 
 func TestSuggest(t *testing.T) {
-	if got := Suggest("levelwise"); len(got) == 0 || got[0] != "level-wise" {
-		t.Fatalf("Suggest(levelwise) = %v", got)
+	// "levelwise" is a registered alias now, so it suggests itself first;
+	// the canonical family must still be offered.
+	if got := Suggest("levelwiz"); len(got) == 0 || (got[0] != "level-wise" && got[0] != "levelwise") {
+		t.Fatalf("Suggest(levelwiz) = %v", got)
 	}
 	if got := Suggest("zzzzzzzzzzzz"); len(got) != 0 {
 		t.Fatalf("Suggest(zzzz...) = %v, want none", got)

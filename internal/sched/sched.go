@@ -48,6 +48,31 @@ type Engine interface {
 	Unwrap() core.Scheduler
 }
 
+// Incremental is the delta-epoch capability: an engine that carries
+// granted routes forward in the link state across epochs and schedules
+// only the delta — departures torn down (fault-aware), arrivals swept
+// against what remains. core.LevelWise implements it (and the parallel
+// engine delegates to its sequential core, with the fallback documented
+// in Result.Scheduler); detect it on a registry-built engine with
+// AsIncremental. Over an arrivals-only workload ScheduleDeltaInto is
+// bit-identical to ScheduleInto — the contract internal/fabric's
+// incremental mode is built on.
+type Incremental interface {
+	ScheduleDeltaInto(st *linkstate.State, arrivals []core.Request, departures []core.Departure, sc *core.Scratch) *core.Result
+}
+
+// AsIncremental reports whether the engine can serve delta epochs,
+// unwrapping the registry adapter if needed.
+func AsIncremental(e Engine) (Incremental, bool) {
+	if inc, ok := e.(Incremental); ok {
+		return inc, true
+	}
+	if inc, ok := e.Unwrap().(Incremental); ok {
+		return inc, true
+	}
+	return nil, false
+}
+
 // scratchScheduler is the optional fast-path interface concrete
 // schedulers may implement (core.LevelWise does).
 type scratchScheduler interface {

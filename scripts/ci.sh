@@ -57,6 +57,18 @@ go run ./cmd/fttopo gen -planes 4 -levels 3 -children 4 -parents 4 -policy least
 	| go run ./cmd/ftserve -config - -validate
 
 # Allocation-regression guard: the scheduling hot path must stay at zero
-# allocations per request; -count=2 re-runs it against warm scratch
-# state, which is where a regression would hide.
+# allocations per request — including the incremental delta path, which
+# the same test pins; -count=2 re-runs it against warm scratch state,
+# which is where a regression would hide.
 go test -run 'TestScheduleIntoZeroAllocs' -count=2 ./internal/core
+
+# Incremental-vs-batch golden smoke: over an arrivals-only workload the
+# delta path must stay bit-identical to batch replay, at both the core
+# layer and through the registry spec the fabric uses.
+go test -run 'TestIncrementalArrivalsOnlyGolden' ./internal/core
+go test -run 'TestIncrementalSpecGolden' ./internal/sched
+
+# Churn-workload smoke: one small seeded run of the batch-replay vs
+# incremental comparison (EXPERIMENTS.md E20), so the -churn harness
+# keeps running end to end without bench-grade runtime.
+go run ./cmd/ftbench -churn -churn-rate 8 -churn-life 4 -churn-epochs 20 -churn-reuse 2 -seed 1
