@@ -26,6 +26,15 @@
 // rates, reporting the schedulability ratio and repair latency at each
 // rate (EXPERIMENTS.md E17).
 //
+// With -gray, ftbench runs the gray-failure resilience sweep
+// (EXPERIMENTS.md E21): seeded *flaky* links flap up and down on a fixed
+// clock while closed-loop clients run, exercising flap damping, the
+// repair retry budget, and reuse-cost-aware repair placement; each
+// -gray-rates point runs with reuse-cost scoring off and on over
+// bit-identical churn, and a final two-plane point injects a
+// slow-but-alive DegradedPlane process and reports the health score and
+// breaker state.
+//
 // With -churn, ftbench runs the arrival/departure churn comparison
 // (EXPERIMENTS.md E20): one seeded workload of circuit arrivals with
 // exponential lifetimes served by batch-replay, incremental, and
@@ -84,6 +93,16 @@ func main() {
 	chaosMode := flag.Bool("chaos", false, "run the fault-injection sweep: fabric closed-loop clients plus a seeded mid-run fault/repair schedule")
 	chaosRates := flag.String("chaos-rates", "0,0.01,0.05,0.1", "chaos: comma-separated link failure rates p to sweep")
 	chaosCycle := flag.Duration("chaos-cycle", 20*time.Millisecond, "chaos: fault/repair alternation period")
+	grayMode := flag.Bool("gray", false, "run the gray-failure sweep: seeded flaky links flapping mid-run, with flap damping, retry budgets, and a degraded-plane federation point")
+	grayRates := flag.String("gray-rates", "0,0.02,0.05,0.1", "gray: comma-separated flaky link selection rates p to sweep")
+	grayDuty := flag.Float64("gray-duty", 0.5, "gray: per-step down probability of each flaky link")
+	grayStep := flag.Duration("gray-step", 2*time.Millisecond, "gray: flaky process clock period")
+	grayReuse := flag.Int("gray-reuse", 4, "gray: reuse-cost cap K for the second arm (0 skips it)")
+	grayThreshold := flag.Float64("gray-threshold", 3, "gray: flap-damping quarantine threshold")
+	grayProbation := flag.Duration("gray-probation", 100*time.Millisecond, "gray: quarantine probation window")
+	grayBudget := flag.Float64("gray-budget", 200, "gray: repair retry budget tokens per second")
+	grayBurst := flag.Int("gray-burst", 64, "gray: repair retry budget burst")
+	grayJSON := flag.String("gray-json", "", "gray: also write the sweep results as JSON to this file")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	flag.Parse()
@@ -132,6 +151,29 @@ func main() {
 			Rate: *churnRate, Life: *churnLife, Epochs: *churnEpochs,
 			Reuse: *churnReuse, Seed: *seed, JSONPath: *churnJSON,
 		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *grayMode {
+		var rates []float64
+		if rates, err = parseRates(*grayRates); err == nil {
+			err = grayBench(os.Stdout, grayBenchConfig{
+				fabricBenchConfig: fabricBenchConfig{
+					Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
+					Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
+					MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
+					Timeout: *fabricTimeout,
+				},
+				Rates: rates, Duty: *grayDuty, Step: *grayStep, Reuse: *grayReuse,
+				FlapThreshold: *grayThreshold, Probation: *grayProbation,
+				BudgetRate: *grayBudget, BudgetBurst: *grayBurst,
+				JSONPath: *grayJSON,
+			})
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
 			exit(1)

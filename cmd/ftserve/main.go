@@ -26,15 +26,23 @@
 //	                                      409 {"error":"unroutable","fail_level":1}
 //	POST /release  {"id":1}             → 200 {"id":1,"released":true}
 //	POST /fault    {"plane":"plane0","links":[{"level":0,"switch":1,"port":2}]}
-//	                                    → 200 {"failed":2,"revoked":1} (inject faults)
+//	                                    → 200 {"kind":"link","failed":2,"revoked":1} (inject faults)
+//	POST /fault    {"plane":"plane0","flaky":[{"link":{...},"duty_cycle":0.5,"seed":7}]}
+//	                                    → 200 {"kind":"flaky","flaky":1} (start intermittent processes)
+//	POST /fault    {"plane":"plane0","degrade":{"admit_latency":"2ms","duty_cycle":0.3}}
+//	                                    → 200 {"kind":"degraded"} (slow-but-alive plane)
 //	POST /fault    {"plane":"plane0","repair":true,"links":[...]} → repair those components
-//	POST /fault    {"plane":"plane0","repair":true} → repair the plane entirely and re-admit it
+//	POST /fault    {"plane":"plane0","repair":true} → repair the plane entirely: stop its flaky
+//	               processes, heal faults, lift quarantines, clear the degraded process, re-admit
 //	POST /fault    {"plane":"plane0","kill":true}   → fail the whole plane
-//	GET  /faults                        → 200 per-plane fault sets + degraded capacity
+//	GET  /faults                        → 200 per-plane fault sets, flaky-process duty-cycle
+//	                                      state, quarantined channels, degraded capacity
 //	GET  /stats                         → 200 federated counters + per-plane fabric breakdown
+//	                                      (health score, breaker state, flap/quarantine/budget)
 //	GET  /healthz                       → 200 {"status":"ok"|"degraded",...} liveness probe;
-//	                                      degraded while any plane has failed channels or
-//	                                      outstanding repair tickets
+//	                                      degraded while any plane has failed channels,
+//	                                      outstanding repair tickets, quarantined channels,
+//	                                      an open breaker, or an injected degraded process
 //
 // The "plane" field may be omitted on a single-plane federation.
 // SIGINT/SIGTERM drain in-flight requests, then drain every plane
@@ -78,10 +86,20 @@ func main() {
 	timeout := flag.Duration("timeout", 0, "admission timeout per request (0 = none)")
 	schedSpec := flag.String("scheduler", "level-wise,rollback", "admission engine spec (internal/sched registry grammar)")
 	pprofFlag := flag.Bool("pprof", false, "mount net/http/pprof handlers under /debug/pprof/")
+	var gray grayFlags
+	flag.Float64Var(&gray.flapThreshold, "flap-threshold", 0, "flap-damping score threshold (0 disables damping)")
+	flag.DurationVar(&gray.flapHalfLife, "flap-half-life", 0, "flap-score decay half-life (0 = fabric default)")
+	flag.DurationVar(&gray.probation, "probation", 0, "quarantine probation window (0 = fabric default)")
+	flag.Float64Var(&gray.repairBudgetRate, "repair-budget", 0, "repair-retry tokens per second (0 = fabric default, negative = unlimited)")
+	flag.IntVar(&gray.repairBudgetBurst, "repair-budget-burst", 0, "repair-retry token burst (0 = derived)")
+	flag.DurationVar(&gray.latencyBudget, "latency-budget", 0, "admission latency over which a grant counts as slow (0 disables)")
+	flag.Float64Var(&gray.failoverBudgetRate, "failover-budget", 0, "failover tokens per second (0 = unlimited)")
+	flag.IntVar(&gray.failoverBudgetBurst, "failover-budget-burst", 0, "failover token burst (0 = derived)")
+	grayStep := flag.Duration("gray-step", defaultGrayStep, "flaky fault process clock period")
 	flag.Parse()
 
 	cfg, err := buildConfig(*configPath, *planes, *policy, *levels, *children, *parents,
-		*batch, *maxWait, *queue, *timeout, *schedSpec)
+		*batch, *maxWait, *queue, *timeout, *schedSpec, gray)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "ftserve: %v\n", err)
 		os.Exit(1)
@@ -102,6 +120,8 @@ func main() {
 
 	sv := newServer(router)
 	sv.enablePprof = *pprofFlag
+	sv.gray.step = *grayStep
+	defer sv.stopGray()
 	srv := &http.Server{Addr: *addr, Handler: sv.routes()}
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()
@@ -126,11 +146,25 @@ func main() {
 	}
 }
 
+// grayFlags bundles the gray-failure knobs of the shape-flag path (a
+// -config file carries its own per-plane values instead).
+type grayFlags struct {
+	flapThreshold       float64
+	flapHalfLife        time.Duration
+	probation           time.Duration
+	repairBudgetRate    float64
+	repairBudgetBurst   int
+	latencyBudget       time.Duration
+	failoverBudgetRate  float64
+	failoverBudgetBurst int
+}
+
 // buildConfig resolves the federation config: a `fttopo gen` file when
 // -config is given, otherwise -planes identical planes from the shape
 // flags.
 func buildConfig(configPath string, planes int, policy string, levels, children, parents,
-	batch int, maxWait time.Duration, queue int, timeout time.Duration, schedSpec string) (federation.Config, error) {
+	batch int, maxWait time.Duration, queue int, timeout time.Duration, schedSpec string,
+	gray grayFlags) (federation.Config, error) {
 	if configPath != "" {
 		fc, err := federation.LoadFile(configPath)
 		if err != nil {
@@ -145,7 +179,14 @@ func buildConfig(configPath string, planes int, policy string, levels, children,
 	if err != nil {
 		return federation.Config{}, err
 	}
-	cfg := federation.Config{Policy: pol}
+	cfg := federation.Config{
+		Policy:        pol,
+		LatencyBudget: gray.latencyBudget,
+		FailoverBudget: fabric.Budget{
+			Rate:  gray.failoverBudgetRate,
+			Burst: gray.failoverBudgetBurst,
+		},
+	}
 	for i := 0; i < planes; i++ {
 		tree, err := topology.New(levels, children, parents)
 		if err != nil {
@@ -153,12 +194,19 @@ func buildConfig(configPath string, planes int, policy string, levels, children,
 		}
 		cfg.Planes = append(cfg.Planes, federation.PlaneConfig{
 			Fabric: fabric.Config{
-				Tree:          tree,
-				SchedulerSpec: schedSpec,
-				BatchSize:     batch,
-				MaxWait:       maxWait,
-				QueueLimit:    queue,
-				AdmitTimeout:  timeout,
+				Tree:                tree,
+				SchedulerSpec:       schedSpec,
+				BatchSize:           batch,
+				MaxWait:             maxWait,
+				QueueLimit:          queue,
+				AdmitTimeout:        timeout,
+				FlapThreshold:       gray.flapThreshold,
+				FlapHalfLife:        gray.flapHalfLife,
+				QuarantineProbation: gray.probation,
+				RepairBudget: fabric.Budget{
+					Rate:  gray.repairBudgetRate,
+					Burst: gray.repairBudgetBurst,
+				},
 			},
 		})
 	}
@@ -171,6 +219,8 @@ type server struct {
 	router *federation.Router
 	// enablePprof mounts the net/http/pprof handlers in routes.
 	enablePprof bool
+	// gray holds the running intermittent fault processes (gray.go).
+	gray *grayState
 
 	mu     sync.Mutex
 	nextID uint64
@@ -178,7 +228,11 @@ type server struct {
 }
 
 func newServer(router *federation.Router) *server {
-	return &server{router: router, open: make(map[uint64]*federation.Handle)}
+	return &server{
+		router: router,
+		gray:   newGrayState(defaultGrayStep),
+		open:   make(map[uint64]*federation.Handle),
+	}
 }
 
 func (s *server) routes() http.Handler {
@@ -286,26 +340,39 @@ func (s *server) handleRelease(w http.ResponseWriter, r *http.Request) {
 }
 
 // faultRequest is the POST /fault body: a faults.FaultSet (links and
-// switches) plus the plane it targets and the repair/kill switches.
-// With repair=false the set is injected; with repair=true it is healed
-// — or, when the set is empty, the whole plane is repaired and
+// switches) plus the plane it targets and the verb switches. With
+// repair=false the set is injected; with repair=true it is healed — or,
+// when the set is empty, the whole plane is repaired (flaky processes
+// stopped, quarantines lifted, degraded process cleared) and
 // re-admitted to candidate selection. kill=true fails the entire plane.
-// The plane field may be omitted on a single-plane federation.
+// flaky starts intermittent fault processes; degrade installs a
+// slow-plane process. One verb per request; the plane field may be
+// omitted on a single-plane federation.
 type faultRequest struct {
 	faults.FaultSet
-	Plane  string `json:"plane,omitempty"`
-	Repair bool   `json:"repair,omitempty"`
-	Kill   bool   `json:"kill,omitempty"`
+	Plane   string                `json:"plane,omitempty"`
+	Repair  bool                  `json:"repair,omitempty"`
+	Kill    bool                  `json:"kill,omitempty"`
+	Flaky   []faults.FlakyLink    `json:"flaky,omitempty"`
+	Degrade *faults.DegradedPlane `json:"degrade,omitempty"`
 }
 
 type faultResponse struct {
 	Plane string `json:"plane"`
+	// Kind classifies what the verb did: "link", "switch", or "mixed"
+	// for clean injections (by fault-set content), "repair" /
+	// "plane-repair" for heals, "flaky" or "degraded" for gray-process
+	// installs, "kill" for a whole-plane kill.
+	Kind string `json:"kind"`
 	// Failed/Revoked report an injection: channels newly taken out of
 	// service and granted connections sent to the repair loop.
 	Failed  int `json:"failed,omitempty"`
 	Revoked int `json:"revoked,omitempty"`
 	// Repaired reports a repair: channels returned to service.
 	Repaired int `json:"repaired,omitempty"`
+	// Flaky reports how many intermittent processes the plane now runs
+	// (after a flaky install) or stopped (on plane-repair).
+	Flaky int `json:"flaky,omitempty"`
 	// Killed reports a whole-plane kill.
 	Killed bool `json:"killed,omitempty"`
 }
@@ -343,30 +410,44 @@ func (s *server) handleFault(w http.ResponseWriter, r *http.Request) {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Killed: true})
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: "kill", Killed: true})
+	case req.Degrade != nil:
+		if err := s.router.SetDegraded(name, *req.Degrade); err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: "degraded"})
+	case len(req.Flaky) > 0:
+		running, err := s.addFlaky(name, surf, req.Flaky)
+		if err != nil {
+			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: "flaky", Flaky: running})
 	case req.Repair && req.FaultSet.Empty():
+		stopped := s.clearFlaky(name, surf)
 		repaired := surf.FaultCount()
 		if err := s.router.RepairPlane(name); err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Repaired: repaired})
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: "plane-repair", Repaired: repaired, Flaky: stopped})
 	case req.Repair:
 		repaired, err := surf.Repair(&req.FaultSet)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Repaired: repaired})
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: "repair", Repaired: repaired})
 	case req.FaultSet.Empty():
-		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fault set (name links or switches, or set repair/kill)"})
+		writeJSON(w, http.StatusBadRequest, errorResponse{Error: "empty fault set (name links or switches, or set repair/kill/flaky/degrade)"})
 	default:
 		failed, revoked, err := surf.Fail(&req.FaultSet)
 		if err != nil {
 			writeJSON(w, http.StatusBadRequest, errorResponse{Error: err.Error()})
 			return
 		}
-		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Failed: failed, Revoked: revoked})
+		writeJSON(w, http.StatusOK, faultResponse{Plane: name, Kind: faultKind(&req.FaultSet), Failed: failed, Revoked: revoked})
 	}
 }
 
@@ -377,6 +458,13 @@ type planeFaults struct {
 	DegradedCapacity float64            `json:"degraded_capacity"`
 	PendingRepairs   int64              `json:"pending_repairs"`
 	Links            []faults.LinkFault `json:"links"`
+	// Flaky lists the plane's running intermittent fault processes with
+	// their remaining duty-cycle state; Quarantined the channels flap
+	// damping currently masks; Degraded the installed slow-plane
+	// process, if any.
+	Flaky       []flakyStatus         `json:"flaky,omitempty"`
+	Quarantined []string              `json:"quarantined,omitempty"`
+	Degraded    *faults.DegradedPlane `json:"degraded,omitempty"`
 }
 
 type faultsResponse struct {
@@ -392,13 +480,19 @@ func (s *server) handleFaults(w http.ResponseWriter, r *http.Request) {
 		if fs.Links == nil {
 			fs.Links = []faults.LinkFault{} // render [] rather than null
 		}
-		resp.Planes = append(resp.Planes, planeFaults{
+		pf := planeFaults{
 			Plane:            name,
 			FaultyChannels:   st.FaultyChannels,
 			DegradedCapacity: st.DegradedCapacity,
 			PendingRepairs:   st.PendingRepairs,
 			Links:            fs.Links,
-		})
+			Flaky:            s.flakyStatuses(name),
+			Degraded:         s.router.Degraded(name),
+		}
+		if st.Quarantined > 0 {
+			pf.Quarantined = quarantinedStrings(surf)
+		}
+		resp.Planes = append(resp.Planes, pf)
 	}
 	writeJSON(w, http.StatusOK, resp)
 }
@@ -421,15 +515,19 @@ func (s *server) handleStats(w http.ResponseWriter, r *http.Request) {
 type planeHealth struct {
 	Plane            string  `json:"plane"`
 	Healthy          bool    `json:"healthy"`
+	Health           float64 `json:"health"`
+	Breaker          string  `json:"breaker"`
 	FaultyChannels   int     `json:"faulty_channels"`
+	Quarantined      int     `json:"quarantined,omitempty"`
 	DegradedCapacity float64 `json:"degraded_capacity"`
 	PendingRepairs   int64   `json:"pending_repairs"`
 }
 
 // healthzResponse is the liveness-probe body: "ok" while every plane is
-// clean, "degraded" while any plane has failed channels or outstanding
-// repair tickets (still HTTP 200 — a degraded federation serves; the
-// per-plane breakdown tells the prober what is left).
+// clean, "degraded" while any plane has failed or quarantined channels,
+// outstanding repair tickets, an open or half-open breaker, or an
+// injected degraded process (still HTTP 200 — a degraded federation
+// serves; the per-plane breakdown tells the prober what is left).
 type healthzResponse struct {
 	Status string        `json:"status"`
 	Nodes  int           `json:"nodes"`
@@ -444,13 +542,17 @@ func (s *server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	st := s.router.Stats()
 	resp := healthzResponse{Status: "ok", Nodes: s.router.Nodes(), Open: open}
 	for _, ps := range st.Planes {
-		if ps.Fabric.FaultyChannels > 0 || ps.Fabric.PendingRepairs > 0 || !ps.Healthy {
+		if ps.Fabric.FaultyChannels > 0 || ps.Fabric.PendingRepairs > 0 || !ps.Healthy ||
+			ps.Fabric.Quarantined > 0 || ps.Breaker != "closed" || ps.Degraded {
 			resp.Status = "degraded"
 		}
 		resp.Planes = append(resp.Planes, planeHealth{
 			Plane:            ps.Name,
 			Healthy:          ps.Healthy,
+			Health:           ps.Health,
+			Breaker:          ps.Breaker,
 			FaultyChannels:   ps.Fabric.FaultyChannels,
+			Quarantined:      ps.Fabric.Quarantined,
 			DegradedCapacity: ps.Fabric.DegradedCapacity,
 			PendingRepairs:   ps.Fabric.PendingRepairs,
 		})

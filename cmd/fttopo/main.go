@@ -9,6 +9,10 @@
 //	       [-path src,dst]
 //	fttopo gen [-planes 2] [-levels 3] [-children 4] [-parents 4]
 //	           [-scheduler spec] [-policy hash] [-out fabric.json]
+//	           [-flap-threshold 3] [-flap-half-life 1s] [-probation 100ms]
+//	           [-repair-budget 256] [-repair-budget-burst 1024]
+//	           [-health-alpha 0.2] [-open-below 0.15] [-latency-budget 2ms]
+//	           [-failover-budget 100] [-failover-budget-burst 200]
 package main
 
 import (
@@ -53,6 +57,16 @@ func runGen(args []string) error {
 	parents := fs.Int("parents", 4, "parents per switch w")
 	scheduler := fs.String("scheduler", "", "per-plane admission engine spec (empty = fabric default)")
 	policy := fs.String("policy", "", "plane selection policy (hash|round-robin|random|least-loaded; empty = hash)")
+	flapThreshold := fs.Float64("flap-threshold", 0, "per-plane flap-damping quarantine threshold (0 = damping off)")
+	flapHalfLife := fs.Duration("flap-half-life", 0, "per-plane flap score half-life (0 = fabric default)")
+	probation := fs.Duration("probation", 0, "per-plane quarantine probation window (0 = fabric default)")
+	repairBudget := fs.Float64("repair-budget", 0, "per-plane repair retry tokens/sec (0 = fabric default, negative = unlimited)")
+	repairBurst := fs.Int("repair-budget-burst", 0, "per-plane repair retry burst (0 = fabric default)")
+	healthAlpha := fs.Float64("health-alpha", 0, "EWMA health smoothing factor (0 = federation default)")
+	openBelow := fs.Float64("open-below", 0, "health score below which the breaker opens (0 = federation default)")
+	latencyBudget := fs.Duration("latency-budget", 0, "grant latency above this counts as degraded (0 = off)")
+	failoverBudget := fs.Float64("failover-budget", 0, "failover tokens/sec across the federation (0 = unlimited)")
+	failoverBurst := fs.Int("failover-budget-burst", 0, "failover token burst (0 = rate ceiling)")
 	out := fs.String("out", "", "write the config to this file (default stdout)")
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -61,6 +75,24 @@ func runGen(args []string) error {
 		return fmt.Errorf("need at least 1 plane, got %d", *planes)
 	}
 	fc := federation.Generate(*planes, *levels, *children, *parents, *scheduler, *policy)
+	fc.HealthAlpha = *healthAlpha
+	fc.OpenBelow = *openBelow
+	if *latencyBudget > 0 {
+		fc.LatencyBudget = latencyBudget.String()
+	}
+	fc.FailoverBudgetRate = *failoverBudget
+	fc.FailoverBudgetBurst = *failoverBurst
+	for i := range fc.Planes {
+		fc.Planes[i].FlapThreshold = *flapThreshold
+		if *flapHalfLife > 0 {
+			fc.Planes[i].FlapHalfLife = flapHalfLife.String()
+		}
+		if *probation > 0 {
+			fc.Planes[i].QuarantineProbation = probation.String()
+		}
+		fc.Planes[i].RepairBudgetRate = *repairBudget
+		fc.Planes[i].RepairBudgetBurst = *repairBurst
+	}
 	if err := fc.Validate(); err != nil {
 		return err
 	}

@@ -44,6 +44,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -205,6 +206,31 @@ type Config struct {
 	// backpressure-free: the overflowing Release just takes the
 	// synchronous path.
 	ReleaseRing int
+	// RepairBudget globally rate-limits repair retries with a token
+	// bucket (see gray.go): every re-enqueue after a denied repair
+	// attempt draws one token, and an empty bucket defers the retry
+	// until a token accrues (the retry is delayed, never dropped — and
+	// the deferral does not consume a RepairRetries attempt). The first
+	// attempt after a revocation is free. The zero value selects the
+	// defaults (DefaultRepairBudgetRate, DefaultRepairBudgetBurst); a
+	// negative Rate disables the limit. Stats.RepairBudgetExhausted
+	// counts deferrals.
+	RepairBudget Budget
+	// FlapThreshold enables flap damping when positive: each channel's
+	// down-transitions accumulate in a score that decays with half-life
+	// FlapHalfLife, and a channel whose score reaches the threshold is
+	// quarantined — masked like a failed channel — until
+	// QuarantineProbation passes without further flapping. 0 (the
+	// default) disables damping entirely; behavior is then bit-identical
+	// to the clean-fault model.
+	FlapThreshold float64
+	// FlapHalfLife is the flap-score decay half-life (default
+	// DefaultFlapHalfLife; used only when FlapThreshold > 0).
+	FlapHalfLife time.Duration
+	// QuarantineProbation is how long a quarantined channel stays masked
+	// after its last flap (default DefaultQuarantineProbation; used only
+	// when FlapThreshold > 0).
+	QuarantineProbation time.Duration
 }
 
 // EventKind classifies a Trace event.
@@ -393,9 +419,16 @@ type Manager struct {
 	// conns registers every live handle (active or repairing) so fault
 	// injection can find the connections a failed component strands.
 	conns map[*Handle]struct{}
-	// failed is the current fault set at channel granularity, mirroring
-	// the linkstate fault mask.
+	// failed is the current fault set at channel granularity. The
+	// linkstate fault mask is the union of failed and quar: a channel is
+	// scheduled around while either set holds it.
 	failed map[faults.Channel]struct{}
+	// Gray-failure state (guarded by mu; see gray.go). flap holds the
+	// decayed per-channel flap scores, quar the quarantined channels and
+	// their probation deadlines, budget the repair-retry token bucket.
+	flap   map[faults.Channel]*flapScore
+	quar   map[faults.Channel]time.Time
+	budget bucket
 
 	// qmu guards the admission queue (pending, oldest) and orders writes
 	// of closed against enqueues, keeping Connect's critical section to
@@ -443,6 +476,18 @@ type Manager struct {
 	repairFailed, repairAborted atomic.Uint64
 	pendingRepairs              atomic.Int64
 
+	// Gray-failure counters: repairAttempts counts scheduling attempts
+	// the repair loop made (one per verdict), repairBudgetExhausted the
+	// retries deferred by an empty token bucket, flapEvents every
+	// down-transition damping observed, quarantineEvents quarantine
+	// entries, repairedOnHeldTrunk successful repairs whose new route
+	// landed on a trunk already carrying held circuits.
+	repairAttempts        atomic.Uint64
+	repairBudgetExhausted atomic.Uint64
+	flapEvents            atomic.Uint64
+	quarantineEvents      atomic.Uint64
+	repairedOnHeldTrunk   atomic.Uint64
+
 	// Route-churn counters: tornRoutes counts routes torn down (release,
 	// revoke, or delta-epoch departure with held channels),
 	// establishedRoutes counts routes set up (grants and repairs with
@@ -486,6 +531,36 @@ func New(cfg Config) (*Manager, error) {
 	}
 	if cfg.ReuseCost < 0 {
 		return nil, fmt.Errorf("fabric: invalid ReuseCost %d (must be >= 0)", cfg.ReuseCost)
+	}
+	if cfg.FlapThreshold < 0 {
+		return nil, fmt.Errorf("fabric: negative FlapThreshold %v", cfg.FlapThreshold)
+	}
+	if cfg.FlapHalfLife < 0 {
+		return nil, fmt.Errorf("fabric: negative FlapHalfLife %s", cfg.FlapHalfLife)
+	}
+	if cfg.QuarantineProbation < 0 {
+		return nil, fmt.Errorf("fabric: negative QuarantineProbation %s", cfg.QuarantineProbation)
+	}
+	if cfg.FlapHalfLife == 0 {
+		cfg.FlapHalfLife = DefaultFlapHalfLife
+	}
+	if cfg.QuarantineProbation == 0 {
+		cfg.QuarantineProbation = DefaultQuarantineProbation
+	}
+	switch {
+	case cfg.RepairBudget.Rate < 0:
+		// Unlimited; a Burst alongside it is meaningless.
+		if cfg.RepairBudget.Burst != 0 {
+			return nil, fmt.Errorf("fabric: RepairBudget.Burst %d with negative (unlimited) Rate", cfg.RepairBudget.Burst)
+		}
+	case cfg.RepairBudget.Rate == 0 && cfg.RepairBudget.Burst == 0:
+		cfg.RepairBudget = Budget{Rate: DefaultRepairBudgetRate, Burst: DefaultRepairBudgetBurst}
+	case cfg.RepairBudget.Rate == 0:
+		return nil, fmt.Errorf("fabric: RepairBudget.Burst %d without a Rate (set Rate > 0, or Rate < 0 for unlimited)", cfg.RepairBudget.Burst)
+	case cfg.RepairBudget.Burst < 0:
+		return nil, fmt.Errorf("fabric: negative RepairBudget.Burst %d", cfg.RepairBudget.Burst)
+	case cfg.RepairBudget.Burst == 0:
+		cfg.RepairBudget.Burst = int(math.Ceil(cfg.RepairBudget.Rate))
 	}
 	if cfg.ReuseCost > 0 && !cfg.Incremental {
 		return nil, errors.New("fabric: ReuseCost requires Incremental (reuse scores held routes, which only persist across delta epochs)")
@@ -572,6 +647,9 @@ func New(cfg Config) (*Manager, error) {
 		st:           newTrackedState(cfg.Tree),
 		conns:        make(map[*Handle]struct{}),
 		failed:       make(map[faults.Channel]struct{}),
+		flap:         make(map[faults.Channel]*flapScore),
+		quar:         make(map[faults.Channel]time.Time),
+		budget:       newBucket(cfg.RepairBudget, time.Now()),
 		epochSize:    newShardedRing(4096),
 		epochLat:     newShardedRing(4096),
 		repairLat:    newShardedRing(4096),
@@ -887,6 +965,7 @@ func (m *Manager) flusher() {
 		// enqueue and Fail/requeue's repair-ticket appends.
 		m.mu.Lock()
 		m.drainReleasesLocked()
+		m.settleQuarantineLocked(time.Now())
 		m.qmu.Lock()
 		n := len(m.pending)
 		oldest := m.oldest

@@ -43,9 +43,25 @@ func (m *Manager) Fail(fs *faults.FaultSet) (failed, revoked int, err error) {
 	// those releases happened logically before this fault.
 	m.drainReleasesLocked()
 	m.applyDeparturesLocked()
+	now := time.Now()
+	damping := m.dampingLocked()
+	if damping {
+		m.settleQuarantineLocked(now)
+	}
 	fresh := make(map[faults.Channel]struct{}, len(chans))
 	for _, c := range chans {
 		if _, already := m.failed[c]; already {
+			continue
+		}
+		_, wasQuar := m.quar[c]
+		if damping {
+			m.noteFlapLocked(c, now)
+		}
+		if wasQuar {
+			// Already masked by quarantine: no connection can be crossing
+			// it and no capacity is newly lost. Record the fault (Faults
+			// and Repair track it) without the revoke walk.
+			m.failed[c] = struct{}{}
 			continue
 		}
 		m.st.FailLink(c.Dir, c.Level, c.Switch, c.Port)
@@ -100,13 +116,17 @@ func (m *Manager) Repair(fs *faults.FaultSet) (int, error) {
 	}
 	chans := fs.Channels(m.cfg.Tree)
 	m.mu.Lock()
+	m.settleQuarantineLocked(time.Now())
 	repaired := 0
 	for _, c := range chans {
 		if _, bad := m.failed[c]; !bad {
 			continue
 		}
-		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
 		delete(m.failed, c)
+		if _, q := m.quar[c]; q {
+			continue // quarantine owns the mask; probation releases it
+		}
+		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
 		repaired++
 	}
 	m.mu.Unlock()
@@ -116,14 +136,21 @@ func (m *Manager) Repair(fs *faults.FaultSet) (int, error) {
 	return repaired, nil
 }
 
-// RepairAll returns every failed channel to service and reports how
-// many there were.
+// RepairAll heals every outstanding fault and reports how many
+// channels returned to service. Quarantined channels are healed as
+// faults but stay masked until their probation passes (ClearQuarantine
+// overrides); they are not counted.
 func (m *Manager) RepairAll() int {
 	m.mu.Lock()
-	repaired := len(m.failed)
+	m.settleQuarantineLocked(time.Now())
+	repaired := 0
 	for c := range m.failed {
-		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
 		delete(m.failed, c)
+		if _, q := m.quar[c]; q {
+			continue // stays masked until its probation passes
+		}
+		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
+		repaired++
 	}
 	m.mu.Unlock()
 	if repaired > 0 {
@@ -235,10 +262,14 @@ func (m *Manager) revokeLocked(h *Handle) {
 // holds m.mu (flushLocked).
 func (m *Manager) repairVerdictLocked(t *ticket, o *core.Outcome, epoch uint64) {
 	h := t.h
+	m.repairAttempts.Add(1)
 	if o.Granted {
 		h.ports = append(h.ports[:0], o.Ports...)
 		h.state.Store(handleActive)
 		m.repaired.Add(1)
+		if m.repairOnHeldTrunkLocked(h.src, h.dst, h.ports) {
+			m.repairedOnHeldTrunk.Add(1)
+		}
 		m.active.Add(1)
 		m.pendingRepairs.Add(-1)
 		if m.cfg.Trace != nil {
@@ -288,7 +319,10 @@ func (m *Manager) killRepairLocked(h *Handle, cause error, counter interface{ Ad
 // requeueRepair is the backoff timer's continuation: it puts the repair
 // ticket back in the epoch queue, unless the handle stopped repairing
 // (owner released it) or the manager is shutting down, in which case
-// the repair ends here.
+// the repair ends here. The re-enqueue draws one token from the global
+// retry budget; an empty bucket defers the retry until a token accrues
+// — delayed, never dropped, and the deferral does not consume one of
+// the handle's RepairRetries attempts.
 func (m *Manager) requeueRepair(t *ticket) {
 	m.mu.Lock()
 	h := t.h
@@ -301,7 +335,15 @@ func (m *Manager) requeueRepair(t *ticket) {
 		m.mu.Unlock()
 		return
 	}
-	t.enq = time.Now()
+	now := time.Now()
+	if !m.budget.take(now) {
+		wait := m.budget.wait()
+		m.mu.Unlock()
+		m.repairBudgetExhausted.Add(1)
+		time.AfterFunc(wait, func() { m.requeueRepair(t) })
+		return
+	}
+	t.enq = now
 	m.qmu.Lock()
 	if len(m.pending) == 0 {
 		m.oldest = t.enq

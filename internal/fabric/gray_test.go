@@ -1,0 +1,530 @@
+package fabric
+
+import (
+	"context"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/linkstate"
+	"repro/internal/topology"
+)
+
+// TestGrayChaosFlapDamping is the gray-failure acceptance chaos test
+// (ci runs it under -race -count=2): concurrent connect/release churn
+// while a seeded set of flaky links flaps through a damping-enabled
+// manager. The flap-damping invariant: however the quarantine decides
+// to absorb the churn, the repair accounting still balances exactly —
+// revoked == repaired + repair_failed + repair_aborted — and after
+// healing, RepairAll, and a full drain the link state is exactly
+// all-free minus the quarantined masks.
+func TestGrayChaosFlapDamping(t *testing.T) {
+	tree := topology.MustNew(3, 4, 2)
+	cfg := Config{
+		Tree:          tree,
+		BatchSize:     8,
+		MaxWait:       500 * time.Microsecond,
+		AdmitTimeout:  50 * time.Millisecond,
+		RepairBackoff: 500 * time.Microsecond,
+		RepairRetries: 3,
+		// Aggressive damping so the quarantine actually engages: a few
+		// flaps quarantine a channel, and the long probation keeps it
+		// masked through the final identity check below.
+		FlapThreshold:       3,
+		FlapHalfLife:        time.Minute,
+		QuarantineProbation: time.Hour,
+		RepairBudget:        Budget{Rate: 2000, Burst: 64},
+	}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var (
+		mu      sync.Mutex
+		held    []*Handle
+		stop    = make(chan struct{})
+		wg      sync.WaitGroup
+		workers = 4
+	)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(seed int64) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed))
+			var local []*Handle
+			defer func() {
+				mu.Lock()
+				held = append(held, local...)
+				mu.Unlock()
+			}()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				if len(local) > 6 || (len(local) > 0 && rng.Intn(3) == 0) {
+					i := rng.Intn(len(local))
+					h := local[i]
+					local = append(local[:i], local[i+1:]...)
+					_ = h.Release()
+					continue
+				}
+				h, err := m.Connect(context.Background(), rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes()))
+				if err == nil {
+					local = append(local, h)
+				}
+			}
+		}(int64(w + 1))
+	}
+
+	// Flaky churn: each selected link is down half the steps, so it
+	// transitions roughly every other step — worst-case flap pressure.
+	fl := faults.NewFlapper(faults.FlakyLinks(tree, 0.08, 0.5, 1))
+	if len(fl.Procs()) == 0 {
+		t.Fatal("flaky generator selected no links")
+	}
+	for i := 0; i < 300; i++ {
+		fail, repair := fl.Step()
+		if fail != nil {
+			if _, _, err := m.Fail(fail); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if repair != nil {
+			if _, err := m.Repair(repair); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if i%25 == 24 {
+			time.Sleep(time.Millisecond) // let the repair loop breathe
+		}
+	}
+	// Heal the processes' final down set; quarantined masks stay.
+	if ds := fl.DownSet(); !ds.Empty() {
+		if _, err := m.Repair(ds); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	close(stop)
+	wg.Wait()
+	for _, h := range held {
+		_ = h.Release()
+	}
+	m.RepairAll()
+	waitFor(t, func() bool {
+		s := m.Stats()
+		return s.PendingRepairs == 0 && s.QueueDepth == 0
+	})
+
+	s := m.Stats()
+	if s.Revoked != s.Repaired+s.RepairFailed+s.RepairAborted {
+		t.Fatalf("repair accounting leak under flaky churn: revoked %d != repaired %d + failed %d + aborted %d",
+			s.Revoked, s.Repaired, s.RepairFailed, s.RepairAborted)
+	}
+	if s.Active != 0 {
+		t.Fatalf("%d connections still active after releasing every handle", s.Active)
+	}
+	if s.FlapEvents == 0 {
+		t.Fatal("no flap events recorded under flaky churn")
+	}
+	if s.QuarantineEvents == 0 || s.Quarantined == 0 {
+		t.Fatalf("damping never quarantined: events=%d quarantined=%d (threshold %v should have tripped)",
+			s.QuarantineEvents, s.Quarantined, cfg.FlapThreshold)
+	}
+
+	// All-free minus quarantined: every fault is healed, so the only
+	// masks left are the quarantine's (probation is an hour out).
+	if fc := m.FaultCount(); fc != 0 {
+		t.Fatalf("%d channels still failed after heal + RepairAll", fc)
+	}
+	want := linkstate.New(tree)
+	quar := m.Quarantined()
+	for _, c := range quar {
+		want.FailLink(c.Dir, c.Level, c.Switch, c.Port)
+	}
+	m.mu.Lock()
+	equal := m.st.Equal(want)
+	occupied := m.st.OccupiedCount()
+	m.mu.Unlock()
+	if occupied != 0 {
+		t.Fatalf("%d channels still occupied after drain", occupied)
+	}
+	if !equal {
+		t.Fatalf("drained state differs from all-free-minus-quarantined (%d quarantined)", len(quar))
+	}
+
+	// The operator override releases everything; the fabric is pristine.
+	if got := m.ClearQuarantine(); got != len(quar) {
+		t.Fatalf("ClearQuarantine released %d, want %d", got, len(quar))
+	}
+	m.mu.Lock()
+	pristine := m.st.Equal(linkstate.New(tree))
+	m.mu.Unlock()
+	if !pristine {
+		t.Fatal("state not all-free after ClearQuarantine")
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestQuarantineLifecycle walks one channel through the damper: flaps
+// below the threshold leave it alone, the crossing flap quarantines it
+// (masked but not failed), repair hands the mask to the quarantine, and
+// probation expiry returns it to service on its own.
+func TestQuarantineLifecycle(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	cfg := fastRepair(tree)
+	// 2.5, not 3: the score decays (fractionally) between flaps, so an
+	// exact integer threshold would need the clock to stand still.
+	cfg.FlapThreshold = 2.5
+	cfg.FlapHalfLife = time.Minute // no meaningful decay within the test
+	cfg.QuarantineProbation = 30 * time.Millisecond
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	link := &faults.FaultSet{Links: []faults.LinkFault{{Level: 0, Switch: 0, Port: 0, Direction: faults.Up}}}
+	flap := func() {
+		t.Helper()
+		if _, _, err := m.Fail(link); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := m.Repair(link); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	flap()
+	flap()
+	if s := m.Stats(); s.Quarantined != 0 || s.QuarantineEvents != 0 {
+		t.Fatalf("quarantined below threshold: %+v", s)
+	}
+	if s := m.Stats(); s.FlapEvents != 2 {
+		t.Fatalf("FlapEvents = %d after 2 flaps, want 2", s.FlapEvents)
+	}
+
+	// The third down-transition crosses the threshold mid-Fail: the
+	// channel is both failed and quarantined. The paired Repair heals
+	// the fault but the quarantine keeps the mask.
+	flap()
+	s := m.Stats()
+	if s.QuarantineEvents != 1 || s.Quarantined != 1 {
+		t.Fatalf("threshold crossing: events=%d quarantined=%d, want 1/1", s.QuarantineEvents, s.Quarantined)
+	}
+	if s.FaultyChannels != 0 {
+		t.Fatalf("repaired channel still counted failed: %+v", s)
+	}
+	if s.DegradedCapacity >= 1 {
+		t.Fatalf("quarantine mask not reflected in capacity: %v", s.DegradedCapacity)
+	}
+	q := m.Quarantined()
+	if len(q) != 1 || q[0] != (faults.Channel{Dir: linkstate.Up, Level: 0, Switch: 0, Port: 0}) {
+		t.Fatalf("Quarantined() = %v", q)
+	}
+
+	// Probation passes without another flap: the channel returns to
+	// service by itself (timer continuation; no API call required).
+	waitFor(t, func() bool { return m.Stats().Quarantined == 0 })
+	if s := m.Stats(); s.DegradedCapacity != 1 {
+		t.Fatalf("capacity after probation: %v, want 1.0", s.DegradedCapacity)
+	}
+
+	// Scores persist (long half-life): one more flap re-quarantines
+	// immediately, and ClearQuarantine both releases it and forgets the
+	// score, so the next flap is counted from zero again.
+	flap()
+	if s := m.Stats(); s.Quarantined != 1 || s.QuarantineEvents != 2 {
+		t.Fatalf("re-quarantine: %+v", s)
+	}
+	if got := m.ClearQuarantine(); got != 1 {
+		t.Fatalf("ClearQuarantine = %d, want 1", got)
+	}
+	flap()
+	if s := m.Stats(); s.Quarantined != 0 {
+		t.Fatal("flap after score reset must not quarantine")
+	}
+}
+
+// TestQuarantineSurvivesFailWhileQuarantined pins the mask handoff: a
+// channel that fails while quarantined is recorded as a fault without a
+// second revoke walk, and repairing it hands the mask back to the
+// quarantine rather than lifting it.
+func TestQuarantineSurvivesFailWhileQuarantined(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	cfg := fastRepair(tree)
+	cfg.FlapThreshold = 1 // first flap quarantines
+	cfg.QuarantineProbation = time.Hour
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	link := &faults.FaultSet{Links: []faults.LinkFault{{Level: 0, Switch: 1, Port: 2, Direction: faults.Down}}}
+	if _, _, err := m.Fail(link); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.Quarantined != 1 || s.FaultyChannels != 1 {
+		t.Fatalf("after quarantining fail: %+v", s)
+	}
+	// Fail again while quarantined and still failed: no-op (already
+	// failed). Repair, then fail a third time while only quarantined:
+	// the channel records as failed again with no state flip.
+	if _, err := m.Repair(link); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.FaultyChannels != 0 || s.Quarantined != 1 {
+		t.Fatalf("after repair of quarantined: %+v", s)
+	}
+	failed, _, err := m.Fail(link)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if failed != 0 {
+		t.Fatalf("fail of quarantined channel counted %d fresh failures, want 0 (already masked)", failed)
+	}
+	if s := m.Stats(); s.FaultyChannels != 1 {
+		t.Fatalf("quarantined channel not recorded failed: %+v", s)
+	}
+	// ClearQuarantine must NOT unmask it — the fault still owns it.
+	if got := m.ClearQuarantine(); got != 0 {
+		t.Fatalf("ClearQuarantine released %d failed channels, want 0", got)
+	}
+	if s := m.Stats(); s.FaultyChannels != 1 || s.DegradedCapacity >= 1 {
+		t.Fatalf("failed channel unmasked by ClearQuarantine: %+v", s)
+	}
+	if _, err := m.Repair(link); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.DegradedCapacity != 1 {
+		t.Fatalf("final repair did not restore capacity: %+v", s)
+	}
+}
+
+// TestRepairBudgetBoundsRetries isolates a source switch so repairs can
+// only fail, under a deliberately tiny retry budget: every retry pays a
+// token, exhaustion defers (never drops) the retry, and total
+// scheduling attempts stay under revoked + burst + rate·elapsed.
+func TestRepairBudgetBoundsRetries(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	cfg := fastRepair(tree)
+	cfg.RepairBackoff = 200 * time.Microsecond
+	cfg.RepairRetries = 4
+	cfg.RepairBudget = Budget{Rate: 30, Burst: 1}
+	m, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+
+	start := time.Now()
+	var handles []*Handle
+	for i := 0; i < 3; i++ {
+		h, err := m.Connect(context.Background(), i, tree.Nodes()-1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		handles = append(handles, h)
+	}
+	revoked := isolate(t, m)
+	if revoked != 3 {
+		t.Fatalf("isolating revoked %d, want 3", revoked)
+	}
+	// All three tickets must still reach their terminal verdict — the
+	// budget delays retries, it never drops them.
+	waitFor(t, func() bool { return m.Stats().RepairFailed == uint64(revoked) })
+	elapsed := time.Since(start)
+
+	s := m.Stats()
+	if s.RepairBudgetExhausted == 0 {
+		t.Fatalf("budget of %v never exhausted across %d attempts", cfg.RepairBudget, s.RepairAttempts)
+	}
+	// Expected attempts: 3 tickets × (1 free + RepairRetries-1 retries).
+	wantAttempts := uint64(revoked * cfg.RepairRetries)
+	if s.RepairAttempts != wantAttempts {
+		t.Fatalf("RepairAttempts = %d, want %d", s.RepairAttempts, wantAttempts)
+	}
+	// The hard bound the budget guarantees (with slack for the time the
+	// final waitFor poll added after the last attempt).
+	bound := float64(revoked) + float64(cfg.RepairBudget.Burst) + cfg.RepairBudget.Rate*elapsed.Seconds() + 1
+	if float64(s.RepairAttempts) > bound {
+		t.Fatalf("attempts %d exceed budget bound %.1f (revoked %d, burst %d, rate %v, elapsed %v)",
+			s.RepairAttempts, bound, revoked, cfg.RepairBudget.Burst, cfg.RepairBudget.Rate, elapsed)
+	}
+	for _, h := range handles {
+		_ = h.Release()
+	}
+}
+
+// TestGrayZeroFlapGolden pins the opt-in contract: with no flapping and
+// an ample budget, a damping-enabled manager is bit-identical to a
+// default one — same granted routes, same counters, same final link
+// state — under a deterministic sequential workload that includes a
+// clean fault/repair cycle.
+func TestGrayZeroFlapGolden(t *testing.T) {
+	tree := topology.MustNew(3, 4, 2)
+	base := Config{
+		Tree:          tree,
+		BatchSize:     1, // sequential admission: deterministic routes
+		MaxWait:       time.Millisecond,
+		RepairBackoff: 500 * time.Microsecond,
+		RepairRetries: 4,
+	}
+	gray := base
+	gray.FlapThreshold = 100 // enabled, but unreachable in this workload
+	gray.FlapHalfLife = time.Second
+	gray.QuarantineProbation = 10 * time.Millisecond
+	gray.RepairBudget = Budget{Rate: 10000, Burst: 10000}
+
+	run := func(cfg Config) (ports [][]int, s Stats, st *linkstate.State) {
+		m, err := New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var handles []*Handle
+		for i := 0; i < 40; i++ {
+			src := (i * 7) % tree.Nodes()
+			dst := (i*13 + 5) % tree.Nodes()
+			h, err := m.Connect(context.Background(), src, dst)
+			if err != nil {
+				continue // deterministic rejections are part of the trace
+			}
+			handles = append(handles, h)
+		}
+		// One clean fault with spare capacity: repairs succeed first try.
+		fs := &faults.FaultSet{Links: []faults.LinkFault{{Level: 0, Switch: 0, Port: 0}}}
+		if _, _, err := m.Fail(fs); err != nil {
+			t.Fatal(err)
+		}
+		waitFor(t, func() bool { return m.Stats().PendingRepairs == 0 })
+		if _, err := m.Repair(fs); err != nil {
+			t.Fatal(err)
+		}
+		for _, h := range handles {
+			ports = append(ports, h.Ports())
+		}
+		for _, h := range handles {
+			// A handle whose repair failed terminally reports its verdict
+			// here; which handles those are is deterministic too.
+			_ = h.Release()
+		}
+		waitFor(t, func() bool {
+			s := m.Stats()
+			return s.Active == 0 && s.QueueDepth == 0
+		})
+		s = m.Stats()
+		m.mu.Lock()
+		m.drainReleasesLocked()
+		m.applyDeparturesLocked()
+		st = m.st
+		m.mu.Unlock()
+		if err := m.Close(context.Background()); err != nil {
+			t.Fatal(err)
+		}
+		return ports, s, st
+	}
+
+	basePorts, baseStats, baseState := run(base)
+	grayPorts, grayStats, grayState := run(gray)
+
+	if len(basePorts) != len(grayPorts) {
+		t.Fatalf("grant count diverged: base %d, gray %d", len(basePorts), len(grayPorts))
+	}
+	for i := range basePorts {
+		if len(basePorts[i]) != len(grayPorts[i]) {
+			t.Fatalf("grant %d route length diverged: %v vs %v", i, basePorts[i], grayPorts[i])
+		}
+		for j := range basePorts[i] {
+			if basePorts[i][j] != grayPorts[i][j] {
+				t.Fatalf("grant %d route diverged: base %v, gray %v", i, basePorts[i], grayPorts[i])
+			}
+		}
+	}
+	type core struct {
+		granted, rejected, revoked, repaired, failed, aborted uint64
+		active                                                int64
+		faulty                                                int
+	}
+	b := core{baseStats.Granted, baseStats.Rejected, baseStats.Revoked, baseStats.Repaired,
+		baseStats.RepairFailed, baseStats.RepairAborted, baseStats.Active, baseStats.FaultyChannels}
+	g := core{grayStats.Granted, grayStats.Rejected, grayStats.Revoked, grayStats.Repaired,
+		grayStats.RepairFailed, grayStats.RepairAborted, grayStats.Active, grayStats.FaultyChannels}
+	if b != g {
+		t.Fatalf("counters diverged:\nbase %+v\ngray %+v", b, g)
+	}
+	// The gray arm must not have engaged any gray machinery.
+	if grayStats.QuarantineEvents != 0 || grayStats.Quarantined != 0 || grayStats.RepairBudgetExhausted != 0 {
+		t.Fatalf("gray machinery engaged on a clean workload: %+v", grayStats)
+	}
+	if !baseState.Equal(grayState) {
+		t.Fatal("final link states diverged between default and damping-enabled managers")
+	}
+}
+
+// TestGrayConfigValidation tables the Config combinations the gray
+// fields accept and reject, and the defaults New normalizes into.
+func TestGrayConfigValidation(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	mk := func(mut func(*Config)) (Config, error) {
+		cfg := Config{Tree: tree}
+		mut(&cfg)
+		m, err := New(cfg)
+		if err != nil {
+			return Config{}, err
+		}
+		got := m.cfg
+		m.Close(context.Background())
+		return got, nil
+	}
+
+	for name, mut := range map[string]func(*Config){
+		"negative threshold":        func(c *Config) { c.FlapThreshold = -1 },
+		"negative half life":        func(c *Config) { c.FlapHalfLife = -time.Second },
+		"negative probation":        func(c *Config) { c.QuarantineProbation = -time.Second },
+		"burst with unlimited rate": func(c *Config) { c.RepairBudget = Budget{Rate: -1, Burst: 5} },
+		"burst without rate":        func(c *Config) { c.RepairBudget = Budget{Rate: 0, Burst: 5} },
+		"negative burst":            func(c *Config) { c.RepairBudget = Budget{Rate: 5, Burst: -1} },
+	} {
+		if _, err := mk(mut); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+
+	got, err := mk(func(c *Config) {})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.RepairBudget != (Budget{Rate: DefaultRepairBudgetRate, Burst: DefaultRepairBudgetBurst}) {
+		t.Errorf("default budget = %+v", got.RepairBudget)
+	}
+	if got.FlapHalfLife != DefaultFlapHalfLife || got.QuarantineProbation != DefaultQuarantineProbation {
+		t.Errorf("default durations = %v/%v", got.FlapHalfLife, got.QuarantineProbation)
+	}
+	if got.FlapThreshold != 0 {
+		t.Errorf("damping must default off, got threshold %v", got.FlapThreshold)
+	}
+
+	got, err = mk(func(c *Config) { c.RepairBudget = Budget{Rate: -1} })
+	if err != nil {
+		t.Fatalf("unlimited budget rejected: %v", err)
+	}
+	if got.RepairBudget != (Budget{Rate: -1}) {
+		t.Errorf("unlimited budget normalized to %+v", got.RepairBudget)
+	}
+
+	got, err = mk(func(c *Config) { c.RepairBudget = Budget{Rate: 5.5} })
+	if err != nil {
+		t.Fatalf("rate-only budget rejected: %v", err)
+	}
+	if got.RepairBudget.Burst != 6 {
+		t.Errorf("rate-only burst = %d, want ceil(5.5) = 6", got.RepairBudget.Burst)
+	}
+}

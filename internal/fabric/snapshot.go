@@ -1,6 +1,8 @@
 package fabric
 
 import (
+	"time"
+
 	"repro/internal/parsched"
 	"repro/internal/stats"
 )
@@ -120,6 +122,21 @@ type Stats struct {
 	// repairs: revoke-to-readmission latency and scheduling attempts used.
 	RepairLatencyMS Dist `json:"repair_latency_ms"`
 	RepairDepth     Dist `json:"repair_depth"`
+	// Gray-failure observability (see gray.go). RepairAttempts counts
+	// repair scheduling attempts (one per verdict; bounded by Revoked
+	// plus the retry budget), RepairBudgetExhausted retries deferred by
+	// an empty token bucket. FlapEvents counts the down-transitions flap
+	// damping observed, QuarantineEvents quarantine entries, Quarantined
+	// the channels currently held in quarantine (masked but no longer
+	// failed-listed once healed). RepairedOnHeldTrunk counts successful
+	// repairs whose new route landed beside already-held circuits at a
+	// parent switch — the reuse-cost repair-placement signal.
+	RepairAttempts        uint64 `json:"repair_attempts"`
+	RepairBudgetExhausted uint64 `json:"repair_budget_exhausted"`
+	FlapEvents            uint64 `json:"flap_events,omitempty"`
+	QuarantineEvents      uint64 `json:"quarantine_events,omitempty"`
+	Quarantined           int    `json:"quarantined,omitempty"`
+	RepairedOnHeldTrunk   uint64 `json:"repaired_on_held_trunk,omitempty"`
 	// Incremental-mode observability. Incremental reports whether the
 	// manager runs delta epochs (granted routes carried forward,
 	// departures swept instead of full rebuilds); ReuseCost echoes the
@@ -147,9 +164,11 @@ func (m *Manager) Stats() Stats {
 	m.mu.Lock()
 	m.drainReleasesLocked()
 	m.applyDeparturesLocked()
+	m.settleQuarantineLocked(time.Now())
 	util := m.st.Utilization()
 	lastEngine := m.lastEngine
 	faulty := len(m.failed)
+	quarantined := len(m.quar)
 	capacity := 1.0
 	if total := m.st.ChannelCount(); total > 0 {
 		capacity = float64(total-m.st.FailedCount()) / float64(total)
@@ -195,6 +214,13 @@ func (m *Manager) Stats() Stats {
 		DegradedCapacity: capacity,
 		RepairLatencyMS:  repLat,
 		RepairDepth:      repDepth,
+
+		RepairAttempts:        m.repairAttempts.Load(),
+		RepairBudgetExhausted: m.repairBudgetExhausted.Load(),
+		FlapEvents:            m.flapEvents.Load(),
+		QuarantineEvents:      m.quarantineEvents.Load(),
+		Quarantined:           quarantined,
+		RepairedOnHeldTrunk:   m.repairedOnHeldTrunk.Load(),
 
 		Incremental:       m.inc != nil,
 		ReuseCost:         m.reuseCost,

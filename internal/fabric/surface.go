@@ -56,6 +56,10 @@ type Surface interface {
 	RepairAll() int
 	Faults() *faults.FaultSet
 	FaultCount() int
+	// Gray-failure surface: the channels flap damping currently holds in
+	// quarantine, and the operator override that releases them all.
+	Quarantined() []faults.Channel
+	ClearQuarantine() int
 
 	// Close stops admission and drains the plane (bounded by ctx).
 	Close(ctx context.Context) error

@@ -1,0 +1,303 @@
+package faults
+
+import (
+	"encoding/json"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+func grayTree(t *testing.T) *topology.Tree {
+	t.Helper()
+	tree, err := topology.New(3, 4, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tree
+}
+
+func TestDurationJSONRoundTrip(t *testing.T) {
+	for _, d := range []Duration{0, Duration(time.Millisecond), Duration(2*time.Second + 500*time.Millisecond)} {
+		b, err := json.Marshal(d)
+		if err != nil {
+			t.Fatalf("marshal %v: %v", d, err)
+		}
+		var back Duration
+		if err := json.Unmarshal(b, &back); err != nil {
+			t.Fatalf("unmarshal %s: %v", b, err)
+		}
+		if back != d {
+			t.Errorf("round trip %v → %s → %v", d, b, back)
+		}
+	}
+	// The wire form is a Go duration string, not nanoseconds.
+	b, _ := json.Marshal(Duration(2 * time.Millisecond))
+	if string(b) != `"2ms"` {
+		t.Errorf("wire form = %s, want \"2ms\"", b)
+	}
+	// Empty string decodes as zero (omitted config fields).
+	var z Duration
+	if err := json.Unmarshal([]byte(`""`), &z); err != nil || z != 0 {
+		t.Errorf(`unmarshal "" = %v, %v; want 0, nil`, z, err)
+	}
+	if err := json.Unmarshal([]byte(`"not-a-duration"`), &z); err == nil {
+		t.Error("unmarshal garbage: want error")
+	}
+}
+
+func TestFlakyLinkDeterminismAndRate(t *testing.T) {
+	f := FlakyLink{Link: LinkFault{Level: 1, Switch: 3, Port: 2}, DutyCycle: 0.3, Seed: 42}
+	g := f // identical process
+	const steps = 20000
+	down := 0
+	for s := uint64(0); s < steps; s++ {
+		a, b := f.Down(s), g.Down(s)
+		if a != b {
+			t.Fatalf("step %d: identical processes disagree", s)
+		}
+		if a {
+			down++
+		}
+	}
+	// The empirical duty cycle should be near 0.3 (binomial, σ≈0.0032).
+	rate := float64(down) / steps
+	if math.Abs(rate-0.3) > 0.02 {
+		t.Errorf("empirical duty cycle %.4f, want ≈0.30", rate)
+	}
+	// A different seed gives a different sample path.
+	h := f
+	h.Seed = 43
+	same := 0
+	for s := uint64(0); s < 1000; s++ {
+		if f.Down(s) == h.Down(s) {
+			same++
+		}
+	}
+	if same == 1000 {
+		t.Error("seed change did not decorrelate the process")
+	}
+	// Degenerate duty cycles are constant.
+	always := FlakyLink{Link: f.Link, DutyCycle: 1}
+	never := FlakyLink{Link: f.Link, DutyCycle: 0}
+	for s := uint64(0); s < 100; s++ {
+		if !always.Down(s) {
+			t.Fatal("duty 1: expected always down")
+		}
+		if never.Down(s) {
+			t.Fatal("duty 0: expected never down")
+		}
+	}
+}
+
+func TestFlakyLinkValidate(t *testing.T) {
+	tree := grayTree(t)
+	ok := FlakyLink{Link: LinkFault{Level: 0, Switch: 0, Port: 0}, DutyCycle: 0.5}
+	if err := ok.Validate(tree); err != nil {
+		t.Errorf("valid process rejected: %v", err)
+	}
+	cases := []FlakyLink{
+		{Link: LinkFault{Level: tree.LinkLevels(), Switch: 0, Port: 0}, DutyCycle: 0.5}, // level out of range
+		{Link: LinkFault{Level: 0, Switch: 0, Port: tree.Parents()}, DutyCycle: 0.5},    // port out of range
+		{Link: LinkFault{Level: 0, Switch: 0, Port: 0}, DutyCycle: -0.1},
+		{Link: LinkFault{Level: 0, Switch: 0, Port: 0}, DutyCycle: 1.5},
+		{Link: LinkFault{Level: 0, Switch: 0, Port: 0}, DutyCycle: math.NaN()},
+	}
+	for i, c := range cases {
+		if err := c.Validate(tree); err == nil {
+			t.Errorf("case %d: invalid process accepted: %+v", i, c)
+		}
+	}
+}
+
+func TestDegradedPlaneSlowAtAndValidate(t *testing.T) {
+	d := DegradedPlane{Plane: "plane0", AdmitLatency: Duration(time.Millisecond), DutyCycle: 0.5, Seed: 7}
+	if err := d.Validate(); err != nil {
+		t.Fatalf("valid process rejected: %v", err)
+	}
+	// Deterministic per (plane, seed, seq); plane name matters.
+	e := d
+	e.Plane = "plane1"
+	agree, diff := 0, 0
+	for s := uint64(0); s < 2000; s++ {
+		if d.SlowAt(s) != d.SlowAt(s) {
+			t.Fatal("SlowAt not deterministic")
+		}
+		if d.SlowAt(s) == e.SlowAt(s) {
+			agree++
+		} else {
+			diff++
+		}
+	}
+	if diff == 0 {
+		t.Error("plane name did not decorrelate the process")
+	}
+	slow := 0
+	for s := uint64(0); s < 20000; s++ {
+		if d.SlowAt(s) {
+			slow++
+		}
+	}
+	if rate := float64(slow) / 20000; math.Abs(rate-0.5) > 0.02 {
+		t.Errorf("empirical slow rate %.4f, want ≈0.50", rate)
+	}
+	for i, bad := range []DegradedPlane{
+		{DutyCycle: -0.5},
+		{DutyCycle: 2},
+		{DutyCycle: math.NaN()},
+		{DutyCycle: 0.5, AdmitLatency: Duration(-time.Millisecond)},
+	} {
+		if err := bad.Validate(); err == nil {
+			t.Errorf("case %d: invalid process accepted: %+v", i, bad)
+		}
+	}
+}
+
+func TestGraySetJSONRoundTrip(t *testing.T) {
+	g := GraySet{
+		Flaky: []FlakyLink{
+			{Link: LinkFault{Level: 1, Switch: 2, Port: 3, Direction: Up}, DutyCycle: 0.25, Seed: 99},
+		},
+		Degraded: []DegradedPlane{
+			{Plane: "plane1", AdmitLatency: Duration(3 * time.Millisecond), DutyCycle: 0.4, Seed: 5},
+		},
+	}
+	b, err := json.Marshal(&g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var back GraySet
+	if err := json.Unmarshal(b, &back); err != nil {
+		t.Fatalf("unmarshal %s: %v", b, err)
+	}
+	if len(back.Flaky) != 1 || back.Flaky[0] != g.Flaky[0] {
+		t.Errorf("flaky round trip: got %+v, want %+v", back.Flaky, g.Flaky)
+	}
+	if len(back.Degraded) != 1 || back.Degraded[0] != g.Degraded[0] {
+		t.Errorf("degraded round trip: got %+v, want %+v", back.Degraded, g.Degraded)
+	}
+	if g.Empty() {
+		t.Error("non-empty set reports Empty")
+	}
+	var nilSet *GraySet
+	if !nilSet.Empty() || !(&GraySet{}).Empty() {
+		t.Error("nil / zero set must report Empty")
+	}
+	if err := g.Validate(grayTree(t)); err != nil {
+		t.Errorf("valid set rejected: %v", err)
+	}
+	bad := GraySet{Flaky: []FlakyLink{{Link: LinkFault{Level: 99}, DutyCycle: 0.5}}}
+	if err := bad.Validate(grayTree(t)); err == nil {
+		t.Error("invalid flaky link accepted")
+	}
+}
+
+func TestFlakyLinksGenerator(t *testing.T) {
+	tree := grayTree(t)
+	a := FlakyLinks(tree, 0.2, 0.5, 11)
+	b := FlakyLinks(tree, 0.2, 0.5, 11)
+	if len(a) == 0 {
+		t.Fatal("p=0.2 selected no links")
+	}
+	if len(a) != len(b) {
+		t.Fatalf("same seed, different lengths: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed, process %d differs: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+	for i := range a {
+		if err := a[i].Validate(tree); err != nil {
+			t.Fatalf("generated process %d invalid: %v", i, err)
+		}
+		for j := i + 1; j < len(a); j++ {
+			if a[i].Seed == a[j].Seed {
+				t.Fatalf("processes %d and %d share seed %d", i, j, a[i].Seed)
+			}
+		}
+	}
+	if got := FlakyLinks(tree, 0, 0.5, 11); got != nil {
+		t.Errorf("p=0 returned %d processes", len(got))
+	}
+	// Selection probability only filters; shared links keep their stream.
+	all := FlakyLinks(tree, 1.0, 0.5, 11)
+	want := tree.LinkLevels() * tree.SwitchesAt(0) // per level count varies; just sanity-check coverage
+	_ = want
+	if len(all) == 0 || len(all) < len(a) {
+		t.Errorf("p=1 selected %d < p=0.2's %d", len(all), len(a))
+	}
+}
+
+func TestFlapperDiffSemantics(t *testing.T) {
+	tree := grayTree(t)
+	procs := FlakyLinks(tree, 0.3, 0.5, 17)
+	if len(procs) < 2 {
+		t.Skip("generator picked too few links for a meaningful diff test")
+	}
+	fl := NewFlapper(procs)
+	if fl.DownCount() != 0 {
+		t.Fatal("flapper must start all-up")
+	}
+	// Track the down set independently and check every diff against it.
+	shadow := make(map[LinkFault]bool)
+	const steps = 500
+	for s := 0; s < steps; s++ {
+		fail, repair := fl.Step()
+		if fail != nil {
+			for _, l := range fail.Links {
+				if shadow[l] {
+					t.Fatalf("step %d: %+v failed while already down", s, l)
+				}
+				shadow[l] = true
+			}
+		}
+		if repair != nil {
+			for _, l := range repair.Links {
+				if !shadow[l] {
+					t.Fatalf("step %d: %+v repaired while already up", s, l)
+				}
+				delete(shadow, l)
+			}
+		}
+	}
+	if fl.Steps() != steps {
+		t.Errorf("Steps() = %d, want %d", fl.Steps(), steps)
+	}
+	if fl.DownCount() != len(shadow) {
+		t.Errorf("DownCount() = %d, shadow has %d", fl.DownCount(), len(shadow))
+	}
+	ds := fl.DownSet()
+	if len(ds.Links) != len(shadow) {
+		t.Fatalf("DownSet has %d links, shadow %d", len(ds.Links), len(shadow))
+	}
+	for _, l := range ds.Links {
+		if !shadow[l] {
+			t.Errorf("DownSet contains %+v, not in shadow", l)
+		}
+	}
+	// Two flappers over the same processes replay the same transitions.
+	f2 := NewFlapper(procs)
+	for s := 0; s < steps; s++ {
+		f2.Step()
+	}
+	if f2.DownCount() != fl.DownCount() {
+		t.Error("replay diverged")
+	}
+	// Add registers processes up; they join the clock mid-flight.
+	extra := FlakyLink{Link: LinkFault{Level: 0, Switch: 0, Port: 0}, DutyCycle: 1, Seed: 1}
+	fl.Add([]FlakyLink{extra})
+	fail, _ := fl.Step()
+	found := false
+	if fail != nil {
+		for _, l := range fail.Links {
+			if l == extra.Link {
+				found = true
+			}
+		}
+	}
+	if !found {
+		t.Error("added duty-1 process did not fail on the next step")
+	}
+}

@@ -40,6 +40,16 @@ type PlaneSpec struct {
 	// Repair-loop knobs; zero means the fabric default.
 	RepairRetries int    `json:"repair_retries,omitempty"`
 	RepairBackoff string `json:"repair_backoff,omitempty"`
+	// Gray-failure knobs (fabric.Config). FlapThreshold > 0 enables flap
+	// damping with the given score threshold; the half-life and
+	// probation durations default when empty. RepairBudgetRate/Burst map
+	// to fabric.Config.RepairBudget (0/0 = the fabric default; a
+	// negative rate disables the retry limit).
+	FlapThreshold       float64 `json:"flap_threshold,omitempty"`
+	FlapHalfLife        string  `json:"flap_half_life,omitempty"`
+	QuarantineProbation string  `json:"quarantine_probation,omitempty"`
+	RepairBudgetRate    float64 `json:"repair_budget_rate,omitempty"`
+	RepairBudgetBurst   int     `json:"repair_budget_burst,omitempty"`
 	// Parallel-engine knobs (see fabric.Config). ParallelMode selects
 	// deterministic, racy, or shard arbitration; ParallelSteal enables
 	// work stealing (shard mode only).
@@ -69,10 +79,18 @@ type FileConfig struct {
 	Policy string `json:"policy,omitempty"`
 	// FailoverLimit/EjectAfter/ProbeInterval map to Config; zero means
 	// the federation default.
-	FailoverLimit int         `json:"failover_limit,omitempty"`
-	EjectAfter    int         `json:"eject_after,omitempty"`
-	ProbeInterval string      `json:"probe_interval,omitempty"`
-	Planes        []PlaneSpec `json:"planes"`
+	FailoverLimit int    `json:"failover_limit,omitempty"`
+	EjectAfter    int    `json:"eject_after,omitempty"`
+	ProbeInterval string `json:"probe_interval,omitempty"`
+	// Adaptive-health knobs (Config; health.go): the EWMA smoothing
+	// factor, the breaker-opening score, the latency budget that marks a
+	// grant degraded, and the failover token bucket (0/0 = unlimited).
+	HealthAlpha         float64     `json:"health_alpha,omitempty"`
+	OpenBelow           float64     `json:"open_below,omitempty"`
+	LatencyBudget       string      `json:"latency_budget,omitempty"`
+	FailoverBudgetRate  float64     `json:"failover_budget_rate,omitempty"`
+	FailoverBudgetBurst int         `json:"failover_budget_burst,omitempty"`
+	Planes              []PlaneSpec `json:"planes"`
 }
 
 // Generate builds the FileConfig `fttopo gen` emits: n identical planes
@@ -141,6 +159,24 @@ func (fc *FileConfig) Validate() error {
 	if _, err := parseDur("probe_interval", fc.ProbeInterval); err != nil {
 		return err
 	}
+	if _, err := parseDur("latency_budget", fc.LatencyBudget); err != nil {
+		return err
+	}
+	if fc.HealthAlpha < 0 || fc.HealthAlpha > 1 {
+		return fmt.Errorf("federation: health_alpha %v outside [0, 1]", fc.HealthAlpha)
+	}
+	if fc.OpenBelow < 0 || fc.OpenBelow >= 1 {
+		return fmt.Errorf("federation: open_below %v outside [0, 1)", fc.OpenBelow)
+	}
+	if fc.FailoverBudgetRate < 0 {
+		return fmt.Errorf("federation: negative failover_budget_rate %v", fc.FailoverBudgetRate)
+	}
+	if fc.FailoverBudgetBurst < 0 {
+		return fmt.Errorf("federation: negative failover_budget_burst %d", fc.FailoverBudgetBurst)
+	}
+	if fc.FailoverBudgetBurst > 0 && fc.FailoverBudgetRate == 0 {
+		return fmt.Errorf("federation: failover_budget_burst %d without failover_budget_rate", fc.FailoverBudgetBurst)
+	}
 	if len(fc.Planes) == 0 {
 		return ErrNoPlanes
 	}
@@ -168,10 +204,24 @@ func (fc *FileConfig) Validate() error {
 			{"max_wait", ps.MaxWait},
 			{"admit_timeout", ps.AdmitTimeout},
 			{"repair_backoff", ps.RepairBackoff},
+			{"flap_half_life", ps.FlapHalfLife},
+			{"quarantine_probation", ps.QuarantineProbation},
 		} {
 			if _, err := parseDur(d.name, d.val); err != nil {
 				return fmt.Errorf("federation: %s: %w", where, err)
 			}
+		}
+		if ps.FlapThreshold < 0 {
+			return fmt.Errorf("federation: %s: negative flap_threshold %v", where, ps.FlapThreshold)
+		}
+		if ps.RepairBudgetRate >= 0 && ps.RepairBudgetBurst < 0 {
+			return fmt.Errorf("federation: %s: negative repair_budget_burst %d", where, ps.RepairBudgetBurst)
+		}
+		if ps.RepairBudgetRate < 0 && ps.RepairBudgetBurst != 0 {
+			return fmt.Errorf("federation: %s: repair_budget_burst %d with unlimited (negative) repair_budget_rate", where, ps.RepairBudgetBurst)
+		}
+		if ps.RepairBudgetRate == 0 && ps.RepairBudgetBurst > 0 {
+			return fmt.Errorf("federation: %s: repair_budget_burst %d without a repair_budget_rate", where, ps.RepairBudgetBurst)
 		}
 		switch ps.ParallelMode {
 		case "", "deterministic", "racy", "shard":
@@ -215,36 +265,47 @@ func (fc *FileConfig) Build() (Config, error) {
 	}
 	policy, _ := ParsePolicy(fc.Policy)
 	probe, _ := parseDur("probe_interval", fc.ProbeInterval)
+	latBudget, _ := parseDur("latency_budget", fc.LatencyBudget)
 	cfg := Config{
-		Policy:        policy,
-		FailoverLimit: fc.FailoverLimit,
-		EjectAfter:    fc.EjectAfter,
-		ProbeInterval: probe,
+		Policy:         policy,
+		FailoverLimit:  fc.FailoverLimit,
+		EjectAfter:     fc.EjectAfter,
+		ProbeInterval:  probe,
+		HealthAlpha:    fc.HealthAlpha,
+		OpenBelow:      fc.OpenBelow,
+		LatencyBudget:  latBudget,
+		FailoverBudget: fabric.Budget{Rate: fc.FailoverBudgetRate, Burst: fc.FailoverBudgetBurst},
 	}
 	for _, ps := range fc.Planes {
 		maxWait, _ := parseDur("max_wait", ps.MaxWait)
 		admit, _ := parseDur("admit_timeout", ps.AdmitTimeout)
 		backoff, _ := parseDur("repair_backoff", ps.RepairBackoff)
+		halfLife, _ := parseDur("flap_half_life", ps.FlapHalfLife)
+		probation, _ := parseDur("quarantine_probation", ps.QuarantineProbation)
 		cfg.Planes = append(cfg.Planes, PlaneConfig{
 			Name:   ps.Name,
 			Weight: ps.Weight,
 			Fabric: fabric.Config{
-				Tree:              topology.MustNew(ps.Levels, ps.Arity, ps.Width),
-				SchedulerSpec:     ps.Scheduler,
-				BatchSize:         ps.BatchSize,
-				MaxWait:           maxWait,
-				QueueLimit:        ps.QueueLimit,
-				AdmitTimeout:      admit,
-				ReleaseRing:       ps.ReleaseRing,
-				RepairRetries:     ps.RepairRetries,
-				RepairBackoff:     backoff,
-				ParallelThreshold: ps.ParallelThreshold,
-				ParallelWorkers:   ps.ParallelWorkers,
-				ParallelRacy:      ps.ParallelRacy,
-				ParallelMode:      ps.ParallelMode,
-				ParallelSteal:     ps.ParallelSteal,
-				Incremental:       ps.Incremental,
-				ReuseCost:         ps.ReuseCost,
+				Tree:                topology.MustNew(ps.Levels, ps.Arity, ps.Width),
+				SchedulerSpec:       ps.Scheduler,
+				BatchSize:           ps.BatchSize,
+				MaxWait:             maxWait,
+				QueueLimit:          ps.QueueLimit,
+				AdmitTimeout:        admit,
+				ReleaseRing:         ps.ReleaseRing,
+				RepairRetries:       ps.RepairRetries,
+				RepairBackoff:       backoff,
+				FlapThreshold:       ps.FlapThreshold,
+				FlapHalfLife:        halfLife,
+				QuarantineProbation: probation,
+				RepairBudget:        fabric.Budget{Rate: ps.RepairBudgetRate, Burst: ps.RepairBudgetBurst},
+				ParallelThreshold:   ps.ParallelThreshold,
+				ParallelWorkers:     ps.ParallelWorkers,
+				ParallelRacy:        ps.ParallelRacy,
+				ParallelMode:        ps.ParallelMode,
+				ParallelSteal:       ps.ParallelSteal,
+				Incremental:         ps.Incremental,
+				ReuseCost:           ps.ReuseCost,
 			},
 		})
 	}

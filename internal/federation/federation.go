@@ -21,6 +21,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"math"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -33,6 +34,11 @@ import (
 const (
 	DefaultEjectAfter    = 3
 	DefaultProbeInterval = 50 * time.Millisecond
+	// DefaultHealthAlpha is the EWMA smoothing factor for the per-plane
+	// health score; DefaultOpenBelow the score under which the breaker
+	// opens regardless of streak (health.go).
+	DefaultHealthAlpha = 0.2
+	DefaultOpenBelow   = 0.15
 )
 
 // Sentinel errors. ErrReleased aliases the fabric sentinel so drain
@@ -87,6 +93,27 @@ type Config struct {
 	// ProbeInterval is the minimum spacing between re-admission probes
 	// of an ejected plane (default DefaultProbeInterval).
 	ProbeInterval time.Duration
+	// HealthAlpha is the EWMA smoothing factor for the per-plane health
+	// score, in (0, 1]; larger reacts faster (default
+	// DefaultHealthAlpha). Grants sample 1 (0.5 when slower than
+	// LatencyBudget), failover-able denials sample 0.
+	HealthAlpha float64
+	// OpenBelow opens a plane's breaker when its health score sinks
+	// under it, in [0, 1) — the adaptive complement to the EjectAfter
+	// streak rule (default DefaultOpenBelow).
+	OpenBelow float64
+	// LatencyBudget, when positive, scores admission latency: a grant
+	// slower than the budget counts as a degraded (0.5) health sample
+	// instead of a healthy (1.0) one. Zero disables latency scoring.
+	LatencyBudget time.Duration
+	// FailoverBudget rate-limits failovers with a token bucket: every
+	// candidate tried beyond an admission's first draws one token, and
+	// an empty bucket ends the admission at its current verdict instead
+	// of fanning out further — the cross-plane analogue of the fabric's
+	// repair retry budget, bounding failover storms under correlated
+	// plane failures. The zero value means unlimited (no budget);
+	// Stats.FailoverBudgetExhausted counts admissions cut short.
+	FailoverBudget fabric.Budget
 }
 
 // plane is one scheduling plane plus its router-side health state.
@@ -100,42 +127,19 @@ type plane struct {
 	// reports as per-plane grant counts and imbalance.
 	grants atomic.Uint64
 
-	// Health: failStreak consecutive failover-able denials eject the
-	// plane; lastProbe gates single-flight re-admission probes (a CAS
-	// on the timestamp elects exactly one prober per interval).
+	// Health (health.go): failStreak counts consecutive failover-able
+	// denials; health is the EWMA score (math.Float64bits, starts at 1);
+	// breaker is the circuit-breaker state; lastProbe gates single-flight
+	// probe election (a CAS on the timestamp elects exactly one prober
+	// per interval); admitSeq numbers this plane's admissions for the
+	// injected DegradedPlane duty cycle; degraded holds that process.
 	failStreak atomic.Int32
-	ejected    atomic.Bool
+	health     atomic.Uint64
+	hmu        sync.Mutex
+	breaker    atomic.Int32
 	lastProbe  atomic.Int64 // UnixNano of the last probe election
-}
-
-// noteSuccess records a grant: the streak resets and an ejected plane
-// re-admits itself to candidate selection.
-func (p *plane) noteSuccess() {
-	p.failStreak.Store(0)
-	p.ejected.Store(false)
-}
-
-// noteFailure records a failover-able denial; crossing the streak
-// threshold ejects the plane.
-func (p *plane) noteFailure(ejectAfter int32) {
-	if p.failStreak.Add(1) >= ejectAfter {
-		p.eject()
-	}
-}
-
-// eject removes the plane from candidate selection and starts the probe
-// clock: the first re-admission probe is due one ProbeInterval after
-// ejection, not immediately.
-func (p *plane) eject() {
-	p.lastProbe.Store(time.Now().UnixNano())
-	p.ejected.Store(true)
-}
-
-// probeDue elects at most one re-admission probe per interval.
-func (p *plane) probeDue(interval time.Duration) bool {
-	now := time.Now().UnixNano()
-	last := p.lastProbe.Load()
-	return now-last >= int64(interval) && p.lastProbe.CompareAndSwap(last, now)
+	admitSeq   atomic.Uint64
+	degraded   atomic.Pointer[faults.DegradedPlane]
 }
 
 // Router is the federation front end. Create one with New; all methods
@@ -161,10 +165,16 @@ type Router struct {
 	mu     sync.Mutex
 	byConn map[fabric.Conn]*Handle
 
+	// fbudget is the failover token bucket (health.go); fbmu guards its
+	// refill arithmetic.
+	fbmu    sync.Mutex
+	fbudget fBucket
+
 	offered, granted, rejected atomic.Uint64
 	failovers                  atomic.Uint64
 	readmitted, lost           atomic.Uint64
 	pendingReadmits            atomic.Int64
+	failoverBudgetExhausted    atomic.Uint64
 }
 
 // New validates the config, builds every plane's manager, and returns
@@ -179,9 +189,34 @@ func New(cfg Config) (*Router, error) {
 	if cfg.ProbeInterval <= 0 {
 		cfg.ProbeInterval = DefaultProbeInterval
 	}
+	if cfg.HealthAlpha < 0 || cfg.HealthAlpha > 1 {
+		return nil, fmt.Errorf("federation: HealthAlpha %v outside [0, 1]", cfg.HealthAlpha)
+	}
+	if cfg.HealthAlpha == 0 {
+		cfg.HealthAlpha = DefaultHealthAlpha
+	}
+	if cfg.OpenBelow < 0 || cfg.OpenBelow >= 1 {
+		return nil, fmt.Errorf("federation: OpenBelow %v outside [0, 1)", cfg.OpenBelow)
+	}
+	if cfg.OpenBelow == 0 {
+		cfg.OpenBelow = DefaultOpenBelow
+	}
+	if cfg.LatencyBudget < 0 {
+		return nil, fmt.Errorf("federation: negative LatencyBudget %s", cfg.LatencyBudget)
+	}
+	switch {
+	case cfg.FailoverBudget.Rate <= 0 && cfg.FailoverBudget.Burst != 0:
+		return nil, fmt.Errorf("federation: FailoverBudget.Burst %d without a positive Rate (zero value means unlimited)",
+			cfg.FailoverBudget.Burst)
+	case cfg.FailoverBudget.Rate > 0 && cfg.FailoverBudget.Burst < 0:
+		return nil, fmt.Errorf("federation: negative FailoverBudget.Burst %d", cfg.FailoverBudget.Burst)
+	case cfg.FailoverBudget.Rate > 0 && cfg.FailoverBudget.Burst == 0:
+		cfg.FailoverBudget.Burst = int(math.Ceil(cfg.FailoverBudget.Rate))
+	}
 	r := &Router{
-		cfg:    cfg,
-		byConn: make(map[fabric.Conn]*Handle),
+		cfg:     cfg,
+		byConn:  make(map[fabric.Conn]*Handle),
+		fbudget: newFBucket(cfg.FailoverBudget, time.Now()),
 	}
 	names := make(map[string]struct{}, len(cfg.Planes))
 	for i, pc := range cfg.Planes {
@@ -222,7 +257,9 @@ func New(cfg Config) (*Router, error) {
 		if weight <= 0 {
 			weight = 1
 		}
-		r.planes = append(r.planes, &plane{name: name, surf: m, weight: weight})
+		p := &plane{name: name, surf: m, weight: weight}
+		p.health.Store(math.Float64bits(1))
+		r.planes = append(r.planes, p)
 	}
 	// With uniform weights the hash policy keeps its cheap
 	// rotate-by-pair-hash form; any spread switches it to weighted
@@ -278,16 +315,17 @@ func (r *Router) planeByName(name string) *plane {
 }
 
 // candidates assembles the plane try-order for one admission: healthy
-// planes ordered by the policy, then any ejected planes whose probe is
-// due (single-flight, last resort). With every plane ejected and no
-// probe due, all planes are candidates — a total outage degrades to
-// brute-force retry rather than refusing service on a fabric that may
-// have just healed.
+// (breaker-closed) planes ordered by the policy, then any open or
+// half-open planes whose probe is due (single-flight, last resort; the
+// election moves an open breaker to half-open). With every plane open
+// and no probe due, all planes are candidates — a total outage degrades
+// to brute-force retry rather than refusing service on a fabric that
+// may have just healed.
 func (r *Router) candidates(src, dst int) []int {
 	healthy := make([]int, 0, len(r.planes))
 	var probes []int
 	for i, p := range r.planes {
-		if !p.ejected.Load() {
+		if !p.ejectedNow() {
 			healthy = append(healthy, i)
 		} else if p.probeDue(r.cfg.ProbeInterval) {
 			probes = append(probes, i)
@@ -380,11 +418,26 @@ func (r *Router) admitConn(ctx context.Context, src, dst, skip int) (fabric.Conn
 		if tried >= limit {
 			break
 		}
+		// Every candidate beyond the first draws from the failover
+		// budget; an empty bucket ends the admission at the verdict it
+		// has rather than fanning the failure out across more planes.
+		if tried > 0 && !r.takeFailoverToken() {
+			r.failoverBudgetExhausted.Add(1)
+			break
+		}
 		tried++
 		p := r.planes[pi]
+		// Injected slow-plane process: a duty-cycle fraction of this
+		// plane's admissions pay the configured latency up front, which
+		// the health score then observes like any organic slowness.
+		start := time.Now()
+		if dp := p.degraded.Load(); dp != nil && dp.SlowAt(p.admitSeq.Add(1)-1) {
+			sleepInjected(ctx, time.Duration(dp.AdmitLatency))
+		}
 		c, err := p.surf.Admit(ctx, src, dst)
 		if err == nil {
-			p.noteSuccess()
+			slow := r.cfg.LatencyBudget > 0 && time.Since(start) > r.cfg.LatencyBudget
+			p.noteSuccess(r.cfg.HealthAlpha, slow)
 			p.grants.Add(1)
 			r.granted.Add(1)
 			return c, pi, nil
@@ -392,7 +445,7 @@ func (r *Router) admitConn(ctx context.Context, src, dst, skip int) (fabric.Conn
 		if !failoverable(err) {
 			return nil, -1, err
 		}
-		p.noteFailure(int32(r.cfg.EjectAfter))
+		p.noteFailure(r.cfg.HealthAlpha, int32(r.cfg.EjectAfter), r.cfg.OpenBelow)
 		lastErr = err
 		if tried < limit {
 			r.failovers.Add(1)
@@ -491,17 +544,19 @@ func (r *Router) KillPlane(name string) error {
 	return err
 }
 
-// RepairPlane reverses KillPlane (and any other faults on the plane):
-// every failed channel returns to service and the plane rejoins
-// candidate selection immediately.
+// RepairPlane reverses KillPlane (and any other faults or injected
+// degradation on the plane): every failed channel returns to service,
+// quarantines lift, the slow-plane process is removed, and the plane
+// rejoins candidate selection immediately with a pristine health score.
 func (r *Router) RepairPlane(name string) error {
 	p := r.planeByName(name)
 	if p == nil {
 		return fmt.Errorf("federation: unknown plane %q", name)
 	}
 	p.surf.RepairAll()
-	p.failStreak.Store(0)
-	p.ejected.Store(false)
+	p.surf.ClearQuarantine()
+	p.degraded.Store(nil)
+	p.resetHealth()
 	return nil
 }
 

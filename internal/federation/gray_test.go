@@ -1,0 +1,307 @@
+package federation
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+	"repro/internal/topology"
+)
+
+// planeStats fetches one plane's snapshot by name.
+func planeStats(t *testing.T, r *Router, name string) PlaneStats {
+	t.Helper()
+	for _, ps := range r.Stats().Planes {
+		if ps.Name == name {
+			return ps
+		}
+	}
+	t.Fatalf("no plane %q in stats", name)
+	return PlaneStats{}
+}
+
+// TestBreakerStateMachine drives the full circuit: closed → open on a
+// denial streak, a failed half-open probe re-opens, a granted probe
+// closes. The streak rule (EjectAfter) is exercised with the health
+// rule parked out of the way.
+func TestBreakerStateMachine(t *testing.T) {
+	r := testRouter(t, 2, func(c *Config) {
+		c.Policy = PolicyRoundRobin
+		c.EjectAfter = 3
+		c.ProbeInterval = time.Hour
+		c.OpenBelow = 0.000001 // health rule effectively off
+	})
+	if ps := planeStats(t, r, "plane0"); ps.Breaker != "closed" || ps.Health != 1 {
+		t.Fatalf("fresh plane: breaker %q health %v, want closed/1", ps.Breaker, ps.Health)
+	}
+
+	// Saturate (0,2)'s only route on plane 0: it denies organically.
+	p0, _ := r.Plane("plane0")
+	blocker0, err := p0.Admit(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Round-robin alternates, so 6 admissions land 3 denials on plane 0.
+	for i := 0; i < 6; i++ {
+		h, err := r.Connect(context.Background(), 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	ps := planeStats(t, r, "plane0")
+	if ps.Breaker != "open" || ps.Healthy {
+		t.Fatalf("after streak: breaker %q healthy %v, want open/false", ps.Breaker, ps.Healthy)
+	}
+	if ps.Health >= 1 {
+		t.Fatalf("denials did not decay health: %v", ps.Health)
+	}
+	if ps := planeStats(t, r, "plane1"); ps.Breaker != "closed" {
+		t.Fatalf("survivor breaker %q, want closed", ps.Breaker)
+	}
+
+	// Saturate plane 1 too; with probes gated the admission must fail.
+	p1, _ := r.Plane("plane1")
+	blocker1, err := p1.Admit(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker1.Release()
+	if _, err := r.Connect(context.Background(), 0, 2); err == nil {
+		t.Fatal("admission succeeded with probes gated and both planes saturated")
+	}
+
+	// Open the probe gate while plane 0 is still saturated: the elected
+	// half-open probe fails and the breaker re-opens.
+	r.cfg.ProbeInterval = time.Nanosecond
+	if _, err := r.Connect(context.Background(), 0, 2); err == nil {
+		t.Fatal("admission succeeded with both planes saturated")
+	}
+	if ps := planeStats(t, r, "plane0"); ps.Breaker != "open" {
+		t.Fatalf("failed probe left breaker %q, want open", ps.Breaker)
+	}
+
+	// Free plane 0: the next probe grants and the breaker closes.
+	blocker0.Release()
+	h, err := r.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer h.Release()
+	if got := h.Plane(); got != "plane0" {
+		t.Fatalf("probe admission landed on %q, want plane0", got)
+	}
+	ps = planeStats(t, r, "plane0")
+	if ps.Breaker != "closed" || !ps.Healthy {
+		t.Fatalf("granted probe left breaker %q healthy %v, want closed/true", ps.Breaker, ps.Healthy)
+	}
+}
+
+// TestHealthScoreOpensBreaker pins the adaptive rule the streak cannot
+// express: with EjectAfter out of reach, enough score decay alone
+// (health < OpenBelow) opens the breaker.
+func TestHealthScoreOpensBreaker(t *testing.T) {
+	r := testRouter(t, 2, func(c *Config) {
+		c.Policy = PolicyRoundRobin
+		c.EjectAfter = 100 // streak rule out of reach
+		c.ProbeInterval = time.Hour
+		c.HealthAlpha = 0.5
+		c.OpenBelow = 0.3 // 1 → 0.5 → 0.25 < 0.3 on the second denial
+	})
+	p0, _ := r.Plane("plane0")
+	blocker, err := p0.Admit(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Release()
+	for i := 0; i < 4; i++ {
+		h, err := r.Connect(context.Background(), 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	ps := planeStats(t, r, "plane0")
+	if ps.Breaker != "open" {
+		t.Fatalf("health %v below OpenBelow but breaker %q", ps.Health, ps.Breaker)
+	}
+	if ps.Health > 0.3 {
+		t.Fatalf("health %v, want < 0.3 after two denials at alpha 0.5", ps.Health)
+	}
+}
+
+// TestDegradedPlaneMarksSlowGrants injects a DegradedPlane process and
+// checks the latency budget demotes its grants to half-credit health
+// samples while the plane stays in service.
+func TestDegradedPlaneMarksSlowGrants(t *testing.T) {
+	r := testRouter(t, 1, func(c *Config) {
+		c.HealthAlpha = 0.5
+		c.LatencyBudget = time.Millisecond
+	})
+	if err := r.SetDegraded("plane0", faults.DegradedPlane{
+		AdmitLatency: faults.Duration(5 * time.Millisecond),
+		DutyCycle:    1, // every admission pays
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if dp := r.Degraded("plane0"); dp == nil || dp.Plane != "plane0" {
+		t.Fatalf("Degraded() = %+v", dp)
+	}
+
+	h, err := r.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h.Release()
+	ps := planeStats(t, r, "plane0")
+	if !ps.Degraded {
+		t.Fatal("stats do not mark the plane degraded")
+	}
+	if ps.Breaker != "closed" || !ps.Healthy {
+		t.Fatalf("slow-but-alive plane: breaker %q healthy %v, want closed/true", ps.Breaker, ps.Healthy)
+	}
+	// One slow grant at alpha 0.5: health 1 → 0.75.
+	if ps.Health >= 1 || ps.Health < 0.5 {
+		t.Fatalf("health after one slow grant = %v, want 0.75", ps.Health)
+	}
+
+	// Clearing the process restores fast grants; health recovers.
+	if err := r.ClearDegraded("plane0"); err != nil {
+		t.Fatal(err)
+	}
+	if r.Degraded("plane0") != nil {
+		t.Fatal("process survived ClearDegraded")
+	}
+	low := ps.Health
+	for i := 0; i < 4; i++ {
+		h, err := r.Connect(context.Background(), 0, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h.Release()
+	}
+	ps = planeStats(t, r, "plane0")
+	if ps.Degraded || ps.Health <= low {
+		t.Fatalf("health did not recover after ClearDegraded: %v → %v", low, ps.Health)
+	}
+
+	// Validation and name resolution.
+	if err := r.SetDegraded("plane0", faults.DegradedPlane{DutyCycle: 2}); err == nil {
+		t.Error("invalid duty cycle accepted")
+	}
+	if err := r.SetDegraded("nope", faults.DegradedPlane{DutyCycle: 0.5}); err == nil {
+		t.Error("unknown plane accepted")
+	}
+	if err := r.ClearDegraded("nope"); err == nil {
+		t.Error("ClearDegraded(nope) succeeded")
+	}
+	if r.Degraded("nope") != nil {
+		t.Error("Degraded(nope) returned a process")
+	}
+}
+
+// TestRepairPlaneResetsGrayState checks RepairPlane's postcondition:
+// degraded process cleared, health pristine, breaker closed.
+func TestRepairPlaneResetsGrayState(t *testing.T) {
+	r := testRouter(t, 2, func(c *Config) {
+		c.ProbeInterval = time.Hour
+	})
+	if err := r.SetDegraded("plane0", faults.DegradedPlane{DutyCycle: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.KillPlane("plane0"); err != nil {
+		t.Fatal(err)
+	}
+	ps := planeStats(t, r, "plane0")
+	if ps.Breaker != "open" || !ps.Degraded {
+		t.Fatalf("killed degraded plane: %+v", ps)
+	}
+	if err := r.RepairPlane("plane0"); err != nil {
+		t.Fatal(err)
+	}
+	ps = planeStats(t, r, "plane0")
+	if ps.Breaker != "closed" || ps.Health != 1 || ps.Degraded || !ps.Healthy {
+		t.Fatalf("RepairPlane left gray state: %+v", ps)
+	}
+}
+
+// TestFailoverBudgetExhaustion bounds cross-plane retries: with a
+// one-token budget the first failover succeeds and the second admission
+// stops at its first denial instead of fanning out.
+func TestFailoverBudgetExhaustion(t *testing.T) {
+	r := testRouter(t, 2, func(c *Config) {
+		c.Policy = PolicyHash // fixed (src,dst) → fixed first-choice plane
+		c.EjectAfter = 100    // keep the denying plane in candidates
+		c.ProbeInterval = time.Hour
+		c.FailoverBudget = fabric.Budget{Rate: 0.0001, Burst: 1}
+	})
+	// Learn the hash policy's first choice for (0,2), then saturate it.
+	probe, err := r.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	first := probe.Plane()
+	probe.Release()
+	pf, _ := r.Plane(first)
+	blocker, err := pf.Admit(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer blocker.Release()
+
+	// Failover 1: pays the only token, lands on the other plane.
+	h, err := r.Connect(context.Background(), 0, 2)
+	if err != nil {
+		t.Fatalf("budgeted failover failed: %v", err)
+	}
+	defer h.Release()
+	if h.Plane() == first {
+		t.Fatalf("failover landed on the saturated plane %q", first)
+	}
+	if got := r.Stats().FailoverBudgetExhausted; got != 0 {
+		t.Fatalf("exhausted after first failover: %d", got)
+	}
+
+	// Failover 2: the bucket is empty — the admission ends at the first
+	// denial rather than trying the healthy plane.
+	if _, err := r.Connect(context.Background(), 0, 2); err == nil {
+		t.Fatal("admission succeeded past an exhausted failover budget")
+	}
+	s := r.Stats()
+	if s.FailoverBudgetExhausted != 1 {
+		t.Fatalf("FailoverBudgetExhausted = %d, want 1", s.FailoverBudgetExhausted)
+	}
+
+	// An unlimited (zero-value) budget is the default contract.
+	if r2 := testRouter(t, 2, nil); r2.fbudget.unlimited != true {
+		t.Fatal("zero-value FailoverBudget is not unlimited")
+	}
+}
+
+// TestGrayConfigValidationFederation tables the new Config knobs.
+func TestGrayConfigValidationFederation(t *testing.T) {
+	for name, mod := range map[string]func(*Config){
+		"alpha too big":   func(c *Config) { c.HealthAlpha = 1.5 },
+		"alpha negative":  func(c *Config) { c.HealthAlpha = -0.1 },
+		"open below 1+":   func(c *Config) { c.OpenBelow = 1 },
+		"open below neg":  func(c *Config) { c.OpenBelow = -0.2 },
+		"latency budget":  func(c *Config) { c.LatencyBudget = -time.Second },
+		"failover budget": func(c *Config) { c.FailoverBudget = fabric.Budget{Rate: -1, Burst: 3} },
+	} {
+		cfg := Config{Planes: []PlaneConfig{
+			{Fabric: fabric.Config{Tree: topology.MustNew(2, 2, 1), BatchSize: 1}},
+		}}
+		mod(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+	// Defaults normalize in.
+	r := testRouter(t, 1, nil)
+	if r.cfg.HealthAlpha != DefaultHealthAlpha || r.cfg.OpenBelow != DefaultOpenBelow {
+		t.Errorf("defaults = %v/%v, want %v/%v",
+			r.cfg.HealthAlpha, r.cfg.OpenBelow, DefaultHealthAlpha, DefaultOpenBelow)
+	}
+}

@@ -1,0 +1,224 @@
+package federation
+
+// Adaptive plane health: an EWMA score fed by admission outcomes and a
+// half-open circuit breaker, replacing the binary ejected bit of the
+// original router. The streak rule is preserved — EjectAfter
+// consecutive failover-able denials still opens the breaker — but the
+// score adds what a streak cannot see: a plane that interleaves slow or
+// failing admissions with occasional grants decays toward 0 and opens
+// once it sinks under Config.OpenBelow, and the score itself is
+// exported per plane for operators (/stats, /healthz).
+//
+// Breaker state machine:
+//
+//	closed ──(streak ≥ EjectAfter, or health < OpenBelow)──▶ open
+//	open ──(ProbeInterval elapsed; single-flight election)──▶ half-open
+//	half-open ──grant──▶ closed          half-open ──denial──▶ open
+//
+// While open or half-open the plane receives no traffic except the
+// elected probe admission (at most one per ProbeInterval, last in the
+// candidate order). Any grant closes the breaker; a failed probe
+// re-opens it and restarts the probe clock.
+
+import (
+	"context"
+	"fmt"
+	"math"
+	"time"
+
+	"repro/internal/fabric"
+	"repro/internal/faults"
+)
+
+// Breaker states (plane.breaker).
+const (
+	bClosed int32 = iota
+	bOpen
+	bHalfOpen
+)
+
+// breakerName renders a breaker state for stats.
+func breakerName(s int32) string {
+	switch s {
+	case bClosed:
+		return "closed"
+	case bOpen:
+		return "open"
+	case bHalfOpen:
+		return "half-open"
+	default:
+		return fmt.Sprintf("breaker(%d)", s)
+	}
+}
+
+// healthNow returns the plane's current EWMA health score in [0, 1].
+func (p *plane) healthNow() float64 {
+	return math.Float64frombits(p.health.Load())
+}
+
+// bumpHealth folds one outcome sample into the EWMA and returns the new
+// score. hmu serializes the read-modify-write; the atomic keeps
+// lock-free readers (stats, tests) safe.
+func (p *plane) bumpHealth(alpha, sample float64) float64 {
+	p.hmu.Lock()
+	h := math.Float64frombits(p.health.Load())
+	h = (1-alpha)*h + alpha*sample
+	p.health.Store(math.Float64bits(h))
+	p.hmu.Unlock()
+	return h
+}
+
+// noteSuccess records a grant: the streak resets, the score pulls
+// toward 1 (or only 0.5 for a grant slower than the latency budget —
+// alive, but degraded), and any open or half-open breaker closes.
+func (p *plane) noteSuccess(alpha float64, slow bool) {
+	p.failStreak.Store(0)
+	sample := 1.0
+	if slow {
+		sample = 0.5
+	}
+	p.bumpHealth(alpha, sample)
+	p.breaker.Store(bClosed)
+}
+
+// noteFailure records a failover-able denial: the score pulls toward 0,
+// and the breaker opens when the streak or score rule trips — or
+// immediately when this was a half-open probe, restarting the probe
+// clock.
+func (p *plane) noteFailure(alpha float64, ejectAfter int32, openBelow float64) {
+	streak := p.failStreak.Add(1)
+	h := p.bumpHealth(alpha, 0)
+	switch p.breaker.Load() {
+	case bHalfOpen:
+		p.eject() // the probe failed; wait out another interval
+	case bClosed:
+		if streak >= ejectAfter || h < openBelow {
+			p.eject()
+		}
+	}
+}
+
+// eject opens the breaker and starts the probe clock: the first
+// re-admission probe is due one ProbeInterval later, not immediately.
+func (p *plane) eject() {
+	p.lastProbe.Store(time.Now().UnixNano())
+	p.breaker.Store(bOpen)
+}
+
+// ejectedNow reports whether the plane is out of normal candidate
+// selection (breaker open or half-open).
+func (p *plane) ejectedNow() bool { return p.breaker.Load() != bClosed }
+
+// probeDue elects at most one re-admission probe per interval; the
+// winning election moves an open breaker to half-open.
+func (p *plane) probeDue(interval time.Duration) bool {
+	now := time.Now().UnixNano()
+	last := p.lastProbe.Load()
+	if now-last < int64(interval) || !p.lastProbe.CompareAndSwap(last, now) {
+		return false
+	}
+	p.breaker.CompareAndSwap(bOpen, bHalfOpen)
+	return true
+}
+
+// resetHealth restores a plane to pristine: score 1, streak 0, breaker
+// closed (RepairPlane's postcondition).
+func (p *plane) resetHealth() {
+	p.failStreak.Store(0)
+	p.health.Store(math.Float64bits(1))
+	p.breaker.Store(bClosed)
+}
+
+// SetDegraded installs (or replaces) a slow-but-alive process on the
+// named plane: a DutyCycle fraction of its admissions incur
+// AdmitLatency before reaching the plane. The injected latency is
+// observed by the EWMA score exactly like organic slowness — paired
+// with Config.LatencyBudget this is the gray-failure drill ftserve's
+// degrade verb and ftbench -gray run.
+func (r *Router) SetDegraded(name string, dp faults.DegradedPlane) error {
+	p := r.planeByName(name)
+	if p == nil {
+		return fmt.Errorf("federation: unknown plane %q", name)
+	}
+	if err := dp.Validate(); err != nil {
+		return err
+	}
+	dp.Plane = name
+	p.degraded.Store(&dp)
+	return nil
+}
+
+// ClearDegraded removes the plane's injected slow-plane process.
+func (r *Router) ClearDegraded(name string) error {
+	p := r.planeByName(name)
+	if p == nil {
+		return fmt.Errorf("federation: unknown plane %q", name)
+	}
+	p.degraded.Store(nil)
+	return nil
+}
+
+// Degraded returns the plane's injected slow-plane process, nil when
+// none is installed.
+func (r *Router) Degraded(name string) *faults.DegradedPlane {
+	if p := r.planeByName(name); p != nil {
+		return p.degraded.Load()
+	}
+	return nil
+}
+
+// takeFailoverToken draws from the router's failover budget; unlimited
+// when no budget is configured.
+func (r *Router) takeFailoverToken() bool {
+	r.fbmu.Lock()
+	ok := r.fbudget.take(time.Now())
+	r.fbmu.Unlock()
+	return ok
+}
+
+// fBucket is the federation-side token bucket (mirrors fabric's; kept
+// local because fabric does not export its runtime bucket state).
+type fBucket struct {
+	rate      float64
+	burst     float64
+	tokens    float64
+	last      time.Time
+	unlimited bool
+}
+
+func newFBucket(b fabric.Budget, now time.Time) fBucket {
+	if b.Rate <= 0 {
+		return fBucket{unlimited: true}
+	}
+	return fBucket{rate: b.Rate, burst: float64(b.Burst), tokens: float64(b.Burst), last: now}
+}
+
+func (b *fBucket) take(now time.Time) bool {
+	if b.unlimited {
+		return true
+	}
+	if dt := now.Sub(b.last); dt > 0 {
+		b.tokens = math.Min(b.burst, b.tokens+b.rate*dt.Seconds())
+		b.last = now
+	}
+	if b.tokens >= 1 {
+		b.tokens--
+		return true
+	}
+	return false
+}
+
+// sleepInjected waits out an injected admit latency, returning early if
+// the caller's context ends first (the admission then fails on the
+// context as usual).
+func sleepInjected(ctx context.Context, d time.Duration) {
+	if d <= 0 {
+		return
+	}
+	t := time.NewTimer(d)
+	defer t.Stop()
+	select {
+	case <-t.C:
+	case <-ctx.Done():
+	}
+}

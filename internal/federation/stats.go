@@ -10,8 +10,14 @@ import "repro/internal/fabric"
 type PlaneStats struct {
 	Name string `json:"name"`
 	// Healthy is the router's admission-control view: false while the
-	// plane is ejected from candidate selection.
+	// plane's breaker is open or half-open (out of candidate selection).
 	Healthy bool `json:"healthy"`
+	// Health is the EWMA outcome score in [0, 1] (1 = pristine) and
+	// Breaker the circuit-breaker state ("closed", "open", "half-open");
+	// see health.go. Degraded reports an injected slow-plane process.
+	Health   float64 `json:"health"`
+	Breaker  string  `json:"breaker"`
+	Degraded bool    `json:"degraded,omitempty"`
 	// Grants counts circuits the router placed on this plane (initial
 	// admissions plus cross-plane re-admissions) — the load-spread
 	// signal behind the imbalance ratio.
@@ -42,6 +48,9 @@ type Stats struct {
 	Readmitted      uint64 `json:"readmitted"`
 	Lost            uint64 `json:"lost"`
 	PendingReadmits int64  `json:"pending_readmits"`
+	// FailoverBudgetExhausted counts admissions the failover token
+	// bucket cut short (Config.FailoverBudget).
+	FailoverBudgetExhausted uint64 `json:"failover_budget_exhausted,omitempty"`
 	// Imbalance is the max/min ratio of per-plane grant counts, the
 	// load-spread regression signal: 1.0 is a perfect spread. It is 0
 	// (undefined) while any plane has zero grants, since the true ratio
@@ -53,15 +62,16 @@ type Stats struct {
 // Stats snapshots the router and every plane.
 func (r *Router) Stats() Stats {
 	s := Stats{
-		Policy:          r.cfg.Policy.String(),
-		Offered:         r.offered.Load(),
-		Granted:         r.granted.Load(),
-		Rejected:        r.rejected.Load(),
-		Failovers:       r.failovers.Load(),
-		Readmitted:      r.readmitted.Load(),
-		Lost:            r.lost.Load(),
-		PendingReadmits: r.pendingReadmits.Load(),
-		Planes:          make([]PlaneStats, len(r.planes)),
+		Policy:                  r.cfg.Policy.String(),
+		Offered:                 r.offered.Load(),
+		Granted:                 r.granted.Load(),
+		Rejected:                r.rejected.Load(),
+		Failovers:               r.failovers.Load(),
+		Readmitted:              r.readmitted.Load(),
+		Lost:                    r.lost.Load(),
+		PendingReadmits:         r.pendingReadmits.Load(),
+		FailoverBudgetExhausted: r.failoverBudgetExhausted.Load(),
+		Planes:                  make([]PlaneStats, len(r.planes)),
 	}
 	var minG, maxG uint64
 	for i, p := range r.planes {
@@ -72,7 +82,10 @@ func (r *Router) Stats() Stats {
 		fb := p.surf.Stats()
 		s.Planes[i] = PlaneStats{
 			Name:      p.name,
-			Healthy:   !p.ejected.Load(),
+			Healthy:   !p.ejectedNow(),
+			Health:    p.healthNow(),
+			Breaker:   breakerName(p.breaker.Load()),
+			Degraded:  p.degraded.Load() != nil,
 			Grants:    g,
 			Occupancy: fb.Occupancy,
 			Fabric:    fb,

@@ -21,10 +21,12 @@ fi
 go test -race ./...
 
 # Concurrency-focused pass: re-run the parallel engine, the fabric
-# manager (including the fault revoke/re-admit chaos tests), the
-# fault-injection package, and the federation router (whose plane-kill
-# chaos test proves zero lost connections) under -race with a doubled
-# count, shaking out interleavings a single full-suite run can miss.
+# manager (including the fault revoke/re-admit chaos tests and the
+# gray-failure flap-damping chaos test), the fault-injection package,
+# and the federation router (whose plane-kill chaos test proves zero
+# lost connections, plus the breaker/health gray tests) under -race
+# with a doubled count, shaking out interleavings a single full-suite
+# run can miss.
 go test -race -count=2 ./internal/parsched ./internal/fabric ./internal/faults ./internal/federation
 
 # Shard-engine stress: the high-worker-count shard tests (16 workers on
@@ -72,3 +74,11 @@ go test -run 'TestIncrementalSpecGolden' ./internal/sched
 # incremental comparison (EXPERIMENTS.md E20), so the -churn harness
 # keeps running end to end without bench-grade runtime.
 go run ./cmd/ftbench -churn -churn-rate 8 -churn-life 4 -churn-epochs 20 -churn-reuse 2 -seed 1
+
+# Gray-failure smoke: one short flaky-link point plus the degraded-plane
+# federation point (EXPERIMENTS.md E21). The harness itself enforces the
+# invariants — zero unaccounted connections and repair attempts within
+# the retry-budget bound — so a regression fails the run, not just the
+# numbers.
+go run ./cmd/ftbench -gray -fabric-levels 2 -fabric-children 4 -fabric-parents 4 \
+	-fabric-clients 8 -fabric-open 2 -fabric-duration 300ms -gray-rates 0,0.2 -seed 1
