@@ -35,6 +35,7 @@ type chaosResult struct {
 	Counts  loopCounts
 	Elapsed time.Duration
 	Stats   fabric.Stats
+	Admit   admitDist // client-observed admission latency percentiles
 }
 
 // parseRates parses a comma-separated failure-rate list ("0,0.01,0.1").
@@ -80,19 +81,20 @@ func chaosBench(out io.Writer, cfg chaosBenchConfig) error {
 	}
 	fmt.Fprintf(out, "chaos %s  clients=%d open=%d duration=%s cycle=%s timeout=%s\n",
 		tree, cfg.Clients, cfg.Open, cfg.Duration, cfg.Cycle, cfg.Timeout)
-	fmt.Fprintf(out, "  %-6s %-6s %-9s %-22s %-20s %s\n",
-		"rate", "sched", "adm/s", "revoked/repaired/fail", "repair ms p50/p95", "timeouts")
+	fmt.Fprintf(out, "  %-6s %-6s %-9s %-22s %-20s %-18s %s\n",
+		"rate", "sched", "adm/s", "revoked/repaired/fail", "repair ms p50/p95", "admit us p50/p99", "timeouts")
 	for i, p := range cfg.Rates {
 		res, err := chaosRun(cfg, p, cfg.Seed+int64(i)*7919)
 		if err != nil {
 			return fmt.Errorf("chaos rate %g: %w", p, err)
 		}
 		s := res.Stats
-		fmt.Fprintf(out, "  %-6.3f %-6.3f %-9.0f %-22s %-20s %d\n",
+		fmt.Fprintf(out, "  %-6.3f %-6.3f %-9.0f %-22s %-20s %-18s %d\n",
 			p, res.Counts.schedulability(),
 			float64(res.Counts.offered())/res.Elapsed.Seconds(),
 			fmt.Sprintf("%d/%d/%d", s.Revoked, s.Repaired, s.RepairFailed+s.RepairAborted),
 			fmt.Sprintf("%.2f/%.2f", s.RepairLatencyMS.P50, s.RepairLatencyMS.P95),
+			fmt.Sprintf("%.1f/%.1f", res.Admit.AdmitP50us, res.Admit.AdmitP99us),
 			res.Counts.timedOut)
 	}
 	return nil
@@ -105,12 +107,14 @@ func chaosRun(cfg chaosBenchConfig, p float64, seed int64) (chaosResult, error) 
 	if err != nil {
 		return chaosResult{}, err
 	}
-	fab, err := fabric.New(fabric.Config{
+	fcfg := fabric.Config{
 		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		AdmitTimeout:      cfg.Timeout,
 		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
 		ParallelMode: cfg.Mode, ParallelSteal: cfg.Steal,
-	})
+	}
+	cfg.Pipeline.apply(&fcfg)
+	fab, err := fabric.New(fcfg)
 	if err != nil {
 		return chaosResult{}, err
 	}
@@ -142,7 +146,8 @@ func chaosRun(cfg chaosBenchConfig, p float64, seed int64) (chaosResult, error) 
 		}()
 	}
 
-	counts, elapsed, loopErr := closedLoop(fab, tree, cfg.fabricBenchConfig, true)
+	rec := newLatRecorder(cfg.Clients)
+	counts, elapsed, loopErr := closedLoop(fab, tree, cfg.fabricBenchConfig, true, rec)
 	close(stop)
 	injWg.Wait()
 	s := fab.Stats()
@@ -152,5 +157,5 @@ func chaosRun(cfg chaosBenchConfig, p float64, seed int64) (chaosResult, error) 
 	if loopErr != nil {
 		return chaosResult{}, loopErr
 	}
-	return chaosResult{Rate: p, Counts: counts, Elapsed: elapsed, Stats: s}, nil
+	return chaosResult{Rate: p, Counts: counts, Elapsed: elapsed, Stats: s, Admit: rec.dist()}, nil
 }

@@ -36,6 +36,7 @@ type fabricBenchConfig struct {
 	Racy                      bool   // lock-free racy mode instead of deterministic
 	Mode                      string // parallel arbitration mode ("" = deterministic/racy per Racy)
 	Steal                     bool   // shard mode: steal whole shards from busy workers
+	Pipeline                  admitPipelineConfig
 }
 
 func (cfg fabricBenchConfig) validate() error {
@@ -70,8 +71,10 @@ func (c loopCounts) schedulability() float64 {
 // server fails the run instead of hanging. With chaotic=true (faults
 // being injected mid-run) timeouts are counted and revocation-related
 // release errors are tolerated, since both are expected degraded-mode
-// outcomes.
-func closedLoop(fab *fabric.Manager, tree *topology.Tree, cfg fabricBenchConfig, chaotic bool) (loopCounts, time.Duration, error) {
+// outcomes. A non-nil rec captures per-Connect wall time (the admission
+// round-trip each client observes) for tail-latency reporting; it must
+// have at least cfg.Clients lanes.
+func closedLoop(fab *fabric.Manager, tree *topology.Tree, cfg fabricBenchConfig, chaotic bool, rec *latRecorder) (loopCounts, time.Duration, error) {
 	var admitted, denied, timedOut atomic.Uint64
 	deadline := time.Now().Add(cfg.Duration)
 	errs := make([]error, cfg.Clients)
@@ -99,7 +102,15 @@ func closedLoop(fab *fabric.Manager, tree *topology.Tree, cfg fabricBenchConfig,
 					}
 					held = held[1:]
 				}
-				h, err := fab.Connect(context.Background(), rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes()))
+				src, dst := rng.Intn(tree.Nodes()), rng.Intn(tree.Nodes())
+				var began time.Time
+				if rec != nil {
+					began = time.Now()
+				}
+				h, err := fab.Connect(context.Background(), src, dst)
+				if rec != nil {
+					rec.record(id, time.Since(began))
+				}
 				switch {
 				case err == nil:
 					admitted.Add(1)
@@ -135,17 +146,20 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	if err != nil {
 		return err
 	}
-	fab, err := fabric.New(fabric.Config{
+	fcfg := fabric.Config{
 		Tree: tree, SchedulerSpec: cfg.Scheduler, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		AdmitTimeout:      cfg.Timeout,
 		ParallelThreshold: cfg.Parallel, ParallelWorkers: cfg.Workers, ParallelRacy: cfg.Racy,
 		ParallelMode: cfg.Mode, ParallelSteal: cfg.Steal,
-	})
+	}
+	cfg.Pipeline.apply(&fcfg)
+	fab, err := fabric.New(fcfg)
 	if err != nil {
 		return err
 	}
 
-	counts, elapsed, loopErr := closedLoop(fab, tree, cfg, false)
+	rec := newLatRecorder(cfg.Clients)
+	counts, elapsed, loopErr := closedLoop(fab, tree, cfg, false, rec)
 	if err := fab.Close(context.Background()); err != nil && loopErr == nil {
 		loopErr = err
 	}
@@ -154,6 +168,7 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	}
 
 	s := fab.Stats()
+	ad := rec.dist()
 	fmt.Fprintf(out, "fabric %s  clients=%d epoch=%d maxwait=%s open=%d duration=%s\n",
 		tree, cfg.Clients, cfg.Batch, cfg.MaxWait, cfg.Open, cfg.Duration)
 	fmt.Fprintf(out, "  admissions/sec %.0f  (offered %d, granted %d, rejected %d, blocking %.2f%%)\n",
@@ -162,6 +177,8 @@ func fabricBench(out io.Writer, cfg fabricBenchConfig) error {
 	fmt.Fprintf(out, "  epochs %d  size mean=%.1f p95=%.0f  latency ms p50=%.3f p95=%.3f p99=%.3f\n",
 		s.Epochs, s.EpochSize.Mean, s.EpochSize.P95,
 		s.EpochLatencyMS.P50, s.EpochLatencyMS.P95, s.EpochLatencyMS.P99)
+	fmt.Fprintf(out, "  admit us p50=%.1f p95=%.1f p99=%.1f\n",
+		ad.AdmitP50us, ad.AdmitP95us, ad.AdmitP99us)
 	if cfg.Parallel > 0 {
 		fmt.Fprintf(out, "  engine %s threshold=%d  epochs sequential=%d parallel=%d\n",
 			s.ParallelMode+fmt.Sprintf("/w%d", s.ParallelWorkers), s.ParallelThreshold,

@@ -59,6 +59,7 @@ type fedResult struct {
 	// plane took no grants), rendered as "inf" in the text output.
 	Imbalance float64       `json:"imbalance"`
 	PerPlane  []planeGrants `json:"per_plane"`
+	Admit     admitDist     `json:"admit"`
 	// Host parallelism at run time, so throughput numbers carry the
 	// hardware context they were measured under.
 	NumCPU     int `json:"num_cpu"`
@@ -66,8 +67,9 @@ type fedResult struct {
 }
 
 // closedLoopFederation is closedLoop against a federation router: the
-// same churn model, counting grants and scheduler denials.
-func closedLoopFederation(r *federation.Router, cfg fabricBenchConfig) (loopCounts, time.Duration, error) {
+// same churn model, counting grants and scheduler denials. A non-nil
+// rec captures per-Connect wall time for tail-latency reporting.
+func closedLoopFederation(r *federation.Router, cfg fabricBenchConfig, rec *latRecorder) (loopCounts, time.Duration, error) {
 	var admitted, denied atomic.Uint64
 	deadline := time.Now().Add(cfg.Duration)
 	nodes := r.Nodes()
@@ -94,7 +96,15 @@ func closedLoopFederation(r *federation.Router, cfg fabricBenchConfig) (loopCoun
 					}
 					held = held[1:]
 				}
-				h, err := r.Connect(context.Background(), rng.Intn(nodes), rng.Intn(nodes))
+				src, dst := rng.Intn(nodes), rng.Intn(nodes)
+				var began time.Time
+				if rec != nil {
+					began = time.Now()
+				}
+				h, err := r.Connect(context.Background(), src, dst)
+				if rec != nil {
+					rec.record(id, time.Since(began))
+				}
 				switch {
 				case err == nil:
 					admitted.Add(1)
@@ -151,13 +161,13 @@ func fedPoints(cfg fedBenchConfig) ([]federation.Config, []fedResult, error) {
 				if err != nil {
 					return nil, nil, err
 				}
-				rc.Planes = append(rc.Planes, federation.PlaneConfig{
-					Fabric: fabric.Config{
-						Tree: tree, SchedulerSpec: cfg.Scheduler,
-						BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
-						AdmitTimeout: cfg.Timeout,
-					},
-				})
+				fc := fabric.Config{
+					Tree: tree, SchedulerSpec: cfg.Scheduler,
+					BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
+					AdmitTimeout: cfg.Timeout,
+				}
+				cfg.Pipeline.apply(&fc)
+				rc.Planes = append(rc.Planes, federation.PlaneConfig{Fabric: fc})
 			}
 			cfgs = append(cfgs, rc)
 			seeds = append(seeds, fedResult{Planes: n, Policy: pol.String()})
@@ -183,7 +193,8 @@ func federationBench(out io.Writer, cfg fedBenchConfig) error {
 		if err != nil {
 			return err
 		}
-		counts, elapsed, loopErr := closedLoopFederation(r, cfg.fabricBenchConfig)
+		rec := newLatRecorder(cfg.Clients)
+		counts, elapsed, loopErr := closedLoopFederation(r, cfg.fabricBenchConfig, rec)
 		s := r.Stats()
 		if err := r.Close(context.Background()); err != nil && loopErr == nil {
 			loopErr = err
@@ -204,6 +215,7 @@ func federationBench(out io.Writer, cfg fedBenchConfig) error {
 		res.GrantsPerSec = float64(counts.admitted) / elapsed.Seconds()
 		res.Schedulability = counts.schedulability()
 		res.Imbalance = s.Imbalance
+		res.Admit = rec.dist()
 		perPlane := make([]string, len(s.Planes))
 		for j, ps := range s.Planes {
 			res.PerPlane = append(res.PerPlane, planeGrants{Name: ps.Name, Grants: ps.Grants})
@@ -215,7 +227,8 @@ func federationBench(out io.Writer, cfg fedBenchConfig) error {
 		}
 		fmt.Fprintf(out, "  planes=%d policy=%-12s grants/sec %8.0f  schedulability %.3f  failovers %d\n",
 			res.Planes, res.Policy, res.GrantsPerSec, res.Schedulability, res.Failovers)
-		fmt.Fprintf(out, "    per-plane grants %s  imbalance %s\n", strings.Join(perPlane, " "), imb)
+		fmt.Fprintf(out, "    per-plane grants %s  imbalance %s  admit us p50=%.1f p99=%.1f\n",
+			strings.Join(perPlane, " "), imb, res.Admit.AdmitP50us, res.Admit.AdmitP99us)
 	}
 	if cfg.JSONPath != "" {
 		f, err := os.Create(cfg.JSONPath)

@@ -77,6 +77,7 @@ type grayArm struct {
 	HeldTrunkFraction   float64 `json:"held_trunk_fraction"`
 	ChurnPerEpoch       float64 `json:"churn_per_epoch"`
 	ElapsedSec          float64 `json:"elapsed_sec"`
+	admitDist
 }
 
 // grayPoint is one flaky rate with both arms.
@@ -213,7 +214,7 @@ func grayRun(cfg grayBenchConfig, p float64, seed int64, reuse int) (grayArm, er
 	if err != nil {
 		return grayArm{}, err
 	}
-	fab, err := fabric.New(fabric.Config{
+	fcfg := fabric.Config{
 		Tree: tree, BatchSize: cfg.Batch, MaxWait: cfg.MaxWait,
 		AdmitTimeout:        cfg.Timeout,
 		Incremental:         true,
@@ -221,7 +222,9 @@ func grayRun(cfg grayBenchConfig, p float64, seed int64, reuse int) (grayArm, er
 		FlapThreshold:       cfg.Threshold(),
 		QuarantineProbation: cfg.Probation,
 		RepairBudget:        fabric.Budget{Rate: cfg.BudgetRate, Burst: cfg.BudgetBurst},
-	})
+	}
+	cfg.Pipeline.apply(&fcfg)
+	fab, err := fabric.New(fcfg)
 	if err != nil {
 		return grayArm{}, err
 	}
@@ -257,7 +260,8 @@ func grayRun(cfg grayBenchConfig, p float64, seed int64, reuse int) (grayArm, er
 		}()
 	}
 
-	counts, elapsed, loopErr := closedLoop(fab, tree, cfg.fabricBenchConfig, true)
+	rec := newLatRecorder(cfg.Clients)
+	counts, elapsed, loopErr := closedLoop(fab, tree, cfg.fabricBenchConfig, true, rec)
 	close(stop)
 	injWg.Wait()
 	if loopErr != nil {
@@ -311,6 +315,7 @@ func grayRun(cfg grayBenchConfig, p float64, seed int64, reuse int) (grayArm, er
 		RepairedOnHeldTrunk: s.RepairedOnHeldTrunk,
 		ChurnPerEpoch:       float64(s.TornRoutes) / float64(max64(s.Epochs, 1)),
 		ElapsedSec:          total.Seconds(),
+		admitDist:           rec.dist(),
 	}
 	if s.Repaired > 0 {
 		arm.HeldTrunkFraction = float64(s.RepairedOnHeldTrunk) / float64(s.Repaired)

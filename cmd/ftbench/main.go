@@ -103,9 +103,22 @@ func main() {
 	grayBudget := flag.Float64("gray-budget", 200, "gray: repair retry budget tokens per second")
 	grayBurst := flag.Int("gray-burst", 64, "gray: repair retry budget burst")
 	grayJSON := flag.String("gray-json", "", "gray: also write the sweep results as JSON to this file")
+	admitMode := flag.Bool("admit", false, "run the admission-pipeline sweep: admission latency p50/p95/p99 and allocs/op over epoch sizes × client counts")
+	admitEpochs := flag.String("admit-epochs", "1,8,64", "admit sweep: comma-separated epoch flush thresholds")
+	admitClients := flag.String("admit-clients", "1,16,64", "admit sweep: comma-separated closed-loop client counts")
+	admitJSON := flag.String("admit-json", "", "admit sweep: also write the results as JSON to this file")
+	fabricDelivery := flag.Int("fabric-delivery-pipeline", 0, "fabric: delivery-pipeline spare buffers (0 = default on, negative = synchronous delivery on the flusher)")
+	fabricDrainWorker := flag.Bool("fabric-drain-worker", false, "fabric: dedicated release-ring drain goroutine")
+	fabricStatsSnapshots := flag.Bool("fabric-stats-snapshots", false, "fabric: serve Stats from lock-free seqlock snapshots")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile of the whole run to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile (post-GC, at exit) to this file")
 	flag.Parse()
+
+	pipeline := admitPipelineConfig{
+		DeliveryPipeline: *fabricDelivery,
+		DrainWorker:      *fabricDrainWorker,
+		StatsSnapshots:   *fabricStatsSnapshots,
+	}
 
 	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
 	if err != nil {
@@ -126,6 +139,7 @@ func main() {
 				Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
 				MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
 				Timeout: *fabricTimeout, Scheduler: *fabricSched,
+				Pipeline: pipeline,
 			},
 			ConfigPath: *planesConfig,
 			JSONPath:   *planesJSON,
@@ -166,13 +180,34 @@ func main() {
 					Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
 					Clients: *fabricClients, Batch: *fabricBatch, Open: *fabricOpen,
 					MaxWait: *fabricMaxWait, Duration: *fabricDuration, Seed: *seed,
-					Timeout: *fabricTimeout,
+					Timeout:  *fabricTimeout,
+					Pipeline: pipeline,
 				},
 				Rates: rates, Duty: *grayDuty, Step: *grayStep, Reuse: *grayReuse,
 				FlapThreshold: *grayThreshold, Probation: *grayProbation,
 				BudgetRate: *grayBudget, BudgetBurst: *grayBurst,
 				JSONPath: *grayJSON,
 			})
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
+			exit(1)
+		}
+		exit(0)
+	}
+
+	if *admitMode {
+		var epochs, clients []int
+		if epochs, err = parseIntList(*admitEpochs); err == nil {
+			if clients, err = parseIntList(*admitClients); err == nil {
+				err = admitBench(os.Stdout, admitBenchConfig{
+					Levels: *fabricLevels, Children: *fabricChildren, Parents: *fabricParents,
+					EpochSizes: epochs, ClientCounts: clients,
+					Open: *fabricOpen, MaxWait: *fabricMaxWait,
+					Duration: *fabricDuration, Timeout: *fabricTimeout,
+					Seed: *seed, Pipeline: pipeline, JSONPath: *admitJSON,
+				})
+			}
 		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "ftbench: %v\n", err)
@@ -190,6 +225,7 @@ func main() {
 			Scheduler: *fabricSched,
 			Parallel:  *fabricParallel, Workers: *fabricWorkers, Racy: *fabricRacy,
 			Mode: *fabricParMode, Steal: *fabricSteal,
+			Pipeline: pipeline,
 		}
 		if *chaosMode {
 			var rates []float64

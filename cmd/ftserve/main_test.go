@@ -573,7 +573,7 @@ func TestFaultEndpointValidation(t *testing.T) {
 // TestBuildConfig pins the flag-vs-file resolution buildConfig performs
 // for main.
 func TestBuildConfig(t *testing.T) {
-	cfg, err := buildConfig("", 3, "least-loaded", 2, 4, 2, 8, time.Millisecond, 64, 0, "level-wise,rollback", grayFlags{})
+	cfg, err := buildConfig("", 3, "least-loaded", 2, 4, 2, 8, time.Millisecond, 64, 0, "level-wise,rollback", grayFlags{}, pipelineFlags{})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -586,13 +586,13 @@ func TestBuildConfig(t *testing.T) {
 	if cfg.Planes[2].Fabric.BatchSize != 8 || cfg.Planes[2].Fabric.MaxWait != time.Millisecond {
 		t.Errorf("plane knobs %+v", cfg.Planes[2].Fabric)
 	}
-	if _, err := buildConfig("", 0, "hash", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}); err == nil {
+	if _, err := buildConfig("", 0, "hash", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}, pipelineFlags{}); err == nil {
 		t.Error("0 planes accepted")
 	}
-	if _, err := buildConfig("", 1, "fastest", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}); err == nil {
+	if _, err := buildConfig("", 1, "fastest", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}, pipelineFlags{}); err == nil {
 		t.Error("bad policy accepted")
 	}
-	if _, err := buildConfig("/does/not/exist.json", 1, "hash", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}); err == nil {
+	if _, err := buildConfig("/does/not/exist.json", 1, "hash", 2, 2, 2, 1, 0, 0, 0, "", grayFlags{}, pipelineFlags{}); err == nil {
 		t.Error("missing config file accepted")
 	}
 }

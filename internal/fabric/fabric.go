@@ -206,6 +206,30 @@ type Config struct {
 	// backpressure-free: the overflowing Release just takes the
 	// synchronous path.
 	ReleaseRing int
+	// DeliveryPipeline controls the dedicated delivery worker that sends
+	// epoch verdicts to their waiting Connect calls while the flusher
+	// moves straight on to the next epoch. 0 (the default) enables the
+	// worker with one spare staging buffer (double buffering); a positive
+	// value provisions that many spare buffers; a negative value disables
+	// the worker, making verdict delivery synchronous on the flusher
+	// goroutine (the pre-pipeline behavior). Either way a ticket's
+	// verdict is sent exactly once.
+	DeliveryPipeline int
+	// DrainWorker, when true, starts a dedicated goroutine that
+	// continuously retires release-ring entries into a pre-drained
+	// buffer, so the flusher's epoch-boundary drain becomes a buffer
+	// swap instead of an O(ring) walk under the scheduling lock.
+	// Requires the release ring (error when ReleaseRing is negative).
+	DrainWorker bool
+	// StatsSnapshots, when true, serves Stats from an epoch-versioned
+	// lock-free snapshot (seqlock) the flusher republishes after every
+	// epoch, so monitoring never takes the scheduling lock and never
+	// stalls a scheduling pass. A snapshot read does not force a settle:
+	// parked releases and staged departures are reflected no later than
+	// the next epoch (the read nudges the flusher). Default off: the
+	// locked Stats path settles the fabric before reading, a
+	// read-your-writes view some callers depend on.
+	StatsSnapshots bool
 	// RepairBudget globally rate-limits repair retries with a token
 	// bucket (see gray.go): every re-enqueue after a denied repair
 	// attempt draws one token, and an empty bucket defers the retry
@@ -317,6 +341,15 @@ type delivery struct {
 	r result
 }
 
+// delbatch carries one epoch's staged verdicts from the goroutine that
+// ran the epoch to whoever delivers them (the delivery worker, or the
+// epoch runner itself). Batches come from Manager.delPool and return
+// there once delivered, so epochs and deliveries can overlap without
+// sharing a buffer.
+type delbatch struct {
+	d []delivery
+}
+
 // Handle lifecycle states. A handle is born active; a fault crossing
 // its route revokes it to repairing (its channels returned, a repair
 // ticket queued); a successful re-admission returns it to active on a
@@ -403,11 +436,62 @@ type Manager struct {
 	parInc    sched.Incremental
 	reuseCost int
 
-	slots   chan struct{} // queue-slot semaphore (backpressure)
-	kick    chan struct{} // wakes the flusher (buffered 1, coalescing)
-	closing chan struct{}
-	done    chan struct{} // flusher exited
-	closeMu sync.Once
+	// freeSlots is the queue-slot semaphore (backpressure), kept as an
+	// atomic so the uncontended Connect fast path is one CAS instead of a
+	// channel round-trip. slotsCh is the coalescing wakeup for Connect
+	// calls blocked on a full queue: releaseSlots posts one token after
+	// adding slots, and a woken waiter re-signals while spare slots
+	// remain (the cascade), so one channel op wakes any number of
+	// waiters without a per-slot send.
+	freeSlots atomic.Int64
+	slotsCh   chan struct{} // cap 1, coalescing
+	kick      chan struct{} // wakes the flusher (buffered 1, coalescing)
+	closing   chan struct{}
+	done      chan struct{} // flusher exited
+	closeMu   sync.Once
+
+	// ticketPool recycles tickets (and their buffered resp channels)
+	// across Connect calls. Only a ticket whose verdict was received is
+	// recycled — the receive happens-after the flusher's send, and the
+	// flusher drops its references when it stages the send — so a pooled
+	// ticket is never still referenced by an epoch. Cancelled tickets
+	// whose CAS beat the epoch are never pooled (the flusher may still
+	// hold them in a drained batch); they retire to the garbage
+	// collector.
+	ticketPool sync.Pool
+
+	// Delivery pipeline (Config.DeliveryPipeline >= 0): whoever runs an
+	// epoch — the flusher, or a connecting goroutine on the inline-flush
+	// fast path — hands the staged verdicts to the delivery worker over
+	// delivCh and moves straight on. Both channels are nil when the
+	// pipeline is disabled. Each epoch's verdicts travel in a *delbatch
+	// owned by exactly one deliverer until it lands back in delPool, so
+	// an epoch can stage into a fresh batch while the previous one is
+	// still being delivered.
+	delivCh   chan *delbatch
+	delivDone chan struct{}
+	delPool   sync.Pool
+
+	// Dedicated drain core (Config.DrainWorker): drmu replaces mu as the
+	// release-ring consumer lock, the worker pops ring entries into
+	// predrained between epochs, and drainReleasesLocked swaps the buffer
+	// out instead of walking the ring under the scheduling lock.
+	// drainSpare ping-pongs with predrained's backing array; drainKick is
+	// the worker's coalescing wakeup. Lock order: mu before drmu; the
+	// worker takes only drmu.
+	drainOn    bool
+	drmu       sync.Mutex
+	predrained []*Handle // guarded by drmu
+	drainSpare []*Handle // guarded by mu
+	drainKick  chan struct{}
+	drainDone  chan struct{}
+
+	// snap is the lock-free Stats snapshot (Config.StatsSnapshots):
+	// sequence-versioned atomics mu holders republish via
+	// publishStatsLocked; readers retry on a version mismatch and never
+	// take mu. See snapshot.go.
+	statsOn bool
+	snap    statsSnap
 
 	// mu is the scheduling lock: it guards st, lastEngine, conns, failed,
 	// the mutable handle fields, and serializes the release-ring consumer
@@ -436,8 +520,9 @@ type Manager struct {
 	// under mu. Lock order: mu before qmu, never the reverse.
 	qmu     sync.Mutex
 	pending []*ticket
-	oldest  time.Time   // enqueue time of pending[0]
-	closed  atomic.Bool // set under qmu; loads may be lock-free
+	oldest  time.Time    // enqueue time of pending[0]
+	closed  atomic.Bool  // set under qmu; loads may be lock-free
+	qdepth  atomic.Int64 // len(pending); written under qmu, read lock-free
 
 	// relRing parks fast-path releases until a mu holder drains them
 	// (epoch flush, Stats, Fail, or a synchronous Release). Nil when
@@ -454,17 +539,19 @@ type Manager struct {
 	depbuf         []core.Departure
 	tornSinceEpoch int
 
-	// Flusher-owned epoch buffers (guarded by mu), reused across flushes
-	// so steady-state epochs allocate only the Handles they grant.
-	// qspare ping-pongs with pending's backing array: each flush swaps
-	// the queue out under qmu and donates the drained batch back.
+	// Epoch scratch buffers (guarded by mu), reused across flushes so
+	// steady-state epochs allocate only the Handles they grant. qspare
+	// ping-pongs with pending's backing array: each flush swaps the
+	// queue out under qmu and donates the drained batch back. Staged
+	// verdicts live in pooled delbatches (delPool), not here — they
+	// outlive the lock.
 	livebuf []*ticket
 	reqbuf  []core.Request
-	delbuf  []delivery
 	qspare  []*ticket
 
 	offered, granted, rejected, cancelled atomic.Uint64
 	released, overflow, epochs            atomic.Uint64
+	drainRefused                          atomic.Uint64
 	seqEpochs, parEpochs                  atomic.Uint64
 	active                                atomic.Int64
 
@@ -632,6 +719,9 @@ func New(cfg Config) (*Manager, error) {
 		par = parsched.New(parsched.Config{Workers: cfg.ParallelWorkers, Mode: mode,
 			Steal: cfg.ParallelSteal, Opts: lw.Opts})
 	}
+	if cfg.DrainWorker && cfg.ReleaseRing < 0 {
+		return nil, errors.New("fabric: DrainWorker requires the release ring (ReleaseRing >= 0)")
+	}
 	m := &Manager{
 		cfg:          cfg,
 		eng:          eng,
@@ -640,7 +730,7 @@ func New(cfg Config) (*Manager, error) {
 		scratch:      core.NewScratch(),
 		inc:          inc,
 		reuseCost:    reuseCost,
-		slots:        make(chan struct{}, cfg.QueueLimit),
+		slotsCh:      make(chan struct{}, 1),
 		kick:         make(chan struct{}, 1),
 		closing:      make(chan struct{}),
 		done:         make(chan struct{}),
@@ -655,7 +745,9 @@ func New(cfg Config) (*Manager, error) {
 		repairLat:    newShardedRing(4096),
 		repairDepth:  newShardedRing(4096),
 		routeChurn:   newShardedRing(4096),
+		statsOn:      cfg.StatsSnapshots,
 	}
+	m.freeSlots.Store(int64(cfg.QueueLimit))
 	if inc != nil && par != nil {
 		m.parInc = par
 	}
@@ -666,6 +758,26 @@ func New(cfg Config) (*Manager, error) {
 	if ringSize > 0 {
 		m.relRing = newReleaseRing(ringSize)
 	}
+	if cfg.DeliveryPipeline >= 0 {
+		spares := cfg.DeliveryPipeline
+		if spares == 0 {
+			spares = 1 // default: double-buffer the staged deliveries
+		}
+		m.delivCh = make(chan *delbatch, spares+1)
+		m.delivDone = make(chan struct{})
+		go m.deliveryWorker()
+	}
+	if cfg.DrainWorker {
+		m.drainOn = true
+		m.drainKick = make(chan struct{}, 1)
+		m.drainDone = make(chan struct{})
+		go m.drainWorker()
+	}
+	if m.statsOn {
+		m.mu.Lock()
+		m.publishStatsLocked()
+		m.mu.Unlock()
+	}
 	go m.flusher()
 	return m, nil
 }
@@ -675,6 +787,10 @@ func New(cfg Config) (*Manager, error) {
 // a *UnroutableError (matching ErrUnroutable) when no conflict-free path
 // existed, ctx.Err() when the context cancels first, ErrAdmitTimeout
 // when Config.AdmitTimeout expires first, or ErrClosed after Close.
+//
+// The enqueue half is allocation-free at steady state: the ticket and
+// its resp channel come from the pool, the slot semaphore is one CAS,
+// and the batch timestamp is taken once per epoch, not per request.
 func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 	n := m.cfg.Tree.Nodes()
 	if src < 0 || src >= n || dst < 0 || dst >= n {
@@ -686,55 +802,38 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 		defer timer.Stop()
 		deadline = timer.C
 	}
-	// Backpressure: a full queue blocks here until a slot frees. A
-	// draining manager refuses with ErrDraining so callers can tell
-	// shutdown from a momentarily full queue.
-	select {
-	case m.slots <- struct{}{}:
-	case <-ctx.Done():
-		m.overflow.Add(1)
-		return nil, ctx.Err()
-	case <-deadline:
-		m.overflow.Add(1)
-		return nil, ErrAdmitTimeout
-	case <-m.closing:
-		m.overflow.Add(1)
+	if err := m.acquireSlot(ctx, deadline); err != nil {
+		return nil, err
+	}
+	t := m.getTicket(src, dst)
+	ok, flush := m.enqueue(t)
+	if !ok {
+		// Close won the race between the slot acquire and the enqueue:
+		// return the slot, recycle the ticket (no epoch ever saw it), and
+		// refuse as a drain — this is shutdown, not backpressure, so it
+		// counts under DrainRefused rather than Overflow.
+		m.releaseSlots(1)
+		m.drainRefused.Add(1)
+		m.putTicket(t)
 		return nil, ErrDraining
 	}
-	t := &ticket{
-		req:  core.Request{Src: src, Dst: dst},
-		enq:  time.Now(),
-		resp: make(chan result, 1),
-	}
-	// The enqueue touches only the queue lock, never the scheduling
-	// lock: an epoch in flight does not block admission.
-	m.qmu.Lock()
-	if m.closed.Load() {
-		m.qmu.Unlock()
-		<-m.slots
-		m.overflow.Add(1)
-		return nil, ErrDraining
-	}
-	if len(m.pending) == 0 {
-		m.oldest = t.enq
-	}
-	m.pending = append(m.pending, t)
-	m.offered.Add(1)
-	wake := len(m.pending) == 1 || len(m.pending) >= m.cfg.BatchSize
-	m.qmu.Unlock()
-	if wake {
-		m.wake()
+	if flush {
+		m.tryFlushInline()
 	}
 
 	select {
 	case r := <-t.resp:
+		m.putTicket(t)
 		return r.h, r.err
 	case <-ctx.Done():
 		if t.state.CompareAndSwap(ticketWaiting, ticketCancelled) {
+			// The epoch will drop this ticket when it sees the CAS; it
+			// must NOT be pooled — the flusher may still hold it.
 			m.cancelled.Add(1)
 			return nil, ctx.Err()
 		}
 		r := <-t.resp // an epoch already claimed the ticket; honor its verdict
+		m.putTicket(t)
 		return r.h, r.err
 	case <-deadline:
 		if t.state.CompareAndSwap(ticketWaiting, ticketCancelled) {
@@ -742,8 +841,147 @@ func (m *Manager) Connect(ctx context.Context, src, dst int) (*Handle, error) {
 			return nil, ErrAdmitTimeout
 		}
 		r := <-t.resp
+		m.putTicket(t)
 		return r.h, r.err
 	}
+}
+
+// acquireSlot takes one queue slot, blocking (backpressure) while the
+// queue is full. A draining manager refuses with ErrDraining so callers
+// can tell shutdown from a momentarily full queue. The uncontended path
+// is one CAS; waiters park on the coalescing slotsCh token.
+func (m *Manager) acquireSlot(ctx context.Context, deadline <-chan time.Time) error {
+	for {
+		if n := m.freeSlots.Load(); n > 0 {
+			if m.freeSlots.CompareAndSwap(n, n-1) {
+				return nil
+			}
+			continue // raced another acquirer; retry
+		}
+		select {
+		case <-m.slotsCh:
+			// Cascade: if the release that woke us freed more than the
+			// slot we are about to claim, pass the token on so every
+			// waiter the batch can serve wakes in turn.
+			if m.freeSlots.Load() > 1 {
+				m.signalSlots()
+			}
+		case <-ctx.Done():
+			m.overflow.Add(1)
+			return ctx.Err()
+		case <-deadline:
+			m.overflow.Add(1)
+			return ErrAdmitTimeout
+		case <-m.closing:
+			m.drainRefused.Add(1)
+			return ErrDraining
+		}
+	}
+}
+
+// releaseSlots returns n queue slots and posts one wakeup token; woken
+// waiters cascade the token while spare slots remain, so a whole epoch's
+// worth of slots comes back with a single channel operation.
+func (m *Manager) releaseSlots(n int) {
+	if n <= 0 {
+		return
+	}
+	m.freeSlots.Add(int64(n))
+	m.signalSlots()
+}
+
+// signalSlots posts the (coalescing) slot-wakeup token.
+func (m *Manager) signalSlots() {
+	select {
+	case m.slotsCh <- struct{}{}:
+	default:
+	}
+}
+
+// getTicket returns a pooled (or fresh) client ticket, reset to the
+// waiting state with its buffered resp channel ready.
+func (m *Manager) getTicket(src, dst int) *ticket {
+	t, _ := m.ticketPool.Get().(*ticket)
+	if t == nil {
+		t = &ticket{resp: make(chan result, 1)}
+	}
+	t.req = core.Request{Src: src, Dst: dst}
+	t.state.Store(ticketWaiting)
+	return t
+}
+
+// putTicket recycles a ticket whose verdict was received (or that never
+// entered the queue). The caller must be past the resp receive — that
+// receive happens-after the flusher's send, which is the last epoch-side
+// touch — so the pool never holds a ticket an epoch still references.
+func (m *Manager) putTicket(t *ticket) {
+	t.req = core.Request{}
+	m.ticketPool.Put(t)
+}
+
+// enqueue appends the ticket to the admission queue, reporting ok=false
+// if the manager is draining and flush=true when the append reached the
+// epoch threshold (the caller then tries the inline flush). One
+// time.Now per batch: the first ticket of an epoch stamps m.oldest and
+// later tickets inherit it — the flush timer and the epoch-latency
+// sample both measure from the batch start, exactly as before, without
+// a clock read per request. A first ticket below the threshold wakes
+// the flusher to arm the MaxWait timer.
+func (m *Manager) enqueue(t *ticket) (ok, flush bool) {
+	m.qmu.Lock()
+	if m.closed.Load() {
+		m.qmu.Unlock()
+		return false, false
+	}
+	if len(m.pending) == 0 {
+		m.oldest = time.Now()
+	}
+	t.enq = m.oldest
+	m.pending = append(m.pending, t)
+	n := len(m.pending)
+	m.qdepth.Store(int64(n))
+	m.offered.Add(1)
+	m.qmu.Unlock()
+	if n >= m.cfg.BatchSize {
+		return true, true
+	}
+	if n == 1 {
+		m.wake()
+	}
+	return true, false
+}
+
+// tryFlushInline is the epoch-completion fast path: the goroutine whose
+// enqueue filled the batch runs the flush itself when the epoch lock is
+// free, instead of waking the flusher and paying two goroutine switches
+// per round trip (the dominant cost at small epoch sizes). If the lock
+// is held — an epoch in flight, a fault walk, a Stats settle — the
+// flusher is woken as before; it re-checks the queue on every pass, so
+// the batch is never stranded. The queue depth is re-checked under the
+// lock: a concurrent flush may have already taken this goroutine's
+// ticket, and flushing a fresh sub-threshold batch early would erode
+// batching for no latency win.
+//
+// The inline path always delivers its own batch rather than staging it
+// on the delivery pipeline: the caller's verdict is in the batch, so a
+// hand-off would park this goroutine just to have the worker wake it
+// again — delivering directly fills the caller's buffered resp channel
+// with no switch at all, and the other waiters wake exactly as fast as
+// the worker would have woken them. The pipeline still overlaps
+// delivery for flusher-driven (MaxWait) epochs.
+func (m *Manager) tryFlushInline() {
+	if !m.mu.TryLock() {
+		m.wake()
+		return
+	}
+	if int(m.qdepth.Load()) < m.cfg.BatchSize {
+		m.mu.Unlock()
+		return
+	}
+	m.drainReleasesLocked()
+	b := m.flushLocked()
+	m.mu.Unlock()
+	m.deliver(b)
 }
 
 // Release returns a granted connection's channels to the fabric. It is
@@ -779,6 +1017,13 @@ func (m *Manager) Release(h *Handle) error {
 	// manager may have no flusher left to drain for it, and a full or
 	// disabled ring degrades to the lock rather than blocking.
 	if m.relRing != nil && h.state.Load() == handleActive && !m.closed.Load() && m.relRing.push(h) {
+		if m.drainOn {
+			// Nudge the drain core; the buffered channel coalesces bursts.
+			select {
+			case m.drainKick <- struct{}{}:
+			default:
+			}
+		}
 		return nil
 	}
 	return m.releaseSlow(h)
@@ -800,6 +1045,7 @@ func (m *Manager) releaseSlow(h *Handle) error {
 		m.finishReleaseLocked(h)
 	}
 	m.applyDeparturesLocked()
+	m.publishStatsLocked()
 	m.mu.Unlock()
 	return err
 }
@@ -810,6 +1056,32 @@ func (m *Manager) releaseSlow(h *Handle) error {
 // the fast path are available to the pass that follows.
 func (m *Manager) drainReleasesLocked() {
 	if m.relRing == nil {
+		return
+	}
+	if m.drainOn {
+		// Dedicated drain core: the worker already moved parked handles
+		// into predrained, so the flush-time cost is a buffer swap plus
+		// whatever residue the worker has not reached yet. drmu is held
+		// only for the swap and the residual pop — the bookkeeping below
+		// runs under mu alone, off the worker's lock.
+		m.drmu.Lock()
+		pre := m.predrained
+		m.predrained = m.drainSpare[:0]
+		for {
+			h := m.relRing.pop()
+			if h == nil {
+				break
+			}
+			pre = append(pre, h)
+		}
+		m.drmu.Unlock()
+		for _, h := range pre {
+			m.finishReleaseLocked(h)
+		}
+		for i := range pre {
+			pre[i] = nil
+		}
+		m.drainSpare = pre[:0]
 		return
 	}
 	for {
@@ -930,10 +1202,20 @@ func (m *Manager) Close(ctx context.Context) error {
 		// parked a handle after that final drain; sweep those up (and, in
 		// incremental mode, apply the staged departures — no flusher is
 		// left to run a delta epoch) so the fabric is fully drained when
-		// Close returns.
+		// Close returns. The drain worker must be gone first: waiting on
+		// drainDone means no handle can move ring→predrained after this
+		// final sweep, which would otherwise strand it.
+		if m.drainDone != nil {
+			select {
+			case <-m.drainDone:
+			case <-ctx.Done():
+				return ctx.Err()
+			}
+		}
 		m.mu.Lock()
 		m.drainReleasesLocked()
 		m.applyDeparturesLocked()
+		m.publishStatsLocked()
 		m.mu.Unlock()
 		return nil
 	case <-ctx.Done():
@@ -951,7 +1233,17 @@ func (m *Manager) wake() {
 
 // flusher is the single goroutine that runs epochs against the state.
 func (m *Manager) flusher() {
-	defer close(m.done)
+	defer func() {
+		// Stop the delivery worker before announcing exit: Close's drain
+		// guarantee ("queued requests answered") must cover verdicts still
+		// in the pipeline, so m.done only closes after the worker has
+		// flushed everything handed to it.
+		if m.delivCh != nil {
+			close(m.delivCh)
+			<-m.delivDone
+		}
+		close(m.done)
+	}()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
@@ -965,16 +1257,20 @@ func (m *Manager) flusher() {
 		// enqueue and Fail/requeue's repair-ticket appends.
 		m.mu.Lock()
 		m.drainReleasesLocked()
-		m.settleQuarantineLocked(time.Now())
+		if len(m.quar) > 0 { // guard: skip the clock read on the common path
+			m.settleQuarantineLocked(time.Now())
+		}
 		m.qmu.Lock()
 		n := len(m.pending)
 		oldest := m.oldest
 		closed := m.closed.Load()
 		m.qmu.Unlock()
 		if n > 0 && (closed || n >= m.cfg.BatchSize || time.Since(oldest) >= m.cfg.MaxWait) {
-			dels := m.flushLocked()
+			dels, handed := m.stageFlushLocked()
 			m.mu.Unlock()
-			m.deliver(dels)
+			if !handed {
+				m.deliver(dels)
+			}
 			continue
 		}
 		var wait time.Duration
@@ -1014,14 +1310,16 @@ func (m *Manager) flusher() {
 // requests run on the parallel engine (its workers claim channels through
 // the atomic linkstate operations); smaller epochs take the
 // allocation-free sequential path through the manager's reusable Scratch.
-// The returned deliveries (aliasing m.delbuf) must be sent by the caller
-// after unlocking.
-func (m *Manager) flushLocked() []delivery {
+// The returned batch (from delPool; nil when the flush was empty) must
+// be delivered by the caller after unlocking — or handed to the
+// delivery worker, which is what stageFlushLocked does.
+func (m *Manager) flushLocked() *delbatch {
 	// Swap the queue out under qmu: Connect keeps enqueueing into the
 	// spare array while this epoch schedules under mu.
 	m.qmu.Lock()
 	batch := m.pending
 	m.pending = m.qspare[:0]
+	m.qdepth.Store(0)
 	m.qmu.Unlock()
 	live := m.livebuf[:0]
 	for _, t := range batch {
@@ -1041,11 +1339,13 @@ func (m *Manager) flushLocked() []delivery {
 			m.cfg.Trace(Event{Kind: EventCancel, Src: t.req.Src, Dst: t.req.Dst, FailLevel: -1})
 		}
 	}
+	freed := 0
 	for _, t := range batch {
 		if t.h == nil {
-			<-m.slots // every departed client ticket frees its queue slot
+			freed++ // every departed client ticket frees its queue slot
 		}
 	}
+	m.releaseSlots(freed) // one atomic add + one wakeup for the whole batch
 	// Ping-pong the backing arrays: the drained batch becomes the next
 	// flush's spare. Tickets travel on via live and the staged
 	// deliveries; clear the refs so the spare retains nothing.
@@ -1061,6 +1361,7 @@ func (m *Manager) flushLocked() []delivery {
 		// departure-only) pass is not a scheduling epoch, and counting it
 		// would drag EpochSize/EpochLatencyMS toward zero.
 		m.applyDeparturesLocked()
+		m.publishStatsLocked()
 		return nil
 	}
 	reqs := m.reqbuf[:0]
@@ -1099,7 +1400,11 @@ func (m *Manager) flushLocked() []delivery {
 
 	epoch := m.epochs.Add(1)
 	established := 0
-	dels := m.delbuf[:0]
+	b, _ := m.delPool.Get().(*delbatch)
+	if b == nil {
+		b = &delbatch{}
+	}
+	dels := b.d[:0]
 	for i := range res.Outcomes {
 		o := &res.Outcomes[i]
 		if o.Granted && len(o.Ports) > 0 {
@@ -1134,7 +1439,7 @@ func (m *Manager) flushLocked() []delivery {
 		}
 		dels = append(dels, delivery{t: live[i], r: result{err: &UnroutableError{Src: o.Src, Dst: o.Dst, FailLevel: o.FailLevel}}})
 	}
-	m.delbuf = dels
+	b.d = dels
 	latMS := float64(time.Since(live[0].enq)) / float64(time.Millisecond)
 	m.epochSize.add(float64(len(live)))
 	m.epochLat.add(latMS)
@@ -1152,17 +1457,85 @@ func (m *Manager) flushLocked() []delivery {
 		live[i] = nil
 	}
 	m.livebuf = live[:0]
-	return dels
+	m.publishStatsLocked()
+	return b
 }
 
 // deliver sends staged verdicts to their waiting Connect calls, outside
 // the manager lock; the buffered resp channels make every send
-// non-blocking. Entries are cleared so the reused buffer does not retain
-// tickets past the epoch.
-func (m *Manager) deliver(dels []delivery) {
-	for i := range dels {
-		dels[i].t.resp <- dels[i].r
-		dels[i] = delivery{}
+// non-blocking. Entries are cleared so the pooled batch does not retain
+// tickets past the epoch, then the batch returns to delPool.
+func (m *Manager) deliver(b *delbatch) {
+	if b == nil {
+		return
+	}
+	for i := range b.d {
+		b.d[i].t.resp <- b.d[i].r
+		b.d[i] = delivery{}
+	}
+	b.d = b.d[:0]
+	m.delPool.Put(b)
+}
+
+// stageFlushLocked runs one epoch and routes the staged verdicts.
+// Caller holds m.mu. With the delivery pipeline on, the batch is handed
+// to the delivery worker and the caller moves straight on — scheduling
+// of epoch N+1 overlaps verdict wakeups of epoch N. The hand-off is
+// nonblocking and strictly XOR with caller delivery: each pooled batch
+// is owned by exactly one deliverer from flush to delPool.Put, so every
+// verdict is still sent exactly once. A full pipeline falls back to
+// returning the batch for the caller to deliver after unlocking:
+// back-to-back epochs degrade to the synchronous behavior, never stall.
+// Returns (batch, false) when the caller must deliver, (nil, true) when
+// the worker took it.
+func (m *Manager) stageFlushLocked() (*delbatch, bool) {
+	b := m.flushLocked()
+	if m.delivCh == nil || b == nil || len(b.d) == 0 {
+		return b, false
+	}
+	select {
+	case m.delivCh <- b:
+		return nil, true
+	default:
+		return b, false
+	}
+}
+
+// deliveryWorker drains staged epochs off the pipeline and wakes their
+// waiting Connect calls. Spent batches return to delPool inside
+// deliver. Exits when the flusher closes delivCh at shutdown, after
+// delivering everything already staged.
+func (m *Manager) deliveryWorker() {
+	defer close(m.delivDone)
+	for b := range m.delivCh {
+		m.deliver(b)
+	}
+}
+
+// drainWorker continuously retires release-ring entries into the
+// pre-drained buffer so epoch flushes pay a pointer swap instead of a
+// ring walk. It is the ring's consumer while enabled — drmu, not m.mu,
+// is the consumer lock (flushes take drmu inside mu; the worker never
+// takes mu, so the mu→drmu order is deadlock-free). Exits on Close;
+// Close waits for drainDone before its final drain so no handle is
+// stranded in predrained.
+func (m *Manager) drainWorker() {
+	defer close(m.drainDone)
+	for {
+		select {
+		case <-m.drainKick:
+		case <-m.closing:
+			return
+		}
+		m.drmu.Lock()
+		for {
+			h := m.relRing.pop()
+			if h == nil {
+				break
+			}
+			m.predrained = append(m.predrained, h)
+		}
+		m.drmu.Unlock()
 	}
 }
 

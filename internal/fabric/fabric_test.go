@@ -290,7 +290,7 @@ func TestBackpressureOverflow(t *testing.T) {
 		_, err := m.Connect(context.Background(), 1, 6)
 		errc <- err
 	}()
-	waitFor(t, func() bool { return len(m.slots) == 1 })
+	waitFor(t, func() bool { return m.freeSlots.Load() == 0 })
 	// C: no slot available and the flusher is stuck — backpressure until
 	// the context deadline.
 	ctx, cancel := context.WithTimeout(context.Background(), 25*time.Millisecond)

@@ -81,6 +81,7 @@ func (m *Manager) Fail(fs *faults.FaultSet) (failed, revoked int, err error) {
 			}
 		}
 	}
+	m.publishStatsLocked()
 	m.mu.Unlock()
 	if revoked > 0 {
 		m.wake() // repair tickets are waiting for the next epoch
@@ -129,6 +130,7 @@ func (m *Manager) Repair(fs *faults.FaultSet) (int, error) {
 		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
 		repaired++
 	}
+	m.publishStatsLocked()
 	m.mu.Unlock()
 	if repaired > 0 {
 		m.wake()
@@ -152,6 +154,7 @@ func (m *Manager) RepairAll() int {
 		m.st.RepairLink(c.Dir, c.Level, c.Switch, c.Port)
 		repaired++
 	}
+	m.publishStatsLocked()
 	m.mu.Unlock()
 	if repaired > 0 {
 		m.wake()
@@ -251,6 +254,7 @@ func (m *Manager) revokeLocked(h *Handle) {
 		m.oldest = t.enq
 	}
 	m.pending = append(m.pending, t)
+	m.qdepth.Store(int64(len(m.pending)))
 	m.qmu.Unlock()
 }
 
@@ -349,6 +353,7 @@ func (m *Manager) requeueRepair(t *ticket) {
 		m.oldest = t.enq
 	}
 	m.pending = append(m.pending, t)
+	m.qdepth.Store(int64(len(m.pending)))
 	m.qmu.Unlock()
 	m.mu.Unlock()
 	m.wake()

@@ -1,0 +1,414 @@
+package fabric
+
+// Tests for the low-latency admission pipeline: the pooled-ticket
+// zero-allocation guarantee on the Connect enqueue path, release-ring
+// wraparound and exactly-once drain, ticket cancellation racing the
+// pool, the delivery and drain workers, and the seqlock Stats snapshot.
+// ci runs this package under -race -count=2, which is where the
+// concurrency assertions bite.
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/topology"
+)
+
+// TestConnectEnqueueZeroAllocs is the regression guard for the pooled
+// admission path: one acquire + pooled ticket + enqueue must not
+// allocate at steady state. The flusher is parked (huge BatchSize,
+// hour MaxWait), so the test plays the epoch's part by hand: swap the
+// queue out, claim the ticket, return the slot, recycle — exactly the
+// bookkeeping flushLocked and the Connect receive path perform, minus
+// scheduling (which allocates the Handle and is not the enqueue path).
+func TestConnectEnqueueZeroAllocs(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	m, err := New(Config{Tree: tree, BatchSize: 1 << 20, MaxWait: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer m.Close(context.Background())
+	ctx := context.Background()
+	allocs := testing.AllocsPerRun(1000, func() {
+		if err := m.acquireSlot(ctx, nil); err != nil {
+			t.Fatal(err)
+		}
+		tk := m.getTicket(0, 5)
+		if ok, _ := m.enqueue(tk); !ok {
+			t.Fatal("enqueue refused on an open manager")
+		}
+		m.qmu.Lock()
+		m.pending = m.pending[:0]
+		m.qdepth.Store(0)
+		m.qmu.Unlock()
+		m.releaseSlots(1)
+		if !tk.state.CompareAndSwap(ticketWaiting, ticketClaimed) {
+			t.Fatal("ticket not in waiting state")
+		}
+		m.putTicket(tk)
+	})
+	if allocs != 0 {
+		t.Errorf("Connect enqueue path allocates %.1f objects/op, want 0", allocs)
+	}
+}
+
+// TestReleaseRingWraparoundFull drives the ring through several full
+// laps: a full ring must refuse the push (the caller degrades to the
+// synchronous release path) and the mask arithmetic must stay correct
+// as head and tail wrap.
+func TestReleaseRingWraparoundFull(t *testing.T) {
+	const capacity = 4
+	r := newReleaseRing(capacity)
+	hs := make([]*Handle, capacity+1)
+	for i := range hs {
+		hs[i] = &Handle{}
+	}
+	for lap := 0; lap < 5; lap++ {
+		for i := 0; i < capacity; i++ {
+			if !r.push(hs[i]) {
+				t.Fatalf("lap %d: push %d refused on a non-full ring", lap, i)
+			}
+		}
+		if r.push(hs[capacity]) {
+			t.Fatalf("lap %d: push accepted on a full ring", lap)
+		}
+		for i := 0; i < capacity; i++ {
+			if got := r.pop(); got != hs[i] {
+				t.Fatalf("lap %d: pop %d = %p, want %p (FIFO)", lap, i, got, hs[i])
+			}
+		}
+		if got := r.pop(); got != nil {
+			t.Fatalf("lap %d: pop on empty ring = %p, want nil", lap, got)
+		}
+	}
+}
+
+// TestReleaseRingConcurrentExactlyOnce hammers the ring with concurrent
+// producers while a single consumer (holding its own lock, as drmu does
+// under DrainWorker) drains it, and checks every handle comes out
+// exactly once. Producers whose push finds the ring full retry — the
+// manager's fallback is releaseSlow, but for the ring invariant what
+// matters is that no accepted handle is ever lost or duplicated.
+func TestReleaseRingConcurrentExactlyOnce(t *testing.T) {
+	const (
+		producers = 8
+		perProd   = 500
+	)
+	r := newReleaseRing(16)
+	var wg sync.WaitGroup
+	for p := 0; p < producers; p++ {
+		wg.Add(1)
+		go func(p int) {
+			defer wg.Done()
+			for i := 0; i < perProd; i++ {
+				h := &Handle{src: p, dst: i}
+				for !r.push(h) {
+					time.Sleep(time.Microsecond) // full: wait for the consumer
+				}
+			}
+		}(p)
+	}
+	var cmu sync.Mutex // the consumer lock, as drmu is under DrainWorker
+	seen := make(map[*Handle]int)
+	popped := 0
+	for popped < producers*perProd {
+		cmu.Lock()
+		h := r.pop()
+		cmu.Unlock()
+		if h == nil {
+			time.Sleep(time.Microsecond)
+			continue
+		}
+		seen[h]++
+		popped++
+	}
+	wg.Wait()
+	if got := r.pop(); got != nil {
+		t.Fatalf("ring not empty after draining all pushes: %p", got)
+	}
+	for h, n := range seen {
+		if n != 1 {
+			t.Fatalf("handle %d→%d drained %d times, want exactly once", h.src, h.dst, n)
+		}
+	}
+	if len(seen) != producers*perProd {
+		t.Fatalf("drained %d distinct handles, want %d", len(seen), producers*perProd)
+	}
+}
+
+// TestCancelRacesPooledTickets stresses context cancellation against
+// epoch claims now that tickets are pooled: a ticket the epoch's CAS
+// claimed must have its verdict honored even if the context fired, and
+// a cancel-won ticket must never be recycled while the flusher might
+// still touch it. The counter identity and the race detector are the
+// assertions; ci runs this with -race -count=2.
+func TestCancelRacesPooledTickets(t *testing.T) {
+	tree := topology.MustNew(3, 4, 4)
+	m, err := New(Config{Tree: tree, BatchSize: 8, MaxWait: 100 * time.Microsecond})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const clients = 16
+	var wg sync.WaitGroup
+	errs := make([]error, clients)
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			nodes := tree.Nodes()
+			for i := 0; i < 300; i++ {
+				// A timeout in the same band as MaxWait lands cancellations
+				// on both sides of the epoch's claim.
+				ctx, cancel := context.WithTimeout(context.Background(), time.Duration(rng.Intn(150))*time.Microsecond)
+				h, err := m.Connect(ctx, rng.Intn(nodes), rng.Intn(nodes))
+				cancel()
+				switch {
+				case err == nil:
+					if err := m.Release(h); err != nil {
+						errs[id] = fmt.Errorf("release: %w", err)
+						return
+					}
+				case errors.Is(err, ErrUnroutable), errors.Is(err, context.DeadlineExceeded), errors.Is(err, ErrAdmitTimeout):
+				default:
+					errs[id] = fmt.Errorf("connect: %w", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Offered != s.Granted+s.Rejected+s.Cancelled {
+		t.Errorf("counter identity violated: offered %d != granted %d + rejected %d + cancelled %d",
+			s.Offered, s.Granted, s.Rejected, s.Cancelled)
+	}
+	if s.Active != 0 {
+		t.Errorf("active = %d after full release, want 0", s.Active)
+	}
+}
+
+// TestDeliveryPipelineModes runs the same workload with the delivery
+// worker disabled, default (double-buffered), and deep: every mode must
+// deliver every verdict exactly once — each Connect returns exactly one
+// grant or error, and the counters add up.
+func TestDeliveryPipelineModes(t *testing.T) {
+	for _, pipeline := range []int{-1, 0, 3} {
+		t.Run(fmt.Sprintf("pipeline=%d", pipeline), func(t *testing.T) {
+			tree := topology.MustNew(2, 4, 4)
+			m, err := New(Config{Tree: tree, BatchSize: 4, MaxWait: 100 * time.Microsecond, DeliveryPipeline: pipeline})
+			if err != nil {
+				t.Fatal(err)
+			}
+			var wg sync.WaitGroup
+			var granted, rejected sync.Map
+			for c := 0; c < 8; c++ {
+				wg.Add(1)
+				go func(id int) {
+					defer wg.Done()
+					rng := rand.New(rand.NewSource(int64(id)))
+					nodes := tree.Nodes()
+					for i := 0; i < 100; i++ {
+						h, err := m.Connect(context.Background(), rng.Intn(nodes), rng.Intn(nodes))
+						if err == nil {
+							granted.Store([2]int{id, i}, struct{}{})
+							if err := m.Release(h); err != nil {
+								t.Error(err)
+								return
+							}
+						} else if errors.Is(err, ErrUnroutable) {
+							rejected.Store([2]int{id, i}, struct{}{})
+						} else {
+							t.Errorf("connect: %v", err)
+							return
+						}
+					}
+				}(c)
+			}
+			wg.Wait()
+			if err := m.Close(context.Background()); err != nil {
+				t.Fatal(err)
+			}
+			count := func(m *sync.Map) (n uint64) {
+				m.Range(func(_, _ any) bool { n++; return true })
+				return
+			}
+			s := m.Stats()
+			if g := count(&granted); g != s.Granted {
+				t.Errorf("clients saw %d grants, manager counted %d", g, s.Granted)
+			}
+			if r := count(&rejected); r != s.Rejected {
+				t.Errorf("clients saw %d rejections, manager counted %d", r, s.Rejected)
+			}
+			if s.Offered != 800 {
+				t.Errorf("offered = %d, want 800", s.Offered)
+			}
+		})
+	}
+}
+
+// TestDrainWorkerRetiresReleases exercises the dedicated drain core:
+// fast-path releases must all retire (through predrained swaps and the
+// Close-time residue sweep), leaving nothing held or stranded.
+func TestDrainWorkerRetiresReleases(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	m, err := New(Config{Tree: tree, BatchSize: 4, MaxWait: 100 * time.Microsecond, DrainWorker: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	for c := 0; c < 8; c++ {
+		wg.Add(1)
+		go func(id int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(int64(id)))
+			nodes := tree.Nodes()
+			var held []*Handle
+			for i := 0; i < 200; i++ {
+				for len(held) >= 4 {
+					if err := m.Release(held[0]); err != nil {
+						t.Errorf("release: %v", err)
+						return
+					}
+					held = held[1:]
+				}
+				if h, err := m.Connect(context.Background(), rng.Intn(nodes), rng.Intn(nodes)); err == nil {
+					held = append(held, h)
+				} else if !errors.Is(err, ErrUnroutable) {
+					t.Errorf("connect: %v", err)
+					return
+				}
+			}
+			for _, h := range held {
+				if err := m.Release(h); err != nil {
+					t.Errorf("final release: %v", err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.Active != 0 {
+		t.Errorf("active = %d after releasing everything, want 0", s.Active)
+	}
+	if s.Released != s.Granted {
+		t.Errorf("released %d != granted %d after full drain", s.Released, s.Granted)
+	}
+	if s.Occupancy != 0 {
+		t.Errorf("occupancy = %d after full drain, want 0 (stranded release)", s.Occupancy)
+	}
+}
+
+// TestDrainWorkerRequiresRing: the drain worker is a ring consumer, so
+// configuring it with the ring disabled is a construction error.
+func TestDrainWorkerRequiresRing(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	if _, err := New(Config{Tree: tree, DrainWorker: true, ReleaseRing: -1}); err == nil {
+		t.Fatal("New accepted DrainWorker with the release ring disabled")
+	}
+}
+
+// TestStatsSnapshots checks the seqlock path: Stats must reflect work
+// without taking the scheduling lock, tolerate concurrent readers under
+// the race detector, and converge after a fault (the read nudges the
+// flusher, whose next pass republishes).
+func TestStatsSnapshots(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	m, err := New(Config{Tree: tree, BatchSize: 1, MaxWait: 50 * time.Microsecond, StatsSnapshots: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() { // concurrent snapshot readers racing the flusher's publishes
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := m.Stats()
+				if s.Utilization < 0 || s.Utilization > 1 {
+					t.Errorf("torn utilization read: %v", s.Utilization)
+					return
+				}
+				if s.DegradedCapacity < 0 || s.DegradedCapacity > 1 {
+					t.Errorf("torn capacity read: %v", s.DegradedCapacity)
+					return
+				}
+			}
+		}()
+	}
+	h, err := m.Connect(context.Background(), 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool { return m.Stats().Granted == 1 })
+	if _, err := m.FailLink(0, 0, 0, 0); err != nil {
+		t.Fatal(err)
+	}
+	// The fault publishes under mu; the snapshot must converge without
+	// any Stats-side settling.
+	waitFor(t, func() bool { return m.Stats().FaultyChannels > 0 })
+	if err := m.Release(h); err != nil && !errors.Is(err, ErrUnroutableDegraded) {
+		t.Fatal(err)
+	}
+	close(stop)
+	wg.Wait()
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.LastEpochEngine == "" {
+		t.Error("snapshot lost the last epoch engine name")
+	}
+}
+
+// TestDrainRefusedCounter: ErrDraining exits count under DrainRefused,
+// not Overflow — shutdown refusals and backpressure overflow are
+// separately attributable.
+func TestDrainRefusedCounter(t *testing.T) {
+	tree := topology.MustNew(2, 4, 4)
+	m, err := New(Config{Tree: tree})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Close(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if _, err := m.Connect(context.Background(), 0, 5); !errors.Is(err, ErrDraining) {
+			t.Fatalf("connect while draining = %v, want ErrDraining", err)
+		}
+	}
+	s := m.Stats()
+	if s.DrainRefused != 3 {
+		t.Errorf("drain_refused = %d, want 3", s.DrainRefused)
+	}
+	if s.Overflow != 0 {
+		t.Errorf("overflow = %d, want 0 — drain refusals must not double-count", s.Overflow)
+	}
+	if s.Offered != 0 {
+		t.Errorf("offered = %d, want 0 — refused requests never enter the queue", s.Offered)
+	}
+}

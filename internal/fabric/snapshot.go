@@ -1,6 +1,9 @@
 package fabric
 
 import (
+	"math"
+	"runtime"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/parsched"
@@ -68,8 +71,9 @@ func distOf(xs []float64) Dist {
 // Stats is a consistent observability snapshot of a Manager. The counter
 // invariant is Offered == Granted + Rejected + Cancelled once the queue
 // is drained; Overflow counts requests turned away before ever entering
-// the queue (backpressure timeout, context cancel while blocked, or
-// manager closed) and is outside that identity.
+// the queue by their own deadline (backpressure timeout or context
+// cancel while blocked), DrainRefused requests turned away because the
+// manager was draining — both are outside that identity.
 type Stats struct {
 	Offered   uint64 `json:"offered"`
 	Granted   uint64 `json:"granted"`
@@ -77,7 +81,11 @@ type Stats struct {
 	Cancelled uint64 `json:"cancelled"`
 	Released  uint64 `json:"released"`
 	Overflow  uint64 `json:"overflow"`
-	Epochs    uint64 `json:"epochs"`
+	// DrainRefused counts Connect calls refused with ErrDraining: the
+	// shutdown-race exits previously folded into Overflow, now split out
+	// so backpressure and drain refusals are separately attributable.
+	DrainRefused uint64 `json:"drain_refused,omitempty"`
+	Epochs       uint64 `json:"epochs"`
 	// Active is the number of currently held (granted, unreleased)
 	// connections; QueueDepth the requests waiting for the next epoch.
 	Active     int64 `json:"active"`
@@ -153,30 +161,102 @@ type Stats struct {
 	RouteChurn        Dist   `json:"route_churn"`
 }
 
-// Stats returns a snapshot of the manager's counters, queue, epoch
-// distributions, and live link utilization. Parked fast-path releases
-// are drained first, so the snapshot reflects every Release that
-// returned before the call. No lock is held across the distribution
-// summaries: histogram samples are copied stripe by stripe and the
-// sort/percentile pass runs outside, so a large snapshot never stalls
-// the flusher or a client.
-func (m *Manager) Stats() Stats {
-	m.mu.Lock()
-	m.drainReleasesLocked()
-	m.applyDeparturesLocked()
-	m.settleQuarantineLocked(time.Now())
-	util := m.st.Utilization()
-	lastEngine := m.lastEngine
-	faulty := len(m.failed)
-	quarantined := len(m.quar)
+// statsSnap is the seqlock-published slice of Stats that depends on
+// m.mu-guarded state. The flusher (and every other mu holder that
+// changes these) stores fresh values between two seq increments; a
+// lock-free reader retries until it observes an even, unchanged seq.
+// Every field is an atomic so the torn-read window is race-detector
+// clean — the seq protocol is what makes the *set* coherent.
+type statsSnap struct {
+	seq      atomic.Uint64          // odd while a publish is in progress
+	engine   atomic.Pointer[string] // LastEpochEngine; repointed only on change
+	faulty   atomic.Int64           // len(m.failed)
+	quar     atomic.Int64           // len(m.quar)
+	util     atomic.Uint64          // math.Float64bits(utilization)
+	capacity atomic.Uint64          // math.Float64bits(degraded capacity)
+}
+
+// publishStatsLocked refreshes the seqlock snapshot. Caller holds m.mu.
+// No-op unless Config.StatsSnapshots is on, so the default path pays
+// nothing. The engine name is re-pointed only when it changes — at
+// steady state a publish is a handful of atomic stores plus the two
+// cheap popcount sweeps behind Utilization and FailedCount.
+func (m *Manager) publishStatsLocked() {
+	if !m.statsOn {
+		return
+	}
+	m.snap.seq.Add(1)
+	if cur := m.snap.engine.Load(); cur == nil || *cur != m.lastEngine {
+		name := m.lastEngine
+		m.snap.engine.Store(&name)
+	}
+	m.snap.faulty.Store(int64(len(m.failed)))
+	m.snap.quar.Store(int64(len(m.quar)))
+	m.snap.util.Store(math.Float64bits(m.st.Utilization()))
 	capacity := 1.0
 	if total := m.st.ChannelCount(); total > 0 {
 		capacity = float64(total-m.st.FailedCount()) / float64(total)
 	}
-	m.mu.Unlock()
-	m.qmu.Lock()
-	depth := len(m.pending)
-	m.qmu.Unlock()
+	m.snap.capacity.Store(math.Float64bits(capacity))
+	m.snap.seq.Add(1)
+}
+
+// Stats returns a snapshot of the manager's counters, queue, epoch
+// distributions, and live link utilization. No lock is held across the
+// distribution summaries: histogram samples are copied stripe by stripe
+// and the sort/percentile pass runs outside, so a large snapshot never
+// stalls the flusher or a client.
+//
+// By default the call takes the scheduling lock and settles pending
+// work first — parked fast-path releases are drained and staged
+// departures applied, so the snapshot reflects every Release that
+// returned before the call. With Config.StatsSnapshots on, the
+// mu-dependent fields come from the seqlock snapshot instead: Stats
+// never blocks on (or blocks) the flusher, at the cost of those fields
+// trailing live state by at most one epoch; the call nudges the flusher
+// so the next publish is imminent, and performs no settling of its own.
+func (m *Manager) Stats() Stats {
+	var util, capacity float64
+	var lastEngine string
+	var faulty, quarantined int
+	if m.statsOn {
+		for {
+			s1 := m.snap.seq.Load()
+			if s1&1 == 0 {
+				eng := m.snap.engine.Load()
+				f := m.snap.faulty.Load()
+				q := m.snap.quar.Load()
+				u := m.snap.util.Load()
+				c := m.snap.capacity.Load()
+				if m.snap.seq.Load() == s1 {
+					if eng != nil {
+						lastEngine = *eng
+					}
+					faulty, quarantined = int(f), int(q)
+					util = math.Float64frombits(u)
+					capacity = math.Float64frombits(c)
+					break
+				}
+			}
+			runtime.Gosched() // publish in flight; retry
+		}
+		m.wake() // bound staleness: the flusher republishes on its next pass
+	} else {
+		m.mu.Lock()
+		m.drainReleasesLocked()
+		m.applyDeparturesLocked()
+		m.settleQuarantineLocked(time.Now())
+		util = m.st.Utilization()
+		lastEngine = m.lastEngine
+		faulty = len(m.failed)
+		quarantined = len(m.quar)
+		capacity = 1.0
+		if total := m.st.ChannelCount(); total > 0 {
+			capacity = float64(total-m.st.FailedCount()) / float64(total)
+		}
+		m.mu.Unlock()
+	}
+	depth := int(m.qdepth.Load())
 	size := distOf(m.epochSize.snapshot())
 	lat := distOf(m.epochLat.snapshot())
 	repLat := distOf(m.repairLat.snapshot())
@@ -189,6 +269,7 @@ func (m *Manager) Stats() Stats {
 		Cancelled:      m.cancelled.Load(),
 		Released:       m.released.Load(),
 		Overflow:       m.overflow.Load(),
+		DrainRefused:   m.drainRefused.Load(),
 		Epochs:         m.epochs.Load(),
 		Active:         m.active.Load(),
 		QueueDepth:     depth,

@@ -64,6 +64,14 @@ type PlaneSpec struct {
 	// scheduler spec instead, e.g. "levelwise,incremental,reuse-cost=4").
 	Incremental bool `json:"incremental,omitempty"`
 	ReuseCost   int  `json:"reuse_cost,omitempty"`
+	// Admission-pipeline knobs (fabric.Config). DeliveryPipeline sizes
+	// the verdict-delivery worker's spare buffers (0 = default on,
+	// negative = synchronous delivery); DrainWorker dedicates a
+	// goroutine to release-ring retirement (requires the ring);
+	// StatsSnapshots serves Stats from the lock-free seqlock snapshot.
+	DeliveryPipeline int  `json:"delivery_pipeline,omitempty"`
+	DrainWorker      bool `json:"drain_worker,omitempty"`
+	StatsSnapshots   bool `json:"stats_snapshots,omitempty"`
 	// Weight biases plane-selection toward this plane under the hash and
 	// least-loaded policies (a weight-2 plane draws roughly twice the
 	// traffic of a weight-1 plane). Zero or omitted means 1; round-robin
@@ -249,6 +257,9 @@ func (fc *FileConfig) Validate() error {
 				return fmt.Errorf("federation: %s: incremental requires a scheduler with the delta-epoch capability (%s has none)", where, eng.Name())
 			}
 		}
+		if ps.DrainWorker && ps.ReleaseRing < 0 {
+			return fmt.Errorf("federation: %s: drain_worker requires the release ring (release_ring >= 0)", where)
+		}
 		if ps.Weight < 0 {
 			return fmt.Errorf("federation: %s: negative weight %v", where, ps.Weight)
 		}
@@ -306,6 +317,9 @@ func (fc *FileConfig) Build() (Config, error) {
 				ParallelSteal:       ps.ParallelSteal,
 				Incremental:         ps.Incremental,
 				ReuseCost:           ps.ReuseCost,
+				DeliveryPipeline:    ps.DeliveryPipeline,
+				DrainWorker:         ps.DrainWorker,
+				StatsSnapshots:      ps.StatsSnapshots,
 			},
 		})
 	}
